@@ -1,0 +1,31 @@
+//! Microbenchmarks of cluster formation: how expensive is the warmup phase
+//! per protocol (this is where BCBPT pays its ping overhead).
+
+use bcbpt_cluster::Protocol;
+use bcbpt_net::{NetConfig, Network};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cluster_formation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/warmup_200_nodes");
+    group.sample_size(10);
+    for protocol in [Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| {
+                    let mut config = NetConfig::test_scale();
+                    config.num_nodes = 200;
+                    let mut net = Network::build(config, p.build_policy(), 7).unwrap();
+                    net.warmup_ms(2_000.0);
+                    black_box(net.links().edge_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cluster_formation);
+criterion_main!(benches);

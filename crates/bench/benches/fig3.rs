@@ -1,0 +1,40 @@
+//! Criterion wrapper around the Fig. 3 regeneration (Bitcoin vs LBC vs
+//! BCBPT) at a reduced scale, asserting the paper's ordering on every run.
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{fig3, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut base = ExperimentConfig::quick(Protocol::Bitcoin);
+    base.net.num_nodes = 150;
+    base.warmup_ms = 2_000.0;
+    base.runs = 5;
+    c.bench_function("figures/fig3_quick", |b| {
+        b.iter(|| {
+            let bundle = fig3(&base).expect("fig3 runs");
+            // The paper's headline: BCBPT mean below Bitcoin mean.
+            let rows: Vec<(String, Vec<f64>)> = bundle
+                .table
+                .rows()
+                .map(|(l, v)| (l.to_string(), v.to_vec()))
+                .collect();
+            let mean_of = |label: &str| {
+                rows.iter()
+                    .find(|(l, _)| l.starts_with(label))
+                    .map(|(_, v)| v[0])
+                    .unwrap()
+            };
+            assert!(mean_of("bcbpt") < mean_of("bitcoin"));
+            black_box(bundle)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion wrapper around the Fig. 4 regeneration (BCBPT threshold
+//! sweep) at a reduced scale.
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{fig4, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut base = ExperimentConfig::quick(Protocol::Bitcoin);
+    base.net.num_nodes = 150;
+    base.warmup_ms = 2_000.0;
+    base.runs = 5;
+    c.bench_function("figures/fig4_quick", |b| {
+        b.iter(|| {
+            let bundle = fig4(&base).expect("fig4 runs");
+            assert_eq!(bundle.figure.series.len(), 3);
+            black_box(bundle)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates the security evaluation the paper defers to future work
+//! (§V.C): eclipse exposure and partition resilience per protocol.
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin attacks [--paper]`
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{eclipse_table, partition_table, ExperimentConfig};
+
+fn main() -> Result<(), String> {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let base = if paper {
+        ExperimentConfig::paper(Protocol::Bitcoin)
+    } else {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 300;
+        cfg.warmup_ms = 5_000.0;
+        cfg.runs = 0;
+        cfg
+    };
+    let protocols = [Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()];
+    let eclipse = eclipse_table(&base, &protocols, 0.10, 10)?;
+    println!("{}", eclipse.render());
+    let partition = partition_table(&base, &protocols)?;
+    println!("{}", partition.render());
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Extension experiment: delay variance vs measuring-node connection count
+//! (the paper's §V.C claim: Bitcoin's variance grows with connections,
+//! BCBPT's stays flat).
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin degree [--paper]`
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{degree_variance_table, ExperimentConfig};
+
+fn main() -> Result<(), String> {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let base = if paper {
+        ExperimentConfig::paper(Protocol::Bitcoin)
+    } else {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 400;
+        cfg.warmup_ms = 5_000.0;
+        cfg.runs = 60;
+        cfg
+    };
+    let table = degree_variance_table(
+        &base,
+        &[Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()],
+        4,
+    )?;
+    println!("{}", table.render());
+    Ok(())
+}

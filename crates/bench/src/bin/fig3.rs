@@ -1,0 +1,28 @@
+//! Regenerates the paper's Fig. 3: Δt(m,n) distributions for Bitcoin vs
+//! LBC vs BCBPT (dt = 25 ms).
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin fig3 [--paper]`
+//! `--paper` runs the full 5000-node / 1000-run configuration.
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{fig3, ExperimentConfig};
+
+fn main() -> Result<(), String> {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let base = if paper {
+        ExperimentConfig::paper(Protocol::Bitcoin)
+    } else {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 400;
+        cfg.warmup_ms = 5_000.0;
+        cfg.runs = 40;
+        cfg
+    };
+    eprintln!(
+        "fig3: {} nodes, {} runs, warmup {} ms",
+        base.net.num_nodes, base.runs, base.warmup_ms
+    );
+    let bundle = fig3(&base)?;
+    println!("{}", bundle.render());
+    Ok(())
+}

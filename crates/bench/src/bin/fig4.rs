@@ -1,0 +1,27 @@
+//! Regenerates the paper's Fig. 4: Δt(m,n) distributions for BCBPT at
+//! thresholds 30/50/100 ms.
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin fig4 [--paper]`
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{fig4, ExperimentConfig};
+
+fn main() -> Result<(), String> {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let base = if paper {
+        ExperimentConfig::paper(Protocol::Bitcoin)
+    } else {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 400;
+        cfg.warmup_ms = 5_000.0;
+        cfg.runs = 40;
+        cfg
+    };
+    eprintln!(
+        "fig4: {} nodes, {} runs, warmup {} ms",
+        base.net.num_nodes, base.runs, base.warmup_ms
+    );
+    let bundle = fig4(&base)?;
+    println!("{}", bundle.render());
+    Ok(())
+}

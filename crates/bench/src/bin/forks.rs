@@ -1,0 +1,34 @@
+//! Extension experiment: stale-block (fork) rate per relay protocol under
+//! proof-of-work — the consequence of propagation delay the paper's
+//! motivation describes (§I).
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin forks [--paper]`
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{fork_table, ExperimentConfig};
+
+fn main() -> Result<(), String> {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let (mut base, interval_ms, duration_ms) = if paper {
+        (ExperimentConfig::paper(Protocol::Bitcoin), 2_000.0, 600_000.0)
+    } else {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 400;
+        cfg.warmup_ms = 5_000.0;
+        cfg.runs = 0;
+        (cfg, 1_000.0, 300_000.0)
+    };
+    // Compact-block relay: 20 KB payloads make block propagation
+    // latency-bound, which is where the relay protocol matters (with full
+    // 200 KB blocks, serialization and verification dominate and the
+    // protocols tie — that tie is itself reported in EXPERIMENTS.md).
+    base.net.block_size_bytes = 20_000;
+    let table = fork_table(
+        &base,
+        &[Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()],
+        interval_ms,
+        duration_ms,
+    )?;
+    println!("{}", table.render());
+    Ok(())
+}

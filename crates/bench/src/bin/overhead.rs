@@ -1,0 +1,26 @@
+//! Regenerates the overhead evaluation the paper defers to future work
+//! (§IV.A): probing/control/relay message budgets per protocol.
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin overhead [--paper]`
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{overhead_table, ExperimentConfig};
+
+fn main() -> Result<(), String> {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let base = if paper {
+        ExperimentConfig::paper(Protocol::Bitcoin)
+    } else {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 300;
+        cfg.warmup_ms = 5_000.0;
+        cfg.runs = 10;
+        cfg
+    };
+    let table = overhead_table(
+        &base,
+        &[Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()],
+    )?;
+    println!("{}", table.render());
+    Ok(())
+}

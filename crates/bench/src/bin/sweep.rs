@@ -1,0 +1,28 @@
+//! Extension experiment: fine-grained BCBPT threshold sweep with cluster
+//! structure statistics.
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin sweep [--paper]`
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{threshold_sweep, ExperimentConfig};
+
+fn main() -> Result<(), String> {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let base = if paper {
+        ExperimentConfig::paper(Protocol::Bitcoin)
+    } else {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 400;
+        cfg.warmup_ms = 5_000.0;
+        cfg.runs = 25;
+        cfg
+    };
+    let thresholds = [10.0, 25.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0];
+    eprintln!(
+        "sweep: {} nodes, {} runs per threshold",
+        base.net.num_nodes, base.runs
+    );
+    let table = threshold_sweep(&base, &thresholds)?;
+    println!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Regenerates the simulator-validation experiment (paper §V.A): compares
+//! the simulated network-wide propagation-delay distribution against the
+//! reference shape.
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin validate [--paper]`
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::{validate_delays, ExperimentConfig};
+
+fn main() -> Result<(), String> {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let mut base = if paper {
+        ExperimentConfig::paper(Protocol::Bitcoin)
+    } else {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 400;
+        cfg.warmup_ms = 3_000.0;
+        cfg.runs = 20;
+        cfg
+    };
+    base.protocol = Protocol::Bitcoin; // validate the *vanilla* simulator
+    // Validation emulates the behaviour of the crawled 2013-era network
+    // (trickled INVs, heterogeneous verifiers, badly-connected minority) —
+    // see NetConfig::measured_client and DESIGN.md §2.
+    let n = base.net.num_nodes;
+    base.net = bcbpt_net::NetConfig::measured_client();
+    base.net.num_nodes = n;
+    let campaign = base.run()?;
+    let arrivals = campaign.all_arrivals_ms();
+    eprintln!(
+        "validate: {} arrival samples from {} runs",
+        arrivals.len(),
+        campaign.runs.len()
+    );
+    let report = validate_delays(&arrivals)?;
+    println!("{}", report.render());
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # bcbpt-bench — benchmark and figure-regeneration harness
+//!
+//! This crate carries no library code of its own; it hosts:
+//!
+//! * **Figure binaries** (`src/bin/`): one per paper artefact —
+//!   `fig3`, `fig4` (the paper's figures), `validate` (§V.A simulator
+//!   validation), `sweep` (extended threshold sweep), `overhead`
+//!   (§IV.A future-work overhead evaluation), `attacks` (§V.C future-work
+//!   eclipse/partition evaluation). Each accepts `--paper` for the
+//!   full-scale 5000-node configuration.
+//! * **Criterion benches** (`benches/`): engine/event-queue throughput,
+//!   network flooding, cluster-formation cost per protocol, and timed
+//!   wrappers around the figure regenerations.
+//!
+//! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
+//! record produced with these targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

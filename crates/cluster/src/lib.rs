@@ -1,0 +1,53 @@
+//! # bcbpt-cluster — the clustering protocols
+//!
+//! The contribution of *Proximity Awareness Approach to Enhance Propagation
+//! Delay on the Bitcoin Peer-to-Peer Network* (ICDCS 2017) and its
+//! baselines, implemented as [`bcbpt_net::NeighborPolicy`] plugins:
+//!
+//! * [`BcbptPolicy`] — **Bitcoin Clustering Based Ping Time**: nodes
+//!   self-cluster by *measured* round-trip latency under a threshold `Dth`
+//!   (paper §IV), joining the cluster of their closest discovered node via
+//!   a JOIN/CLUSTERLIST exchange and keeping a few long-distance links to
+//!   other clusters.
+//! * [`LbcPolicy`] — the authors' earlier **Locality Based Clustering**:
+//!   clusters by geographic location (country), with peer recommendation of
+//!   nearby nodes. The geographically-close-but-internet-far failure mode
+//!   this protocol suffers from is exactly what BCBPT fixes.
+//! * `bcbpt_net::RandomPolicy` — vanilla Bitcoin (re-exported here as part
+//!   of [`Protocol`]).
+//!
+//! Supporting pieces: [`RttEstimator`] (repeated ping sampling with
+//! variance, §IV.A) and [`ClusterRegistry`] (membership bookkeeping).
+//!
+//! # Examples
+//!
+//! Compare how tightly each protocol's neighbours sit in latency space:
+//!
+//! ```
+//! use bcbpt_cluster::Protocol;
+//! use bcbpt_net::{NetConfig, Network};
+//!
+//! let mut config = NetConfig::test_scale();
+//! config.num_nodes = 50;
+//! for protocol in [Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()] {
+//!     let mut net = Network::build(config.clone(), protocol.build_policy(), 1)?;
+//!     net.warmup_ms(500.0);
+//!     assert!(net.links().edge_count() > 0, "{protocol} built a topology");
+//! }
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bcbpt;
+mod lbc;
+mod protocol;
+mod registry;
+mod rtt;
+
+pub use bcbpt::{BcbptConfig, BcbptPolicy};
+pub use lbc::{LbcConfig, LbcPolicy};
+pub use protocol::Protocol;
+pub use registry::ClusterRegistry;
+pub use rtt::{RttEstimator, RttEstimatorConfig};

@@ -1,0 +1,93 @@
+//! Protocol selection: one enum covering the three compared protocols.
+
+use crate::bcbpt::{BcbptConfig, BcbptPolicy};
+use crate::lbc::{LbcConfig, LbcPolicy};
+use bcbpt_net::{NeighborPolicy, RandomPolicy};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// The neighbour-selection protocols compared in the paper's Fig. 3, plus
+/// the threshold-parameterised BCBPT variants of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Vanilla Bitcoin: random neighbour selection.
+    Bitcoin,
+    /// Locality Based Clustering (geographic, ref [6]).
+    Lbc,
+    /// Bitcoin Clustering Based Ping Time with threshold `Dth` (ms).
+    Bcbpt {
+        /// The clustering threshold in milliseconds.
+        threshold_ms: f64,
+    },
+}
+
+impl Protocol {
+    /// The paper's default BCBPT configuration (`Dth = 25 ms`).
+    pub fn bcbpt_paper() -> Self {
+        Protocol::Bcbpt { threshold_ms: 25.0 }
+    }
+
+    /// Instantiates the corresponding [`NeighborPolicy`].
+    pub fn build_policy(&self) -> Box<dyn NeighborPolicy> {
+        match *self {
+            Protocol::Bitcoin => Box::new(RandomPolicy::new()),
+            Protocol::Lbc => Box::new(LbcPolicy::new(LbcConfig::paper())),
+            Protocol::Bcbpt { threshold_ms } => {
+                Box::new(BcbptPolicy::new(BcbptConfig::with_threshold_ms(threshold_ms)))
+            }
+        }
+    }
+
+    /// Short label used in figures and reports.
+    pub fn label(&self) -> String {
+        match self {
+            Protocol::Bitcoin => "bitcoin".to_string(),
+            Protocol::Lbc => "lbc".to_string(),
+            Protocol::Bcbpt { threshold_ms } => format!("bcbpt(dt={threshold_ms}ms)"),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_report_expected_names() {
+        assert_eq!(Protocol::Bitcoin.build_policy().name(), "bitcoin");
+        assert_eq!(Protocol::Lbc.build_policy().name(), "lbc");
+        assert_eq!(Protocol::bcbpt_paper().build_policy().name(), "bcbpt");
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let labels: Vec<String> = [
+            Protocol::Bitcoin,
+            Protocol::Lbc,
+            Protocol::Bcbpt { threshold_ms: 25.0 },
+            Protocol::Bcbpt { threshold_ms: 50.0 },
+        ]
+        .iter()
+        .map(Protocol::label)
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(Protocol::bcbpt_paper().to_string(), "bcbpt(dt=25ms)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Protocol::Bcbpt { threshold_ms: 30.0 };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Protocol = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

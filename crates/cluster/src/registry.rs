@@ -1,0 +1,295 @@
+//! Cluster membership bookkeeping shared by the clustering policies.
+
+use bcbpt_net::NodeId;
+use std::collections::BTreeSet;
+
+/// Tracks which cluster every node belongs to.
+///
+/// Cluster ids are dense indices; empty clusters are kept (ids stay stable)
+/// but report zero size.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_cluster::ClusterRegistry;
+/// use bcbpt_net::NodeId;
+///
+/// let mut reg = ClusterRegistry::new(10);
+/// let c = reg.create_cluster();
+/// reg.assign(NodeId::from_index(0), c);
+/// reg.assign(NodeId::from_index(1), c);
+/// assert_eq!(reg.cluster_of(NodeId::from_index(0)), Some(c));
+/// assert_eq!(reg.size(c), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterRegistry {
+    membership: Vec<Option<usize>>,
+    members: Vec<BTreeSet<NodeId>>,
+}
+
+impl ClusterRegistry {
+    /// Creates a registry for `n` nodes, all initially unclustered.
+    pub fn new(n: usize) -> Self {
+        ClusterRegistry {
+            membership: vec![None; n],
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the registry covers.
+    pub fn num_nodes(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Creates a new empty cluster and returns its id.
+    pub fn create_cluster(&mut self) -> usize {
+        self.members.push(BTreeSet::new());
+        self.members.len() - 1
+    }
+
+    /// Number of clusters ever created (including now-empty ones).
+    pub fn num_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Assigns `node` to `cluster`, removing it from any previous cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cluster` does not exist or `node` is out of range.
+    pub fn assign(&mut self, node: NodeId, cluster: usize) {
+        assert!(cluster < self.members.len(), "unknown cluster {cluster}");
+        if let Some(old) = self.membership[node.index()] {
+            if old == cluster {
+                return;
+            }
+            self.members[old].remove(&node);
+        }
+        self.membership[node.index()] = Some(cluster);
+        self.members[cluster].insert(node);
+    }
+
+    /// Removes `node` from its cluster (e.g. on churn departure).
+    /// Returns the cluster it left, if any.
+    pub fn remove(&mut self, node: NodeId) -> Option<usize> {
+        let cluster = self.membership[node.index()].take()?;
+        self.members[cluster].remove(&node);
+        Some(cluster)
+    }
+
+    /// The cluster `node` belongs to, if any.
+    pub fn cluster_of(&self, node: NodeId) -> Option<usize> {
+        self.membership.get(node.index()).copied().flatten()
+    }
+
+    /// `true` when both nodes belong to the same cluster.
+    pub fn same_cluster(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.cluster_of(a), self.cluster_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Members of `cluster`, in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cluster` does not exist.
+    pub fn members(&self, cluster: usize) -> &BTreeSet<NodeId> {
+        &self.members[cluster]
+    }
+
+    /// Size of `cluster`.
+    pub fn size(&self, cluster: usize) -> usize {
+        self.members.get(cluster).map_or(0, BTreeSet::len)
+    }
+
+    /// Sizes of all non-empty clusters, descending.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self
+            .members
+            .iter()
+            .map(BTreeSet::len)
+            .filter(|&s| s > 0)
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// Number of nodes currently assigned to any cluster.
+    pub fn clustered_count(&self) -> usize {
+        self.membership.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Merges two clusters, moving the members of the smaller into the
+    /// larger, and returns the surviving cluster id. Merging a cluster with
+    /// itself is a no-op.
+    ///
+    /// The paper's membership rule (`D(i,j) < Dth` ⇒ same cluster, Eq. 1)
+    /// is a single-linkage criterion: discovering a close pair that spans
+    /// two clusters implies those clusters are one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either cluster id does not exist.
+    pub fn merge(&mut self, a: usize, b: usize) -> usize {
+        assert!(a < self.members.len(), "unknown cluster {a}");
+        assert!(b < self.members.len(), "unknown cluster {b}");
+        if a == b {
+            return a;
+        }
+        let (dst, src) = if self.members[a].len() >= self.members[b].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let moved: Vec<NodeId> = self.members[src].iter().copied().collect();
+        for node in moved {
+            self.membership[node.index()] = Some(dst);
+            self.members[dst].insert(node);
+        }
+        self.members[src].clear();
+        dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn fresh_registry_is_unclustered() {
+        let reg = ClusterRegistry::new(5);
+        assert_eq!(reg.num_nodes(), 5);
+        assert_eq!(reg.num_clusters(), 0);
+        assert_eq!(reg.cluster_of(n(0)), None);
+        assert_eq!(reg.clustered_count(), 0);
+        assert!(reg.sizes().is_empty());
+    }
+
+    #[test]
+    fn assign_and_move() {
+        let mut reg = ClusterRegistry::new(5);
+        let a = reg.create_cluster();
+        let b = reg.create_cluster();
+        reg.assign(n(0), a);
+        reg.assign(n(1), a);
+        reg.assign(n(2), b);
+        assert_eq!(reg.size(a), 2);
+        assert_eq!(reg.size(b), 1);
+        assert!(reg.same_cluster(n(0), n(1)));
+        assert!(!reg.same_cluster(n(0), n(2)));
+        // Move node 1 to cluster b.
+        reg.assign(n(1), b);
+        assert_eq!(reg.size(a), 1);
+        assert_eq!(reg.size(b), 2);
+        assert!(reg.same_cluster(n(1), n(2)));
+    }
+
+    #[test]
+    fn reassign_to_same_cluster_is_noop() {
+        let mut reg = ClusterRegistry::new(3);
+        let c = reg.create_cluster();
+        reg.assign(n(0), c);
+        reg.assign(n(0), c);
+        assert_eq!(reg.size(c), 1);
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut reg = ClusterRegistry::new(3);
+        let c = reg.create_cluster();
+        reg.assign(n(0), c);
+        assert_eq!(reg.remove(n(0)), Some(c));
+        assert_eq!(reg.remove(n(0)), None);
+        assert_eq!(reg.cluster_of(n(0)), None);
+        assert_eq!(reg.size(c), 0);
+    }
+
+    #[test]
+    fn unclustered_nodes_never_share() {
+        let mut reg = ClusterRegistry::new(3);
+        let c = reg.create_cluster();
+        reg.assign(n(0), c);
+        assert!(!reg.same_cluster(n(0), n(1)));
+        assert!(!reg.same_cluster(n(1), n(2)));
+    }
+
+    #[test]
+    fn sizes_descending_nonempty() {
+        let mut reg = ClusterRegistry::new(10);
+        let a = reg.create_cluster();
+        let b = reg.create_cluster();
+        let _empty = reg.create_cluster();
+        for i in 0..6 {
+            reg.assign(n(i), a);
+        }
+        for i in 6..8 {
+            reg.assign(n(i), b);
+        }
+        assert_eq!(reg.sizes(), vec![6, 2]);
+        assert_eq!(reg.clustered_count(), 8);
+    }
+
+    #[test]
+    fn members_ordered() {
+        let mut reg = ClusterRegistry::new(5);
+        let c = reg.create_cluster();
+        reg.assign(n(4), c);
+        reg.assign(n(1), c);
+        let ids: Vec<_> = reg.members(c).iter().copied().collect();
+        assert_eq!(ids, vec![n(1), n(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn assign_to_missing_cluster_panics() {
+        let mut reg = ClusterRegistry::new(2);
+        reg.assign(n(0), 3);
+    }
+
+    #[test]
+    fn merge_moves_smaller_into_larger() {
+        let mut reg = ClusterRegistry::new(10);
+        let a = reg.create_cluster();
+        let b = reg.create_cluster();
+        for i in 0..5 {
+            reg.assign(n(i), a);
+        }
+        for i in 5..7 {
+            reg.assign(n(i), b);
+        }
+        let survivor = reg.merge(a, b);
+        assert_eq!(survivor, a);
+        assert_eq!(reg.size(a), 7);
+        assert_eq!(reg.size(b), 0);
+        for i in 0..7 {
+            assert_eq!(reg.cluster_of(n(i)), Some(a));
+        }
+    }
+
+    #[test]
+    fn merge_with_self_is_noop() {
+        let mut reg = ClusterRegistry::new(3);
+        let a = reg.create_cluster();
+        reg.assign(n(0), a);
+        assert_eq!(reg.merge(a, a), a);
+        assert_eq!(reg.size(a), 1);
+    }
+
+    #[test]
+    fn merge_prefers_larger_side_regardless_of_order() {
+        let mut reg = ClusterRegistry::new(10);
+        let small = reg.create_cluster();
+        let big = reg.create_cluster();
+        reg.assign(n(0), small);
+        for i in 1..6 {
+            reg.assign(n(i), big);
+        }
+        assert_eq!(reg.merge(small, big), big);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the clustering protocols.
+
+use bcbpt_cluster::{BcbptConfig, BcbptPolicy, ClusterRegistry, LbcConfig, LbcPolicy, Protocol};
+use bcbpt_net::{NetConfig, Network, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Registry invariants under arbitrary assign/remove/merge sequences:
+    /// membership and member-sets stay mutually consistent.
+    #[test]
+    fn registry_consistent(ops in proptest::collection::vec((0u8..4, 0u32..20, 0usize..6), 1..200)) {
+        let mut reg = ClusterRegistry::new(20);
+        for _ in 0..6 {
+            reg.create_cluster();
+        }
+        for (op, node, cluster) in ops {
+            let node = NodeId::from_index(node);
+            match op {
+                0 | 1 => reg.assign(node, cluster),
+                2 => {
+                    let _ = reg.remove(node);
+                }
+                _ => {
+                    let other = (cluster + 1) % 6;
+                    reg.merge(cluster, other);
+                }
+            }
+            // Invariant: membership and member sets agree.
+            for i in 0..20u32 {
+                let n = NodeId::from_index(i);
+                match reg.cluster_of(n) {
+                    Some(c) => prop_assert!(reg.members(c).contains(&n)),
+                    None => {
+                        for c in 0..reg.num_clusters() {
+                            prop_assert!(!reg.members(c).contains(&n));
+                        }
+                    }
+                }
+            }
+            // Sizes sum to clustered count.
+            let total: usize = reg.sizes().iter().sum();
+            prop_assert_eq!(total, reg.clustered_count());
+        }
+    }
+
+    /// BCBPT: after warmup, every online node is in exactly one cluster and
+    /// the clusters partition the node set.
+    #[test]
+    fn bcbpt_clusters_partition(seed in any::<u64>(), threshold in 10.0f64..200.0) {
+        let mut config = NetConfig::test_scale();
+        config.num_nodes = 50;
+        let policy = BcbptPolicy::new(BcbptConfig::with_threshold_ms(threshold));
+        let mut net = Network::build(config, Box::new(policy), seed).unwrap();
+        net.warmup_ms(1_500.0);
+        let mut total = 0usize;
+        let mut by_cluster = std::collections::BTreeMap::new();
+        for i in 0..50u32 {
+            let node = NodeId::from_index(i);
+            let c = net.cluster_of(node);
+            prop_assert!(c.is_some());
+            *by_cluster.entry(c.unwrap()).or_insert(0usize) += 1;
+            total += 1;
+        }
+        prop_assert_eq!(total, 50);
+        prop_assert_eq!(by_cluster.values().sum::<usize>(), 50);
+    }
+
+    /// LBC: cluster assignment is exactly the country partition.
+    #[test]
+    fn lbc_clusters_equal_countries(seed in any::<u64>()) {
+        let mut config = NetConfig::test_scale();
+        config.num_nodes = 40;
+        let mut net = Network::build(
+            config,
+            Box::new(LbcPolicy::new(LbcConfig::paper())),
+            seed,
+        )
+        .unwrap();
+        net.warmup_ms(500.0);
+        for i in 0..40u32 {
+            for j in 0..40u32 {
+                let a = NodeId::from_index(i);
+                let b = NodeId::from_index(j);
+                let same_country =
+                    net.meta(a).placement.country == net.meta(b).placement.country;
+                let same_cluster = net.cluster_of(a) == net.cluster_of(b);
+                prop_assert_eq!(same_country, same_cluster,
+                    "{} vs {}: country {} cluster {}", a, b, same_country, same_cluster);
+            }
+        }
+    }
+
+    /// All protocols keep the overlay connected without churn, for any seed.
+    #[test]
+    fn overlay_connected(seed in any::<u64>()) {
+        for protocol in [Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()] {
+            let mut config = NetConfig::test_scale();
+            config.num_nodes = 40;
+            let mut net = Network::build(config, protocol.build_policy(), seed).unwrap();
+            net.warmup_ms(1_500.0);
+            let frac = net.reachable_fraction(NodeId::from_index(0));
+            prop_assert!(frac > 0.95, "{}: reachable {}", protocol, frac);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Security experiments (the paper's declared future work, §V.C).
+//!
+//! "It would seem possible for an attacker to more easily launch eclipse
+//! attacks by concentrating its bad peers within a small cluster ...
+//! Similarly, partition attacks seem to have a great potential. ... our
+//! future work will include evaluation of partition attacks as well as
+//! eclipse attacks." This module implements both evaluations.
+
+use crate::experiment::ExperimentConfig;
+use bcbpt_cluster::Protocol;
+use bcbpt_net::{Network, NodeId};
+use bcbpt_stats::StatTable;
+use serde::{Deserialize, Serialize};
+
+/// Result of the eclipse-exposure experiment for one protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EclipseReport {
+    /// Protocol label.
+    pub protocol: String,
+    /// Fraction of the network the adversary controls.
+    pub adversary_fraction: f64,
+    /// Mean share of a victim's connections that end up adversarial when
+    /// the adversary concentrates its nodes near the victim.
+    pub mean_malicious_peer_share: f64,
+    /// Worst observed share across victims.
+    pub max_malicious_peer_share: f64,
+    /// Number of victims measured.
+    pub victims: usize,
+}
+
+/// Eclipse exposure of one protocol (§V.C threat model): the adversary
+/// places its `fraction·n` nodes as *latency-close* to the victim as
+/// possible, so proximity-driven neighbour selection preferentially picks
+/// them. The metric is the share of the victim's connections that are
+/// adversarial after the topology settles.
+///
+/// # Errors
+///
+/// Propagates network-construction errors.
+///
+/// # Panics
+///
+/// Panics when `adversary_fraction` is outside `(0, 1)` or `victims == 0`.
+pub fn eclipse_exposure(
+    base: &ExperimentConfig,
+    protocol: Protocol,
+    adversary_fraction: f64,
+    victims: usize,
+) -> Result<EclipseReport, String> {
+    assert!(
+        adversary_fraction > 0.0 && adversary_fraction < 1.0,
+        "adversary fraction must be in (0, 1)"
+    );
+    assert!(victims > 0, "need at least one victim");
+    let cfg = base.with_protocol(protocol);
+    let mut net = Network::build(cfg.net.clone(), protocol.build_policy(), cfg.seed)?;
+    net.warmup_ms(cfg.warmup_ms);
+
+    let n = net.num_nodes();
+    let adversary_count = ((n as f64) * adversary_fraction).ceil() as usize;
+    let mut shares = Vec::with_capacity(victims);
+    for v in 0..victims {
+        // Deterministic victim spread across the id space.
+        let victim = NodeId::from_index(((v * n) / victims) as u32);
+        if !net.is_online(victim) || net.links().degree(victim) == 0 {
+            continue;
+        }
+        // The adversary concentrates its nodes in the victim's latency
+        // neighbourhood: the closest `adversary_count` nodes by RTT.
+        let mut by_rtt: Vec<(f64, NodeId)> = (0..n as u32)
+            .map(NodeId::from_index)
+            .filter(|&c| c != victim)
+            .map(|c| (net.base_rtt_ms(victim, c), c))
+            .collect();
+        by_rtt.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite rtt"));
+        let malicious: std::collections::BTreeSet<NodeId> = by_rtt
+            .iter()
+            .take(adversary_count)
+            .map(|&(_, c)| c)
+            .collect();
+        let peers: Vec<NodeId> = net.links().peers(victim).iter().copied().collect();
+        let bad = peers.iter().filter(|p| malicious.contains(p)).count();
+        shares.push(bad as f64 / peers.len() as f64);
+    }
+    if shares.is_empty() {
+        return Err("no victim had connections".to_string());
+    }
+    Ok(EclipseReport {
+        protocol: protocol.label(),
+        adversary_fraction,
+        mean_malicious_peer_share: shares.iter().sum::<f64>() / shares.len() as f64,
+        max_malicious_peer_share: shares.iter().cloned().fold(0.0, f64::max),
+        victims: shares.len(),
+    })
+}
+
+/// Eclipse exposure across protocols as a table.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn eclipse_table(
+    base: &ExperimentConfig,
+    protocols: &[Protocol],
+    adversary_fraction: f64,
+    victims: usize,
+) -> Result<StatTable, String> {
+    let mut table = StatTable::new(
+        format!(
+            "Eclipse exposure: adversary controls {:.0}% of nodes, concentrated near the victim",
+            adversary_fraction * 100.0
+        ),
+        &["mean_bad_share", "max_bad_share", "victims"],
+    );
+    for &p in protocols {
+        let r = eclipse_exposure(base, p, adversary_fraction, victims)?;
+        table.push_row(
+            r.protocol,
+            vec![
+                r.mean_malicious_peer_share,
+                r.max_malicious_peer_share,
+                r.victims as f64,
+            ],
+        );
+    }
+    Ok(table)
+}
+
+/// Result of the partition-resilience experiment for one protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionReport {
+    /// Protocol label.
+    pub protocol: String,
+    /// Inter-cluster edges the attacker had to cut (0 for non-clustering
+    /// protocols — there is no cheap cut set).
+    pub cut_edges: usize,
+    /// Edges before the attack.
+    pub total_edges: usize,
+    /// Fraction of online nodes still reachable from node 0 afterwards.
+    pub reachable_after_cut: f64,
+}
+
+/// Partition attack (§V.C): the attacker severs every *inter-cluster* link
+/// — the natural cut set a clustering protocol exposes — and we measure how
+/// much of the network remains mutually reachable.
+///
+/// For the non-clustering Bitcoin baseline the attack is undefined (no
+/// cluster boundary), so no edge is cut and resilience is trivially 1.0;
+/// the interesting output is how *cheap* the cut is and how much damage it
+/// does for LBC/BCBPT.
+///
+/// # Errors
+///
+/// Propagates network-construction errors.
+pub fn partition_resilience(
+    base: &ExperimentConfig,
+    protocol: Protocol,
+) -> Result<PartitionReport, String> {
+    let cfg = base.with_protocol(protocol);
+    let mut net = Network::build(cfg.net.clone(), protocol.build_policy(), cfg.seed)?;
+    net.warmup_ms(cfg.warmup_ms);
+    let total_edges = net.links().edge_count();
+    let inter: Vec<(NodeId, NodeId)> = net
+        .links()
+        .edges()
+        .filter(|&(a, b)| {
+            match (net.cluster_of(a), net.cluster_of(b)) {
+                (Some(x), Some(y)) => x != y,
+                // Edges to unclustered nodes also cross the boundary.
+                (None, None) => false,
+                _ => true,
+            }
+        })
+        .collect();
+    for (a, b) in &inter {
+        net.force_disconnect(*a, *b);
+    }
+    // Find an online node to BFS from.
+    let start = (0..net.num_nodes() as u32)
+        .map(NodeId::from_index)
+        .find(|&node| net.is_online(node))
+        .ok_or_else(|| "no online node".to_string())?;
+    Ok(PartitionReport {
+        protocol: protocol.label(),
+        cut_edges: inter.len(),
+        total_edges,
+        reachable_after_cut: net.reachable_fraction(start),
+    })
+}
+
+/// Partition resilience across protocols as a table.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn partition_table(
+    base: &ExperimentConfig,
+    protocols: &[Protocol],
+) -> Result<StatTable, String> {
+    let mut table = StatTable::new(
+        "Partition attack: cut all inter-cluster links",
+        &["cut_edges", "total_edges", "reachable_after"],
+    );
+    for &p in protocols {
+        let r = partition_resilience(base, p)?;
+        table.push_row(
+            r.protocol,
+            vec![
+                r.cut_edges as f64,
+                r.total_edges as f64,
+                r.reachable_after_cut,
+            ],
+        );
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 80;
+        cfg.warmup_ms = 1_500.0;
+        cfg.runs = 0;
+        cfg
+    }
+
+    #[test]
+    fn proximity_clustering_raises_eclipse_exposure() {
+        let base = tiny();
+        let bitcoin = eclipse_exposure(&base, Protocol::Bitcoin, 0.1, 8).unwrap();
+        let bcbpt = eclipse_exposure(&base, Protocol::bcbpt_paper(), 0.1, 8).unwrap();
+        // Random selection picks ~10% adversarial peers; proximity-driven
+        // selection concentrates on the latency-close adversary.
+        assert!(
+            bcbpt.mean_malicious_peer_share > bitcoin.mean_malicious_peer_share,
+            "bcbpt {} should exceed bitcoin {}",
+            bcbpt.mean_malicious_peer_share,
+            bitcoin.mean_malicious_peer_share
+        );
+        assert!(bitcoin.mean_malicious_peer_share < 0.35);
+    }
+
+    #[test]
+    fn eclipse_table_has_all_rows() {
+        let table = eclipse_table(
+            &tiny(),
+            &[Protocol::Bitcoin, Protocol::bcbpt_paper()],
+            0.1,
+            5,
+        )
+        .unwrap();
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn eclipse_validates_fraction() {
+        let _ = eclipse_exposure(&tiny(), Protocol::Bitcoin, 1.5, 3);
+    }
+
+    #[test]
+    fn partition_cuts_clustered_topologies() {
+        let base = tiny();
+        let bitcoin = partition_resilience(&base, Protocol::Bitcoin).unwrap();
+        assert_eq!(bitcoin.cut_edges, 0, "no cluster boundary to cut");
+        assert!((bitcoin.reachable_after_cut - 1.0).abs() < 1e-9);
+
+        let bcbpt = partition_resilience(&base, Protocol::bcbpt_paper()).unwrap();
+        assert!(bcbpt.cut_edges > 0, "clustered topology has a cut set");
+        assert!(
+            bcbpt.reachable_after_cut < 1.0,
+            "cutting inter-cluster links must fragment the network"
+        );
+    }
+
+    #[test]
+    fn partition_table_has_all_rows() {
+        let table = partition_table(&tiny(), &[Protocol::Bitcoin, Protocol::Lbc]).unwrap();
+        assert_eq!(table.len(), 2);
+        let text = table.render();
+        assert!(text.contains("bitcoin"));
+        assert!(text.contains("lbc"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Delay-variance versus connection count (paper §V.C, Fig. 3 discussion).
+//!
+//! "The Bitcoin protocol performs variances of delays ... that grow
+//! linearly with the number of connected nodes, whereas BCBPT maintains
+//! lower variances of delays regardless of the number of connected nodes."
+//! This experiment reproduces that claim: it groups measuring runs by the
+//! measuring node's degree and reports per-degree-bucket delay variance.
+
+use crate::experiment::{CampaignResult, ExperimentConfig};
+use bcbpt_cluster::Protocol;
+use bcbpt_stats::{StatTable, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Per-degree-bucket variance for one protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeVariance {
+    /// Protocol label.
+    pub protocol: String,
+    /// `(bucket_lower_degree, samples, variance_ms2)` per bucket.
+    pub buckets: Vec<(usize, usize, f64)>,
+    /// Least-squares slope of variance against degree — the "grows
+    /// linearly" coefficient.
+    pub slope: f64,
+}
+
+/// Groups a campaign's runs by measuring-node degree (number of deltas in
+/// the run, i.e. announcing peers) and computes per-bucket delay variance.
+pub fn degree_variance(campaign: &CampaignResult, bucket_width: usize) -> DegreeVariance {
+    assert!(bucket_width > 0, "bucket width must be positive");
+    let mut by_bucket: std::collections::BTreeMap<usize, Summary> =
+        std::collections::BTreeMap::new();
+    for run in &campaign.runs {
+        let degree = run.deltas_ms.len();
+        let bucket = (degree / bucket_width) * bucket_width;
+        let entry = by_bucket.entry(bucket).or_default();
+        for &d in &run.deltas_ms {
+            entry.record(d);
+        }
+    }
+    let buckets: Vec<(usize, usize, f64)> = by_bucket
+        .iter()
+        .filter(|(_, s)| s.count() >= 2)
+        .map(|(&b, s)| (b, s.count() as usize, s.sample_variance()))
+        .collect();
+    let slope = least_squares_slope(
+        &buckets
+            .iter()
+            .map(|&(b, _, v)| (b as f64, v))
+            .collect::<Vec<_>>(),
+    );
+    DegreeVariance {
+        protocol: campaign.protocol.clone(),
+        buckets,
+        slope,
+    }
+}
+
+/// Runs the degree-variance experiment across protocols.
+///
+/// Uses a wider spread of connection counts than the defaults by letting
+/// outbound targets vary per campaign seed (the degree spread comes from
+/// inbound connections, which vary naturally).
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn degree_variance_table(
+    base: &ExperimentConfig,
+    protocols: &[Protocol],
+    bucket_width: usize,
+) -> Result<StatTable, String> {
+    let mut table = StatTable::new(
+        "Delay variance vs measuring-node connection count (slope of variance over degree)",
+        &["slope", "buckets", "min_var", "max_var"],
+    );
+    for &p in protocols {
+        let campaign = base.with_protocol(p).run()?;
+        let dv = degree_variance(&campaign, bucket_width);
+        let min_var = dv
+            .buckets
+            .iter()
+            .map(|&(_, _, v)| v)
+            .fold(f64::INFINITY, f64::min);
+        let max_var = dv
+            .buckets
+            .iter()
+            .map(|&(_, _, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        table.push_row(
+            dv.protocol,
+            vec![
+                dv.slope,
+                dv.buckets.len() as f64,
+                if min_var.is_finite() { min_var } else { f64::NAN },
+                if max_var.is_finite() { max_var } else { f64::NAN },
+            ],
+        );
+    }
+    Ok(table)
+}
+
+fn least_squares_slope(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    (n * sxy - sx * sy) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::RunResult;
+    use bcbpt_net::MessageStats;
+
+    fn campaign_with_runs(runs: Vec<RunResult>) -> CampaignResult {
+        CampaignResult {
+            protocol: "test".to_string(),
+            runs,
+            traffic: MessageStats::new(),
+            warmup_traffic: MessageStats::new(),
+            cluster_sizes: vec![],
+            num_nodes: 10,
+        }
+    }
+
+    fn run(deltas: Vec<f64>) -> RunResult {
+        RunResult {
+            run_index: 0,
+            origin: 0,
+            deltas_ms: deltas,
+            arrival_delays_ms: vec![],
+            reached: 0,
+            online: 10,
+        }
+    }
+
+    #[test]
+    fn slope_of_linear_points_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((least_squares_slope(&pts) - 3.0).abs() < 1e-9);
+        assert_eq!(least_squares_slope(&[]), 0.0);
+        assert_eq!(least_squares_slope(&[(1.0, 2.0)]), 0.0);
+        assert_eq!(
+            least_squares_slope(&[(2.0, 1.0), (2.0, 5.0)]),
+            0.0,
+            "vertical points have no slope"
+        );
+    }
+
+    #[test]
+    fn buckets_group_by_degree() {
+        let campaign = campaign_with_runs(vec![
+            run(vec![10.0, 12.0]),                     // degree 2 -> bucket 2
+            run(vec![11.0, 13.0]),                     // degree 2
+            run(vec![50.0, 60.0, 70.0, 80.0, 90.0]),   // degree 5 -> bucket 4
+        ]);
+        let dv = degree_variance(&campaign, 2);
+        assert_eq!(dv.buckets.len(), 2);
+        assert_eq!(dv.buckets[0].0, 2);
+        assert_eq!(dv.buckets[0].1, 4, "four deltas in the small bucket");
+        assert_eq!(dv.buckets[1].0, 4);
+        assert!(dv.buckets[1].2 > dv.buckets[0].2, "wider deltas, more variance");
+        assert!(dv.slope > 0.0);
+    }
+
+    #[test]
+    fn empty_campaign_is_flat() {
+        let dv = degree_variance(&campaign_with_runs(vec![]), 2);
+        assert!(dv.buckets.is_empty());
+        assert_eq!(dv.slope, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn bucket_width_validated() {
+        let _ = degree_variance(&campaign_with_runs(vec![]), 0);
+    }
+}

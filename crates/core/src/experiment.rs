@@ -1,0 +1,365 @@
+//! Experiment campaigns: the paper's measuring-node methodology, repeated.
+//!
+//! §V.B: the simulation starts at the measured size of the real network,
+//! clusters form during a warmup phase, then "normal Bitcoin simulator
+//! events" launch and the measuring node records `Δt(m,n)` per connection;
+//! "the latency is determined by an average of approximately 1000 runs".
+//! [`ExperimentConfig::run`] reproduces that loop.
+
+use bcbpt_cluster::Protocol;
+use bcbpt_net::{MessageStats, NetConfig, Network, NodeId, TxWatch};
+use bcbpt_stats::{bootstrap_ci, BuildEcdfError, ConfidenceInterval, Ecdf, Summary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One measuring run's harvest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Campaign-local run index.
+    pub run_index: usize,
+    /// The measuring node `m` of this run.
+    pub origin: u32,
+    /// `Δt(m,i)` per announcing peer, ms (Eq. 5).
+    pub deltas_ms: Vec<f64>,
+    /// Network-wide first-arrival delays, ms.
+    pub arrival_delays_ms: Vec<f64>,
+    /// Nodes reached (excluding the origin).
+    pub reached: usize,
+    /// Online population at injection time.
+    pub online: usize,
+}
+
+/// The result of a whole campaign (many runs, one protocol).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The protocol label (e.g. `"bcbpt(dt=25ms)"`).
+    pub protocol: String,
+    /// Per-run results.
+    pub runs: Vec<RunResult>,
+    /// Total traffic over the campaign (warmup + measurement).
+    pub traffic: MessageStats,
+    /// Traffic of the warmup/cluster-formation phase alone.
+    pub warmup_traffic: MessageStats,
+    /// Cluster sizes at the end of the campaign (empty for non-clustering
+    /// protocols), descending.
+    pub cluster_sizes: Vec<usize>,
+    /// Network size the campaign ran at.
+    pub num_nodes: usize,
+}
+
+impl CampaignResult {
+    /// All `Δt(m,n)` samples pooled across runs.
+    pub fn all_deltas_ms(&self) -> Vec<f64> {
+        self.runs
+            .iter()
+            .flat_map(|r| r.deltas_ms.iter().copied())
+            .collect()
+    }
+
+    /// All network-wide arrival delays pooled across runs.
+    pub fn all_arrivals_ms(&self) -> Vec<f64> {
+        self.runs
+            .iter()
+            .flat_map(|r| r.arrival_delays_ms.iter().copied())
+            .collect()
+    }
+
+    /// Streaming summary of the pooled deltas.
+    pub fn delta_summary(&self) -> Summary {
+        self.all_deltas_ms().into_iter().collect()
+    }
+
+    /// ECDF of the pooled deltas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildEcdfError::Empty`] if no run produced any delta.
+    pub fn delta_ecdf(&self) -> Result<Ecdf, BuildEcdfError> {
+        Ecdf::from_samples(self.all_deltas_ms())
+    }
+
+    /// ECDF of the pooled network-wide arrival delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildEcdfError::Empty`] if no run recorded arrivals.
+    pub fn arrival_ecdf(&self) -> Result<Ecdf, BuildEcdfError> {
+        Ecdf::from_samples(self.all_arrivals_ms())
+    }
+
+    /// Bootstrap confidence interval on the mean of the pooled deltas
+    /// (percentile method, deterministic in the campaign seed surrogate 0).
+    pub fn delta_mean_ci(&self, level: f64) -> Option<ConfidenceInterval> {
+        let deltas = self.all_deltas_ms();
+        bootstrap_ci(
+            &deltas,
+            |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+            600,
+            level,
+            0xC1,
+        )
+        .ok()
+    }
+
+    /// Bootstrap confidence interval on the sample variance of the pooled
+    /// deltas — the statistic the paper's Fig. 3/Fig. 4 compare.
+    pub fn delta_variance_ci(&self, level: f64) -> Option<ConfidenceInterval> {
+        let deltas = self.all_deltas_ms();
+        bootstrap_ci(
+            &deltas,
+            |xs| {
+                if xs.len() < 2 {
+                    return 0.0;
+                }
+                let m = xs.iter().sum::<f64>() / xs.len() as f64;
+                xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+            },
+            600,
+            level,
+            0xC2,
+        )
+        .ok()
+    }
+
+    /// Mean fraction of the online population reached per run.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .map(|r| {
+                if r.online <= 1 {
+                    0.0
+                } else {
+                    r.reached as f64 / (r.online - 1) as f64
+                }
+            })
+            .sum::<f64>()
+            / self.runs.len() as f64
+    }
+}
+
+/// Configuration of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Network configuration.
+    pub net: NetConfig,
+    /// The protocol under test.
+    pub protocol: Protocol,
+    /// Cluster-formation warmup before measurements start, ms.
+    pub warmup_ms: f64,
+    /// Measurement window per run, ms (the tx must flood the network).
+    pub window_ms: f64,
+    /// Number of measuring runs (paper: ≈1000).
+    pub runs: usize,
+    /// Master seed; everything (placement, routes, churn, noise) derives
+    /// from it.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A CI-scale configuration: small network, few runs. Finishes in
+    /// seconds even in debug builds.
+    pub fn quick(protocol: Protocol) -> Self {
+        let mut net = NetConfig::test_scale();
+        net.num_nodes = 150;
+        ExperimentConfig {
+            net,
+            protocol,
+            warmup_ms: 3_000.0,
+            window_ms: 20_000.0,
+            runs: 10,
+            seed: 0xBCB9,
+        }
+    }
+
+    /// The paper's experiment scale: 5000 nodes, ~1000 runs (§V.B). Run in
+    /// release mode only.
+    pub fn paper(protocol: Protocol) -> Self {
+        ExperimentConfig {
+            net: NetConfig::paper_scale(),
+            protocol,
+            warmup_ms: 30_000.0,
+            window_ms: 60_000.0,
+            runs: 1000,
+            seed: 0xBCB9,
+        }
+    }
+
+    /// Returns a copy with a different protocol but identical environment —
+    /// the paired-comparison knob for Fig. 3/Fig. 4.
+    #[must_use]
+    pub fn with_protocol(&self, protocol: Protocol) -> Self {
+        ExperimentConfig {
+            protocol,
+            ..self.clone()
+        }
+    }
+
+    /// Runs the campaign.
+    ///
+    /// Builds the network, lets clusters form during warmup, then performs
+    /// `runs` sequential measuring-node injections, each with its own
+    /// measurement window. Runs whose origin churned away are skipped (the
+    /// paper likewise averages over successful measurements, §V.B: "errors
+    /// such as loss of connection ... are expected").
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors (invalid configuration).
+    pub fn run(&self) -> Result<CampaignResult, String> {
+        let mut net = Network::build(self.net.clone(), self.protocol.build_policy(), self.seed)?;
+        net.warmup_ms(self.warmup_ms);
+        let warmup_traffic = net.stats().clone();
+
+        let mut runs = Vec::with_capacity(self.runs);
+        for run_index in 0..self.runs {
+            let Some(origin) = pick_origin(&mut net) else {
+                continue;
+            };
+            if net.inject_watched_tx(origin, None).is_err() {
+                continue;
+            }
+            net.run_for_ms(self.window_ms);
+            let watch: TxWatch = net.take_watch().expect("watch was just armed");
+            runs.push(RunResult {
+                run_index,
+                origin: origin.as_u32(),
+                deltas_ms: watch.deltas_ms(),
+                arrival_delays_ms: watch.arrival_delays_ms(),
+                reached: watch.reached_count(),
+                online: net.online_count(),
+            });
+        }
+
+        let cluster_sizes = cluster_sizes(&net);
+        Ok(CampaignResult {
+            protocol: self.protocol.label(),
+            runs,
+            traffic: net.stats().clone(),
+            warmup_traffic,
+            cluster_sizes,
+            num_nodes: self.net.num_nodes,
+        })
+    }
+}
+
+/// Picks a measuring node: online with at least one connection.
+fn pick_origin(net: &mut Network) -> Option<NodeId> {
+    for _ in 0..32 {
+        let candidate = net.pick_online_node()?;
+        if net.links().degree(candidate) > 0 {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Cluster sizes reported by the policy, descending (empty when the policy
+/// does not cluster).
+pub fn cluster_sizes(net: &Network) -> Vec<usize> {
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for i in 0..net.num_nodes() as u32 {
+        if let Some(c) = net.cluster_of(NodeId::from_index(i)) {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+    }
+    let mut sizes: Vec<usize> = counts.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(protocol: Protocol) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(protocol);
+        cfg.net.num_nodes = 60;
+        cfg.warmup_ms = 1_000.0;
+        cfg.window_ms = 15_000.0;
+        cfg.runs = 3;
+        cfg
+    }
+
+    #[test]
+    fn bitcoin_campaign_produces_deltas() {
+        let result = tiny(Protocol::Bitcoin).run().unwrap();
+        assert_eq!(result.protocol, "bitcoin");
+        assert!(!result.runs.is_empty());
+        let deltas = result.all_deltas_ms();
+        assert!(!deltas.is_empty());
+        assert!(deltas.iter().all(|&d| d > 0.0));
+        assert!(result.cluster_sizes.is_empty(), "bitcoin does not cluster");
+        assert!(result.mean_coverage() > 0.9, "tx should flood the network");
+    }
+
+    #[test]
+    fn bcbpt_campaign_clusters_and_measures() {
+        let result = tiny(Protocol::bcbpt_paper()).run().unwrap();
+        assert!(!result.cluster_sizes.is_empty());
+        assert_eq!(result.cluster_sizes.iter().sum::<usize>(), 60);
+        assert!(result.delta_ecdf().is_ok());
+        assert!(
+            result.traffic.probe_messages() > result.warmup_traffic.probe_messages() / 2,
+            "probing happens during warmup"
+        );
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = tiny(Protocol::Lbc).run().unwrap();
+        let b = tiny(Protocol::Lbc).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = tiny(Protocol::Bitcoin);
+        let a = cfg.run().unwrap();
+        cfg.seed += 1;
+        let b = cfg.run().unwrap();
+        assert_ne!(a.all_deltas_ms(), b.all_deltas_ms());
+    }
+
+    #[test]
+    fn with_protocol_keeps_environment() {
+        let base = tiny(Protocol::Bitcoin);
+        let other = base.with_protocol(Protocol::Lbc);
+        assert_eq!(base.seed, other.seed);
+        assert_eq!(base.net, other.net);
+        assert_eq!(other.protocol, Protocol::Lbc);
+    }
+
+    #[test]
+    fn summary_and_ecdf_agree() {
+        let result = tiny(Protocol::Bitcoin).run().unwrap();
+        let summary = result.delta_summary();
+        let ecdf = result.delta_ecdf().unwrap();
+        assert_eq!(summary.count() as usize, ecdf.len());
+        assert!((summary.mean() - ecdf.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_intervals_bracket_estimates() {
+        let result = tiny(Protocol::Bitcoin).run().unwrap();
+        let mean_ci = result.delta_mean_ci(0.95).unwrap();
+        assert!(mean_ci.contains(mean_ci.estimate));
+        assert!((mean_ci.estimate - result.delta_summary().mean()).abs() < 1e-9);
+        let var_ci = result.delta_variance_ci(0.95).unwrap();
+        assert!(var_ci.contains(var_ci.estimate));
+        assert!(var_ci.lo >= 0.0);
+    }
+
+    #[test]
+    fn empty_campaign_behaves() {
+        let mut cfg = tiny(Protocol::Bitcoin);
+        cfg.runs = 0;
+        let result = cfg.run().unwrap();
+        assert!(result.runs.is_empty());
+        assert_eq!(result.mean_coverage(), 0.0);
+        assert!(result.delta_ecdf().is_err());
+        assert!(result.delta_mean_ci(0.95).is_none());
+    }
+}

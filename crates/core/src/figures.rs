@@ -1,0 +1,227 @@
+//! Regeneration of the paper's figures.
+//!
+//! * [`fig3`] — Fig. 3: distribution of `Δt(m,n)` for the simulated Bitcoin
+//!   protocol vs LBC vs BCBPT (`Dth = 25 ms`).
+//! * [`fig4`] — Fig. 4: distribution of `Δt(m,n)` for BCBPT at thresholds
+//!   30/50/100 ms.
+//! * [`threshold_sweep`] — extension: a finer threshold sweep with cluster
+//!   structure statistics.
+
+use crate::experiment::{CampaignResult, ExperimentConfig};
+use bcbpt_cluster::Protocol;
+use bcbpt_stats::{Figure, Series, StatTable};
+use serde::{Deserialize, Serialize};
+
+/// A regenerated figure: the plotted CDFs, a numeric summary table, and the
+/// raw campaigns behind them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureBundle {
+    /// CDF curves of `Δt(m,n)`, one series per protocol.
+    pub figure: Figure,
+    /// Summary statistics per protocol (mean/variance/median/p90/max).
+    pub table: StatTable,
+    /// The raw campaigns.
+    pub campaigns: Vec<CampaignResult>,
+}
+
+impl FigureBundle {
+    /// Renders the bundle as plain text (curves + table).
+    pub fn render(&self) -> String {
+        format!("{}\n{}", self.figure.render_columns(), self.table.render())
+    }
+}
+
+/// Number of points on each rendered CDF curve.
+const CURVE_POINTS: usize = 40;
+
+fn run_protocols(
+    base: &ExperimentConfig,
+    protocols: &[Protocol],
+    caption: &str,
+) -> Result<FigureBundle, String> {
+    let mut figure = Figure::new(caption, "delta_t_ms", "cdf");
+    let mut table = StatTable::new(
+        format!("{caption} — summary of Δt(m,n) in ms"),
+        &["mean", "variance", "median", "p90", "max", "samples"],
+    );
+    let mut campaigns = Vec::with_capacity(protocols.len());
+    for protocol in protocols {
+        let campaign = base.with_protocol(*protocol).run()?;
+        let label = campaign.protocol.clone();
+        match campaign.delta_ecdf() {
+            Ok(ecdf) => {
+                figure.push_series(Series::new(label.clone(), ecdf.curve(CURVE_POINTS)));
+                table.push_row(
+                    label,
+                    vec![
+                        ecdf.mean(),
+                        ecdf.sample_variance(),
+                        ecdf.median(),
+                        ecdf.quantile(0.9),
+                        ecdf.max(),
+                        ecdf.len() as f64,
+                    ],
+                );
+            }
+            Err(_) => {
+                table.push_row(label, vec![f64::NAN; 6]);
+            }
+        }
+        campaigns.push(campaign);
+    }
+    Ok(FigureBundle {
+        figure,
+        table,
+        campaigns,
+    })
+}
+
+/// Fig. 3: `Δt(m,n)` distributions for Bitcoin vs LBC vs BCBPT
+/// (`dt = 25 ms`), all three protocols in the *same* simulated environment
+/// (same seed, placement, routes, churn).
+///
+/// Expected shape (paper §V.C): BCBPT dominates — lower delays and lower
+/// variance than LBC, which in turn beats vanilla Bitcoin.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the campaigns.
+pub fn fig3(base: &ExperimentConfig) -> Result<FigureBundle, String> {
+    run_protocols(
+        base,
+        &[Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()],
+        "Fig.3: distribution of Δt(m,n) — Bitcoin vs LBC vs BCBPT (dt=25ms)",
+    )
+}
+
+/// Fig. 4: `Δt(m,n)` distributions for BCBPT at `dt ∈ {30, 50, 100}` ms.
+///
+/// Expected shape (paper §V.C): "less distance threshold performs less
+/// variance of delays" — the 30 ms curve dominates the 50 ms curve, which
+/// dominates the 100 ms curve.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the campaigns.
+pub fn fig4(base: &ExperimentConfig) -> Result<FigureBundle, String> {
+    run_protocols(
+        base,
+        &[
+            Protocol::Bcbpt { threshold_ms: 30.0 },
+            Protocol::Bcbpt { threshold_ms: 50.0 },
+            Protocol::Bcbpt {
+                threshold_ms: 100.0,
+            },
+        ],
+        "Fig.4: distribution of Δt(m,n) — BCBPT at dt = 30/50/100 ms",
+    )
+}
+
+/// Extension experiment: fine-grained threshold sweep, reporting both delay
+/// statistics and cluster structure for each `Dth`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the campaigns.
+pub fn threshold_sweep(
+    base: &ExperimentConfig,
+    thresholds_ms: &[f64],
+) -> Result<StatTable, String> {
+    let mut table = StatTable::new(
+        "Threshold sweep: Δt(m,n) statistics and cluster structure vs Dth",
+        &[
+            "dt_ms",
+            "mean",
+            "variance",
+            "p90",
+            "clusters",
+            "mean_cluster",
+            "max_cluster",
+        ],
+    );
+    for &dt in thresholds_ms {
+        let campaign = base
+            .with_protocol(Protocol::Bcbpt { threshold_ms: dt })
+            .run()?;
+        let (mean, variance, p90) = match campaign.delta_ecdf() {
+            Ok(e) => (e.mean(), e.sample_variance(), e.quantile(0.9)),
+            Err(_) => (f64::NAN, f64::NAN, f64::NAN),
+        };
+        let clusters = campaign.cluster_sizes.len();
+        let mean_cluster = if clusters == 0 {
+            0.0
+        } else {
+            campaign.cluster_sizes.iter().sum::<usize>() as f64 / clusters as f64
+        };
+        let max_cluster = campaign.cluster_sizes.first().copied().unwrap_or(0) as f64;
+        table.push_row(
+            format!("dt={dt}ms"),
+            vec![
+                dt,
+                mean,
+                variance,
+                p90,
+                clusters as f64,
+                mean_cluster,
+                max_cluster,
+            ],
+        );
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 50;
+        cfg.warmup_ms = 800.0;
+        cfg.window_ms = 12_000.0;
+        cfg.runs = 2;
+        cfg
+    }
+
+    #[test]
+    fn fig3_produces_three_series() {
+        let bundle = fig3(&tiny()).unwrap();
+        assert_eq!(bundle.figure.series.len(), 3);
+        assert_eq!(bundle.campaigns.len(), 3);
+        assert_eq!(bundle.table.len(), 3);
+        let text = bundle.render();
+        assert!(text.contains("bitcoin"));
+        assert!(text.contains("lbc"));
+        assert!(text.contains("bcbpt(dt=25ms)"));
+    }
+
+    #[test]
+    fn fig4_sweeps_three_thresholds() {
+        let bundle = fig4(&tiny()).unwrap();
+        assert_eq!(bundle.figure.series.len(), 3);
+        let labels: Vec<&str> = bundle.figure.series.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"bcbpt(dt=30ms)"));
+        assert!(labels.contains(&"bcbpt(dt=50ms)"));
+        assert!(labels.contains(&"bcbpt(dt=100ms)"));
+    }
+
+    #[test]
+    fn sweep_reports_cluster_structure() {
+        let table = threshold_sweep(&tiny(), &[20.0, 150.0]).unwrap();
+        assert_eq!(table.len(), 2);
+        let rows: Vec<_> = table.rows().collect();
+        // clusters column (index 4) is positive for both thresholds.
+        assert!(rows[0].1[4] >= 1.0);
+        assert!(rows[1].1[4] >= 1.0);
+    }
+
+    #[test]
+    fn cdf_series_are_monotone() {
+        let bundle = fig3(&tiny()).unwrap();
+        for series in &bundle.figure.series {
+            for w in series.points.windows(2) {
+                assert!(w[1].1 >= w[0].1, "series {} not monotone", series.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Fork-rate experiment: closing the paper's motivation loop.
+//!
+//! §I/§III argue that slow propagation makes ledger replicas inconsistent,
+//! which manifests as blockchain forks and enables double spending. The
+//! propagation experiments (Fig. 3/4) measure delay; this extension
+//! experiment measures the *consequence*: run proof-of-work on top of each
+//! relay protocol and compare stale-block rates and ledger consistency.
+
+use crate::experiment::ExperimentConfig;
+use bcbpt_cluster::Protocol;
+use bcbpt_net::Network;
+use bcbpt_stats::StatTable;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the fork experiment for one protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForkReport {
+    /// Protocol label.
+    pub protocol: String,
+    /// Blocks mined during the window.
+    pub mined: usize,
+    /// Blocks that did not make the main chain.
+    pub stale: usize,
+    /// `stale / mined`.
+    pub stale_rate: f64,
+    /// Fraction of online nodes on the global best tip at the end.
+    pub tip_agreement: f64,
+}
+
+/// Runs proof-of-work over one protocol's topology.
+///
+/// Blocks arrive as a Poisson process with mean `block_interval_ms`; a
+/// uniformly random online node wins each and mines on *its* current tip,
+/// so any propagation lag directly converts into forks.
+///
+/// # Errors
+///
+/// Propagates network-construction errors.
+///
+/// # Panics
+///
+/// Panics when `block_interval_ms` or `duration_ms` is not positive.
+pub fn fork_experiment(
+    base: &ExperimentConfig,
+    protocol: Protocol,
+    block_interval_ms: f64,
+    duration_ms: f64,
+) -> Result<ForkReport, String> {
+    assert!(block_interval_ms > 0.0, "block interval must be positive");
+    assert!(duration_ms > 0.0, "duration must be positive");
+    let cfg = base.with_protocol(protocol);
+    let mut net = Network::build(cfg.net.clone(), protocol.build_policy(), cfg.seed)?;
+    net.warmup_ms(cfg.warmup_ms);
+    net.enable_mining(block_interval_ms);
+    net.run_for_ms(duration_ms);
+    let ledger = net.ledger();
+    Ok(ForkReport {
+        protocol: protocol.label(),
+        mined: ledger.mined_count(),
+        stale: ledger.stale_count(),
+        stale_rate: ledger.stale_rate(),
+        tip_agreement: net.tip_agreement(),
+    })
+}
+
+/// Fork rates across protocols as a table.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn fork_table(
+    base: &ExperimentConfig,
+    protocols: &[Protocol],
+    block_interval_ms: f64,
+    duration_ms: f64,
+) -> Result<StatTable, String> {
+    let mut table = StatTable::new(
+        format!(
+            "Fork rate under proof-of-work (blocks every {block_interval_ms} ms on average)"
+        ),
+        &["mined", "stale", "stale_rate", "tip_agreement"],
+    );
+    for &p in protocols {
+        let r = fork_experiment(base, p, block_interval_ms, duration_ms)?;
+        table.push_row(
+            r.protocol,
+            vec![
+                r.mined as f64,
+                r.stale as f64,
+                r.stale_rate,
+                r.tip_agreement,
+            ],
+        );
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 100;
+        cfg.warmup_ms = 2_000.0;
+        cfg.runs = 0;
+        cfg
+    }
+
+    #[test]
+    fn fork_experiment_reports_consistent_numbers() {
+        let r = fork_experiment(&tiny(), Protocol::Bitcoin, 2_000.0, 60_000.0).unwrap();
+        assert!(r.mined > 5, "mined {}", r.mined);
+        assert!(r.stale <= r.mined);
+        assert!((0.0..=1.0).contains(&r.stale_rate));
+        assert!((0.0..=1.0).contains(&r.tip_agreement));
+    }
+
+    #[test]
+    fn aggressive_blocks_fork_under_any_protocol() {
+        // Blocks every 200 ms against ~300-600 ms propagation must fork.
+        let r = fork_experiment(&tiny(), Protocol::Bitcoin, 200.0, 30_000.0).unwrap();
+        assert!(r.stale > 0, "expected forks, got none out of {}", r.mined);
+    }
+
+    #[test]
+    fn table_lists_all_protocols() {
+        let table = fork_table(
+            &tiny(),
+            &[Protocol::Bitcoin, Protocol::bcbpt_paper()],
+            1_500.0,
+            30_000.0,
+        )
+        .unwrap();
+        assert_eq!(table.len(), 2);
+        let text = table.render();
+        assert!(text.contains("bitcoin"));
+        assert!(text.contains("bcbpt"));
+    }
+
+    #[test]
+    #[should_panic(expected = "block interval")]
+    fn interval_validated() {
+        let _ = fork_experiment(&tiny(), Protocol::Bitcoin, 0.0, 1_000.0);
+    }
+}

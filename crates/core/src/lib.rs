@@ -1,0 +1,60 @@
+//! # bcbpt-core — experiment harness for the BCBPT reproduction
+//!
+//! Everything needed to regenerate the evaluation of *Proximity Awareness
+//! Approach to Enhance Propagation Delay on the Bitcoin Peer-to-Peer
+//! Network* (ICDCS 2017):
+//!
+//! * [`ExperimentConfig`]/[`CampaignResult`] — the measuring-node
+//!   methodology (Fig. 2, Eq. 5), repeated over many runs (§V.B).
+//! * [`fig3`]/[`fig4`] — the paper's two result figures.
+//! * [`threshold_sweep`] — extension: fine-grained `Dth` sweep with cluster
+//!   structure.
+//! * [`validate_delays`] — simulator validation against a reference
+//!   propagation-delay shape (§V.A).
+//! * [`overhead_table`] — the ping-overhead evaluation the paper defers to
+//!   future work (§IV.A).
+//! * [`eclipse_table`]/[`partition_table`] — the security evaluations the
+//!   paper defers to future work (§V.C).
+//! * [`fork_table`] — extension: proof-of-work on top of each relay
+//!   protocol, measuring the stale-block rate the paper's motivation ties
+//!   to double-spend risk (§I).
+//! * [`degree_variance_table`] — the §V.C claim that Bitcoin's delay
+//!   variance grows with connection count while BCBPT's stays flat.
+//!
+//! # Examples
+//!
+//! Regenerate a CI-scale Fig. 3:
+//!
+//! ```no_run
+//! use bcbpt_cluster::Protocol;
+//! use bcbpt_core::{fig3, ExperimentConfig};
+//!
+//! let base = ExperimentConfig::quick(Protocol::Bitcoin);
+//! let bundle = fig3(&base)?;
+//! println!("{}", bundle.render());
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attacks;
+mod degree;
+mod experiment;
+mod figures;
+mod forks;
+mod overhead;
+mod validation;
+
+pub use attacks::{
+    eclipse_exposure, eclipse_table, partition_resilience, partition_table, EclipseReport,
+    PartitionReport,
+};
+pub use degree::{degree_variance, degree_variance_table, DegreeVariance};
+pub use experiment::{cluster_sizes, CampaignResult, ExperimentConfig, RunResult};
+pub use forks::{fork_experiment, fork_table, ForkReport};
+pub use figures::{fig3, fig4, threshold_sweep, FigureBundle};
+pub use overhead::overhead_table;
+pub use validation::{
+    reference_samples, validate_delays, ValidationReport, KS_ACCEPT, REFERENCE_SIGMA,
+};

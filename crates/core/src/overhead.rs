@@ -1,0 +1,114 @@
+//! Measurement-overhead experiment (the paper's declared future work).
+//!
+//! §IV.A: "to measure the distance between nodes in 'ping latency' requires
+//! every pair of nodes to interact, which added an extra overhead to the
+//! network. This overhead will be evaluated in our future work." This
+//! module *is* that evaluation: per-protocol message/byte budgets broken
+//! into probing (PING/PONG), cluster control (JOIN/CLUSTERLIST/handshakes)
+//! and useful relay traffic (INV/GETDATA/TX).
+
+use crate::experiment::ExperimentConfig;
+use bcbpt_cluster::Protocol;
+use bcbpt_net::MessageKind;
+use bcbpt_stats::StatTable;
+
+/// Per-protocol overhead comparison.
+///
+/// Each row reports, for one protocol, the total probe / cluster-control /
+/// address-gossip / relay message counts normalised **per node**, plus the
+/// probe share of all traffic.
+///
+/// # Errors
+///
+/// Propagates campaign configuration errors.
+pub fn overhead_table(
+    base: &ExperimentConfig,
+    protocols: &[Protocol],
+) -> Result<StatTable, String> {
+    let mut table = StatTable::new(
+        "Measurement & control overhead per node (messages over the campaign)",
+        &[
+            "probe/node",
+            "control/node",
+            "gossip/node",
+            "relay/node",
+            "probe_share",
+            "bytes/node",
+        ],
+    );
+    for protocol in protocols {
+        let campaign = base.with_protocol(*protocol).run()?;
+        let n = campaign.num_nodes as f64;
+        let t = &campaign.traffic;
+        let probe = t.probe_messages() as f64;
+        let control = t.cluster_control_messages() as f64
+            + t.count(MessageKind::Version) as f64
+            + t.count(MessageKind::Verack) as f64;
+        let gossip = (t.count(MessageKind::GetAddr) + t.count(MessageKind::Addr)) as f64;
+        let relay = t.relay_messages() as f64;
+        let total = t.total_messages() as f64;
+        table.push_row(
+            campaign.protocol.clone(),
+            vec![
+                probe / n,
+                control / n,
+                gossip / n,
+                relay / n,
+                if total > 0.0 { probe / total } else { 0.0 },
+                t.total_bytes() as f64 / n,
+            ],
+        );
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 50;
+        cfg.warmup_ms = 1_000.0;
+        cfg.window_ms = 10_000.0;
+        cfg.runs = 2;
+        cfg
+    }
+
+    #[test]
+    fn bcbpt_pays_probe_overhead_bitcoin_does_not() {
+        let table = overhead_table(
+            &tiny(),
+            &[Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()],
+        )
+        .unwrap();
+        let rows: Vec<(String, Vec<f64>)> = table
+            .rows()
+            .map(|(l, v)| (l.to_string(), v.to_vec()))
+            .collect();
+        assert_eq!(rows.len(), 3);
+        let probe_of = |label: &str| {
+            rows.iter()
+                .find(|(l, _)| l.starts_with(label))
+                .map(|(_, v)| v[0])
+                .unwrap()
+        };
+        assert_eq!(probe_of("bitcoin"), 0.0, "vanilla Bitcoin never probes");
+        assert_eq!(probe_of("lbc"), 0.0, "LBC selects by location only");
+        assert!(
+            probe_of("bcbpt") > 10.0,
+            "BCBPT pays real probing overhead, got {}",
+            probe_of("bcbpt")
+        );
+    }
+
+    #[test]
+    fn relay_traffic_present_for_all() {
+        let table = overhead_table(&tiny(), &[Protocol::Bitcoin, Protocol::bcbpt_paper()]).unwrap();
+        for (label, values) in table.rows() {
+            assert!(values[3] > 0.0, "{label} relayed nothing");
+            assert!(values[5] > 0.0, "{label} moved no bytes");
+            assert!((0.0..=1.0).contains(&values[4]), "{label} probe share");
+        }
+    }
+}

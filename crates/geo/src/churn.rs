@@ -1,0 +1,227 @@
+//! Node churn: session lengths and arrival processes.
+//!
+//! The paper drives join/leave events from measured peer session lengths
+//! (ref [5]). P2P session lengths are consistently reported as heavy-tailed;
+//! we substitute a lognormal session-length model and an exponential
+//! rejoin/arrival process with configurable parameters (DESIGN.md §2).
+
+use crate::latency::sample_standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Lognormal session-length model.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_geo::ChurnModel;
+/// use rand::SeedableRng;
+///
+/// let model = ChurnModel::measured_like();
+/// let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+/// let session_ms = model.sample_session_ms(&mut rng);
+/// assert!(session_ms > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnModel {
+    /// Median session length in milliseconds.
+    pub median_session_ms: f64,
+    /// Lognormal shape parameter σ (0 ⇒ deterministic sessions).
+    pub session_sigma: f64,
+    /// Mean offline gap before a departed node rejoins, in milliseconds
+    /// (exponentially distributed). `f64::INFINITY` disables rejoin.
+    pub mean_offline_ms: f64,
+}
+
+impl ChurnModel {
+    /// Parameters shaped like published Bitcoin peer measurements: median
+    /// session of ~30 simulated minutes, heavy tail, rejoin after ~10
+    /// minutes on average.
+    ///
+    /// At experiment timescales (a few simulated minutes per propagation
+    /// run) this yields the occasional mid-run departure the paper's
+    /// simulator models, without collapsing the network.
+    pub fn measured_like() -> Self {
+        ChurnModel {
+            median_session_ms: 30.0 * 60.0 * 1_000.0,
+            session_sigma: 1.4,
+            mean_offline_ms: 10.0 * 60.0 * 1_000.0,
+        }
+    }
+
+    /// Disables churn entirely (all sessions infinite).
+    pub fn disabled() -> Self {
+        ChurnModel {
+            median_session_ms: f64::INFINITY,
+            session_sigma: 0.0,
+            mean_offline_ms: f64::INFINITY,
+        }
+    }
+
+    /// `true` when churn is switched off.
+    pub fn is_disabled(&self) -> bool {
+        !self.median_session_ms.is_finite()
+    }
+
+    /// Samples a session length in milliseconds.
+    ///
+    /// Returns `f64::INFINITY` when churn is disabled.
+    pub fn sample_session_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.is_disabled() {
+            return f64::INFINITY;
+        }
+        if self.session_sigma == 0.0 {
+            return self.median_session_ms;
+        }
+        let z = sample_standard_normal(rng);
+        self.median_session_ms * (self.session_sigma * z).exp()
+    }
+
+    /// Samples the offline gap before rejoin, in milliseconds.
+    ///
+    /// Returns `f64::INFINITY` when rejoin is disabled.
+    pub fn sample_offline_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if !self.mean_offline_ms.is_finite() {
+            return f64::INFINITY;
+        }
+        // Exponential via inverse CDF.
+        let u: f64 = rng.gen::<f64>();
+        -self.mean_offline_ms * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        Self::measured_like()
+    }
+}
+
+/// Poisson arrival process for *new* nodes joining the network over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalProcess {
+    /// Mean inter-arrival gap in milliseconds. `f64::INFINITY` disables
+    /// arrivals.
+    pub mean_interarrival_ms: f64,
+}
+
+impl ArrivalProcess {
+    /// No arrivals.
+    pub fn disabled() -> Self {
+        ArrivalProcess {
+            mean_interarrival_ms: f64::INFINITY,
+        }
+    }
+
+    /// Arrivals every `mean_ms` on average.
+    pub fn with_mean_ms(mean_ms: f64) -> Self {
+        assert!(mean_ms > 0.0, "mean inter-arrival must be positive");
+        ArrivalProcess {
+            mean_interarrival_ms: mean_ms,
+        }
+    }
+
+    /// `true` when arrivals are off.
+    pub fn is_disabled(&self) -> bool {
+        !self.mean_interarrival_ms.is_finite()
+    }
+
+    /// Samples the gap to the next arrival (ms), or infinity when disabled.
+    pub fn sample_gap_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.is_disabled() {
+            return f64::INFINITY;
+        }
+        let u: f64 = rng.gen::<f64>();
+        -self.mean_interarrival_ms * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+impl Default for ArrivalProcess {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn disabled_model_returns_infinity() {
+        let m = ChurnModel::disabled();
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        assert!(m.is_disabled());
+        assert_eq!(m.sample_session_ms(&mut rng), f64::INFINITY);
+        assert_eq!(m.sample_offline_ms(&mut rng), f64::INFINITY);
+    }
+
+    #[test]
+    fn session_median_roughly_matches() {
+        let m = ChurnModel::measured_like();
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| m.sample_session_ms(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let expect = m.median_session_ms;
+        assert!(
+            (median / expect - 1.0).abs() < 0.1,
+            "median {median} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let m = ChurnModel {
+            session_sigma: 0.0,
+            ..ChurnModel::measured_like()
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        assert_eq!(m.sample_session_ms(&mut rng), m.median_session_ms);
+    }
+
+    #[test]
+    fn offline_gap_mean_roughly_matches() {
+        let m = ChurnModel::measured_like();
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| m.sample_offline_ms(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (mean / m.mean_offline_ms - 1.0).abs() < 0.05,
+            "mean {mean}"
+        );
+    }
+
+    #[test]
+    fn sessions_are_positive() {
+        let m = ChurnModel::measured_like();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(m.sample_session_ms(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn arrival_process_mean_roughly_matches() {
+        let a = ArrivalProcess::with_mean_ms(500.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| a.sample_gap_ms(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean / 500.0 - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn disabled_arrivals() {
+        let a = ArrivalProcess::disabled();
+        assert!(a.is_disabled());
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        assert_eq!(a.sample_gap_ms(&mut rng), f64::INFINITY);
+        assert_eq!(ArrivalProcess::default(), ArrivalProcess::disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn arrival_validates_mean() {
+        ArrivalProcess::with_mean_ms(0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Geographic coordinates and great-circle distance.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// A point on the Earth's surface (degrees).
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_geo::GeoPoint;
+///
+/// let london = GeoPoint::new(51.5074, -0.1278).unwrap();
+/// let new_york = GeoPoint::new(40.7128, -74.0060).unwrap();
+/// let d = london.distance_km(&new_york);
+/// assert!((d - 5570.0).abs() < 30.0, "LHR-JFK is ~5570 km, got {d}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+/// Error constructing a [`GeoPoint`] from out-of-range coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidCoordinates {
+    /// Offending latitude.
+    pub lat_deg: f64,
+    /// Offending longitude.
+    pub lon_deg: f64,
+}
+
+impl fmt::Display for InvalidCoordinates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid coordinates lat={} lon={} (lat must be in [-90, 90], lon in [-180, 180])",
+            self.lat_deg, self.lon_deg
+        )
+    }
+}
+
+impl std::error::Error for InvalidCoordinates {}
+
+impl GeoPoint {
+    /// Creates a point, validating ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCoordinates`] when latitude is outside `[-90, 90]`,
+    /// longitude is outside `[-180, 180]`, or either is non-finite.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Result<Self, InvalidCoordinates> {
+        if !lat_deg.is_finite()
+            || !lon_deg.is_finite()
+            || !(-90.0..=90.0).contains(&lat_deg)
+            || !(-180.0..=180.0).contains(&lon_deg)
+        {
+            return Err(InvalidCoordinates { lat_deg, lon_deg });
+        }
+        Ok(GeoPoint { lat_deg, lon_deg })
+    }
+
+    /// Latitude in degrees.
+    pub fn lat_deg(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in degrees.
+    pub fn lon_deg(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Great-circle (haversine) distance to `other` in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().asin();
+        EARTH_RADIUS_KM * c
+    }
+
+    /// Returns a copy displaced by the given offsets, clamping latitude and
+    /// wrapping longitude — used to jitter node placement within a region.
+    pub fn displaced(&self, dlat_deg: f64, dlon_deg: f64) -> GeoPoint {
+        let lat = (self.lat_deg + dlat_deg).clamp(-90.0, 90.0);
+        let mut lon = self.lon_deg + dlon_deg;
+        while lon > 180.0 {
+            lon -= 360.0;
+        }
+        while lon < -180.0 {
+            lon += 360.0;
+        }
+        GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon,
+        }
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_ranges() {
+        assert!(GeoPoint::new(91.0, 0.0).is_err());
+        assert!(GeoPoint::new(-91.0, 0.0).is_err());
+        assert!(GeoPoint::new(0.0, 181.0).is_err());
+        assert!(GeoPoint::new(0.0, -181.0).is_err());
+        assert!(GeoPoint::new(f64::NAN, 0.0).is_err());
+        assert!(GeoPoint::new(90.0, 180.0).is_ok());
+        let err = GeoPoint::new(99.0, 0.0).unwrap_err();
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = GeoPoint::new(48.8566, 2.3522).unwrap();
+        assert_eq!(p.distance_km(&p), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(35.6762, 139.6503).unwrap(); // Tokyo
+        let b = GeoPoint::new(-33.8688, 151.2093).unwrap(); // Sydney
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distances() {
+        let tokyo = GeoPoint::new(35.6762, 139.6503).unwrap();
+        let sydney = GeoPoint::new(-33.8688, 151.2093).unwrap();
+        let d = tokyo.distance_km(&sydney);
+        assert!((d - 7820.0).abs() < 100.0, "Tokyo-Sydney ~7820km, got {d}");
+
+        let paris = GeoPoint::new(48.8566, 2.3522).unwrap();
+        let london = GeoPoint::new(51.5074, -0.1278).unwrap();
+        let d = paris.distance_km(&london);
+        assert!((d - 344.0).abs() < 10.0, "Paris-London ~344km, got {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0).unwrap();
+        let b = GeoPoint::new(0.0, 180.0).unwrap();
+        let d = a.distance_km(&b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn displaced_clamps_and_wraps() {
+        let p = GeoPoint::new(89.0, 179.0).unwrap();
+        let q = p.displaced(5.0, 5.0);
+        assert_eq!(q.lat_deg(), 90.0);
+        assert_eq!(q.lon_deg(), -176.0);
+        let r = GeoPoint::new(0.0, -179.0).unwrap().displaced(0.0, -3.0);
+        assert_eq!(r.lon_deg(), 178.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let p = GeoPoint::new(1.0, 2.0).unwrap();
+        assert_eq!(p.to_string(), "(1.0000, 2.0000)");
+    }
+}

@@ -1,0 +1,53 @@
+//! # bcbpt-geo — world model, latency and churn for the BCBPT reproduction
+//!
+//! Geographic substrate for the reproduction of *Proximity Awareness
+//! Approach to Enhance Propagation Delay on the Bitcoin Peer-to-Peer
+//! Network* (ICDCS 2017):
+//!
+//! * [`GeoPoint`] — coordinates with haversine distance.
+//! * [`world_regions`]/[`NodePlacer`] — node placement approximating the
+//!   published Bitcoin node geography (substitute for the paper's crawler
+//!   dataset; see DESIGN.md §2).
+//! * [`TransmissionMedium`] — signal speeds from the paper's Eq. 3.
+//! * [`DistanceParams`] — the paper's distance utility function (Eq. 2–4),
+//!   both with self-consistent defaults and the published constants.
+//! * [`LatencyConfig`]/[`LinkLatencyModel`] — pairwise RTT generation with
+//!   access delays and congestion noise; [`EmpiricalDist`] for attaching
+//!   real traces where available.
+//! * [`ChurnModel`]/[`ArrivalProcess`] — session lengths and node arrivals.
+//!
+//! # Examples
+//!
+//! ```
+//! use bcbpt_geo::{LatencyConfig, LinkLatencyModel, NodePlacer};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+//! let placer = NodePlacer::world();
+//! let model = LinkLatencyModel::new(LatencyConfig::internet());
+//! let a = placer.place(&mut rng);
+//! let b = placer.place(&mut rng);
+//! let pa = model.sample_access(&mut rng);
+//! let pb = model.sample_access(&mut rng);
+//! let rtt = model.base_rtt_ms(&a.point, &b.point, &pa, &pb);
+//! assert!(rtt > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod coord;
+mod distance;
+mod latency;
+mod medium;
+mod regions;
+
+pub use churn::{ArrivalProcess, ChurnModel};
+pub use coord::{GeoPoint, InvalidCoordinates, EARTH_RADIUS_KM};
+pub use distance::DistanceParams;
+pub use latency::{
+    sample_standard_normal, AccessProfile, EmpiricalDist, GeoRng, LatencyConfig, LinkLatencyModel,
+};
+pub use medium::{TransmissionMedium, LIGHT_SPEED_KM_PER_MS};
+pub use regions::{world_regions, NodePlacer, Placement, Region};

@@ -1,0 +1,103 @@
+//! Physical transmission media and signal speeds (paper Eq. 3).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in vacuum, in km/ms.
+pub const LIGHT_SPEED_KM_PER_MS: f64 = 299_792.458 / 1_000.0;
+
+/// The physical medium a link signal travels over.
+///
+/// The paper distinguishes Wi-Fi/air (signal speed `3·10⁸ m/s`) from copper
+/// cable (`⅔ · 3·10⁸ m/s`); optical fibre has the same ⅔-c velocity factor
+/// as copper, so [`TransmissionMedium::Fiber`] shares it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TransmissionMedium {
+    /// Radio/air: signals travel at c.
+    Wifi,
+    /// Copper cable: ⅔ c (paper §IV.A).
+    #[default]
+    Copper,
+    /// Optical fibre: ⅔ c (refractive index ≈ 1.5).
+    Fiber,
+}
+
+impl TransmissionMedium {
+    /// Signal speed in kilometres per millisecond.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bcbpt_geo::TransmissionMedium;
+    ///
+    /// let v = TransmissionMedium::Copper.signal_speed_km_per_ms();
+    /// assert!((v - 200.0).abs() < 1.0); // ~200 km/ms
+    /// ```
+    pub fn signal_speed_km_per_ms(self) -> f64 {
+        match self {
+            TransmissionMedium::Wifi => LIGHT_SPEED_KM_PER_MS,
+            TransmissionMedium::Copper | TransmissionMedium::Fiber => {
+                LIGHT_SPEED_KM_PER_MS * 2.0 / 3.0
+            }
+        }
+    }
+
+    /// One-way propagation delay over `distance_km`, in milliseconds.
+    pub fn propagation_delay_ms(self, distance_km: f64) -> f64 {
+        distance_km / self.signal_speed_km_per_ms()
+    }
+}
+
+impl fmt::Display for TransmissionMedium {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransmissionMedium::Wifi => "wifi",
+            TransmissionMedium::Copper => "copper",
+            TransmissionMedium::Fiber => "fiber",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wifi_is_light_speed() {
+        assert_eq!(
+            TransmissionMedium::Wifi.signal_speed_km_per_ms(),
+            LIGHT_SPEED_KM_PER_MS
+        );
+    }
+
+    #[test]
+    fn guided_media_are_two_thirds_c() {
+        for m in [TransmissionMedium::Copper, TransmissionMedium::Fiber] {
+            assert!((m.signal_speed_km_per_ms() - LIGHT_SPEED_KM_PER_MS * 2.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transatlantic_fiber_delay_plausible() {
+        // ~5570 km New York - London: one-way ~28 ms over fibre.
+        let d = TransmissionMedium::Fiber.propagation_delay_ms(5570.0);
+        assert!((d - 27.9).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    fn default_is_copper() {
+        assert_eq!(TransmissionMedium::default(), TransmissionMedium::Copper);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for m in [
+            TransmissionMedium::Wifi,
+            TransmissionMedium::Copper,
+            TransmissionMedium::Fiber,
+        ] {
+            assert!(!m.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! World regions and node placement.
+//!
+//! The paper places ~5000 simulated nodes according to crawler measurements
+//! of the real Bitcoin network. We do not have that proprietary dataset, so
+//! we substitute a static catalogue of metropolitan regions whose weights
+//! approximate the published Bitnodes-era country distribution (US and EU
+//! heavy, significant presence in China/Russia, a long tail elsewhere).
+//! The clustering protocols only consume the *pairwise RTT structure* this
+//! placement induces, so matching the coarse geography preserves the
+//! behaviour the experiments measure (see DESIGN.md §2).
+
+use crate::coord::GeoPoint;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A metropolitan region where simulated nodes can be placed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Human-readable name, e.g. `"us-east"`.
+    pub name: String,
+    /// ISO-like country tag, e.g. `"US"` (used by the LBC baseline, which
+    /// clusters by *location*).
+    pub country: String,
+    /// Region centre.
+    pub center: GeoPoint,
+    /// Placement jitter radius in degrees (nodes scatter around the centre).
+    pub jitter_deg: f64,
+    /// Relative share of the node population placed here.
+    pub weight: f64,
+}
+
+/// The built-in region catalogue with Bitnodes-style weights.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_geo::world_regions;
+///
+/// let regions = world_regions();
+/// assert!(regions.len() >= 20);
+/// let total: f64 = regions.iter().map(|r| r.weight).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+pub fn world_regions() -> Vec<Region> {
+    // (name, country, lat, lon, jitter_deg, weight)
+    const TABLE: &[(&str, &str, f64, f64, f64, f64)] = &[
+        ("us-east", "US", 40.71, -74.00, 4.0, 0.130),
+        ("us-central", "US", 41.88, -87.63, 4.0, 0.060),
+        ("us-west", "US", 37.77, -122.42, 4.0, 0.080),
+        ("canada", "CA", 43.65, -79.38, 4.0, 0.025),
+        ("germany", "DE", 50.11, 8.68, 2.5, 0.120),
+        ("france", "FR", 48.86, 2.35, 2.5, 0.055),
+        ("netherlands", "NL", 52.37, 4.90, 1.5, 0.050),
+        ("uk", "GB", 51.51, -0.13, 2.0, 0.045),
+        ("ireland", "IE", 53.35, -6.26, 1.5, 0.012),
+        ("sweden", "SE", 59.33, 18.07, 2.5, 0.018),
+        ("finland", "FI", 60.17, 24.94, 2.5, 0.015),
+        ("switzerland", "CH", 47.38, 8.54, 1.0, 0.018),
+        ("eastern-europe", "PL", 52.23, 21.01, 4.0, 0.030),
+        ("russia-west", "RU", 55.76, 37.62, 4.0, 0.045),
+        ("russia-east", "RU", 56.84, 60.61, 5.0, 0.010),
+        ("china-north", "CN", 39.90, 116.41, 3.5, 0.065),
+        ("china-south", "CN", 22.54, 114.06, 3.5, 0.045),
+        ("japan", "JP", 35.68, 139.65, 2.5, 0.030),
+        ("korea", "KR", 37.57, 126.98, 1.5, 0.018),
+        ("singapore", "SG", 1.35, 103.82, 1.0, 0.025),
+        ("india", "IN", 19.08, 72.88, 4.0, 0.015),
+        ("australia", "AU", -33.87, 151.21, 3.5, 0.018),
+        ("brazil", "BR", -23.55, -46.63, 4.0, 0.022),
+        ("argentina", "AR", -34.60, -58.38, 3.0, 0.008),
+        ("south-africa", "ZA", -26.20, 28.05, 3.0, 0.008),
+        ("ukraine", "UA", 50.45, 30.52, 3.0, 0.018),
+        ("czech", "CZ", 50.08, 14.44, 1.5, 0.015),
+        ("spain", "ES", 40.42, -3.70, 3.0, 0.018),
+        ("italy", "IT", 45.46, 9.19, 3.0, 0.017),
+        ("hongkong", "HK", 22.32, 114.17, 0.8, 0.015),
+    ];
+    let raw_total: f64 = TABLE.iter().map(|t| t.5).sum();
+    TABLE
+        .iter()
+        .map(|&(name, country, lat, lon, jitter, weight)| Region {
+            name: name.to_string(),
+            country: country.to_string(),
+            center: GeoPoint::new(lat, lon).expect("catalogue coordinates are valid"),
+            jitter_deg: jitter,
+            weight: weight / raw_total,
+        })
+        .collect()
+}
+
+/// Places nodes into regions by weight and jitters them around the centre.
+#[derive(Debug, Clone)]
+pub struct NodePlacer {
+    regions: Vec<Region>,
+    cumulative: Vec<f64>,
+}
+
+/// A placed node: its coordinates and the region it landed in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Node coordinates.
+    pub point: GeoPoint,
+    /// Index into the placer's region list.
+    pub region_index: usize,
+    /// Country tag of the region (LBC clusters on this).
+    pub country: String,
+}
+
+impl NodePlacer {
+    /// Creates a placer over the given regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `regions` is empty or all weights are zero/negative.
+    pub fn new(regions: Vec<Region>) -> Self {
+        assert!(!regions.is_empty(), "need at least one region");
+        let mut cumulative = Vec::with_capacity(regions.len());
+        let mut acc = 0.0;
+        for r in &regions {
+            acc += r.weight.max(0.0);
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total region weight must be positive");
+        NodePlacer {
+            regions,
+            cumulative,
+        }
+    }
+
+    /// Creates a placer over the built-in world catalogue.
+    pub fn world() -> Self {
+        Self::new(world_regions())
+    }
+
+    /// The regions driving this placer.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Samples one node placement.
+    pub fn place<R: Rng + ?Sized>(&self, rng: &mut R) -> Placement {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        let idx = idx.min(self.regions.len() - 1);
+        let region = &self.regions[idx];
+        let dlat = rng.gen_range(-region.jitter_deg..=region.jitter_deg);
+        let dlon = rng.gen_range(-region.jitter_deg..=region.jitter_deg);
+        Placement {
+            point: region.center.displaced(dlat, dlon),
+            region_index: idx,
+            country: region.country.clone(),
+        }
+    }
+
+    /// Samples `n` placements.
+    pub fn place_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Placement> {
+        (0..n).map(|_| self.place(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn catalogue_weights_normalised() {
+        let rs = world_regions();
+        let total: f64 = rs.iter().map(|r| r.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(rs.iter().all(|r| r.weight > 0.0));
+        assert!(rs.iter().all(|r| r.jitter_deg > 0.0));
+    }
+
+    #[test]
+    fn placement_respects_weights_roughly() {
+        let placer = NodePlacer::world();
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let n = 20_000;
+        let placements = placer.place_many(n, &mut rng);
+        let mut counts = vec![0usize; placer.regions().len()];
+        for p in &placements {
+            counts[p.region_index] += 1;
+        }
+        for (i, region) in placer.regions().iter().enumerate() {
+            let observed = counts[i] as f64 / n as f64;
+            let expected = region.weight;
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "region {} expected {expected:.3} got {observed:.3}",
+                region.name
+            );
+        }
+    }
+
+    #[test]
+    fn placement_jitters_within_region() {
+        let placer = NodePlacer::world();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..500 {
+            let p = placer.place(&mut rng);
+            let region = &placer.regions()[p.region_index];
+            // Jitter is a box in degrees; allow the diagonal.
+            let d = p.point.distance_km(&region.center);
+            let max_km = region.jitter_deg * 111.3 * std::f64::consts::SQRT_2 * 1.05;
+            assert!(
+                d <= max_km,
+                "node at {d:.0} km from centre of {} (max {max_km:.0})",
+                region.name
+            );
+            assert_eq!(p.country, region.country);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let placer = NodePlacer::world();
+        let a = placer.place_many(10, &mut ChaCha12Rng::seed_from_u64(5));
+        let b = placer.place_many(10, &mut ChaCha12Rng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn empty_regions_rejected() {
+        NodePlacer::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let mut r = world_regions();
+        for region in &mut r {
+            region.weight = 0.0;
+        }
+        NodePlacer::new(r);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the geographic substrate.
+
+use bcbpt_geo::{
+    DistanceParams, EmpiricalDist, GeoPoint, LatencyConfig, LinkLatencyModel, NodePlacer,
+    TransmissionMedium,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..=90.0, -180.0f64..=180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+}
+
+proptest! {
+    /// Haversine is a metric: non-negative, symmetric, zero iff same point,
+    /// triangle inequality.
+    #[test]
+    fn haversine_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let dab = a.distance_km(&b);
+        let dba = b.distance_km(&a);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-6);
+        prop_assert!(a.distance_km(&a) < 1e-9);
+        let dac = a.distance_km(&c);
+        let dcb = c.distance_km(&b);
+        prop_assert!(dab <= dac + dcb + 1e-6, "triangle violated: {dab} > {dac} + {dcb}");
+    }
+
+    /// Distances never exceed half the Earth's circumference.
+    #[test]
+    fn haversine_bounded(a in arb_point(), b in arb_point()) {
+        let half = std::f64::consts::PI * bcbpt_geo::EARTH_RADIUS_KM;
+        prop_assert!(a.distance_km(&b) <= half + 1e-6);
+    }
+
+    /// The Eq. 2 distance utility is monotone in physical distance and
+    /// always at least the constant terms.
+    #[test]
+    fn distance_utility_monotone(km1 in 0.0f64..20_000.0, km2 in 0.0f64..20_000.0) {
+        let p = DistanceParams::sane();
+        let (lo, hi) = if km1 <= km2 { (km1, km2) } else { (km2, km1) };
+        prop_assert!(p.distance_ms(lo) <= p.distance_ms(hi) + 1e-12);
+        prop_assert!(p.distance_ms(lo) >= p.transmission_ms() + p.queuing_ms() - 1e-12);
+    }
+
+    /// coverage_radius_km inverts distance_ms wherever the budget is positive.
+    #[test]
+    fn coverage_radius_inverts(threshold in 0.1f64..500.0) {
+        let p = DistanceParams::sane();
+        let r = p.coverage_radius_km(threshold);
+        if r > 0.0 {
+            prop_assert!((p.distance_ms(r) - threshold).abs() < 1e-9);
+        } else {
+            prop_assert!(p.distance_ms(0.0) >= threshold - 1e-9);
+        }
+    }
+
+    /// Base one-way latency is symmetric in the node pair and no less than
+    /// the floor.
+    #[test]
+    fn latency_symmetric_and_floored(a in arb_point(), b in arb_point(), seed in any::<u64>()) {
+        let model = LinkLatencyModel::new(LatencyConfig::internet());
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let pa = model.sample_access(&mut rng);
+        let pb = model.sample_access(&mut rng);
+        let dab = model.base_one_way_ms(&a, &b, &pa, &pb);
+        let dba = model.base_one_way_ms(&b, &a, &pb, &pa);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(dab >= model.config().floor_ms);
+        prop_assert!(model.base_rtt_ms(&a, &b, &pa, &pb) >= dab * 2.0 - 1e-9);
+    }
+
+    /// Congestion samples are positive and respect the floor.
+    #[test]
+    fn congestion_samples_positive(base in 0.1f64..1000.0, seed in any::<u64>()) {
+        let model = LinkLatencyModel::new(LatencyConfig::internet());
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let s = model.sample_one_way_ms(base, &mut rng);
+            prop_assert!(s >= model.config().floor_ms);
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    /// Empirical distributions sample within [min, max] of the source data.
+    #[test]
+    fn empirical_within_range(
+        samples in proptest::collection::vec(-1000.0f64..1000.0, 1..50),
+        seed in any::<u64>()
+    ) {
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let d = EmpiricalDist::from_samples(samples).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+        }
+    }
+
+    /// Node placement always lands inside a catalogued region's jitter box
+    /// and is deterministic under a seed.
+    #[test]
+    fn placement_deterministic(seed in any::<u64>()) {
+        let placer = NodePlacer::world();
+        let a = placer.place_many(5, &mut ChaCha12Rng::seed_from_u64(seed));
+        let b = placer.place_many(5, &mut ChaCha12Rng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Wifi propagation is never slower than copper for the same distance.
+    #[test]
+    fn wifi_beats_copper(km in 0.0f64..20_000.0) {
+        prop_assert!(
+            TransmissionMedium::Wifi.propagation_delay_ms(km)
+                <= TransmissionMedium::Copper.propagation_delay_ms(km) + 1e-12
+        );
+    }
+}

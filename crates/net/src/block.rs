@@ -1,0 +1,277 @@
+//! Blocks, mining and per-node chain state.
+//!
+//! The paper's motivation chain is: slow propagation → inconsistent ledger
+//! replicas → blockchain forks → double-spend opportunity (§I, §III). The
+//! transaction experiments measure the propagation side; this module
+//! supplies the *consequence* side — a minimal proof-of-work process and
+//! blockchain so experiments can measure how the relay protocol changes the
+//! stale-block (fork) rate.
+
+use crate::ids::NodeId;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies a block (stands in for the block-header hash).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct BlockId(u64);
+
+impl BlockId {
+    /// Creates a block id from a raw value.
+    pub const fn from_raw(raw: u64) -> Self {
+        BlockId(raw)
+    }
+
+    /// The raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{:x}", self.0)
+    }
+}
+
+/// A mined block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Unique id.
+    pub id: BlockId,
+    /// Parent block (`None` only for the genesis block).
+    pub parent: Option<BlockId>,
+    /// Height above genesis (genesis is 0).
+    pub height: u64,
+    /// The node that mined it.
+    pub miner: NodeId,
+    /// Serialized size in bytes.
+    pub size_bytes: u32,
+}
+
+/// Per-node view of the blockchain: which blocks it has fully validated and
+/// which tip it mines on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChainState {
+    /// Validated blocks.
+    pub known: std::collections::BTreeSet<BlockId>,
+    /// Blocks being verified.
+    pub verifying: std::collections::BTreeSet<BlockId>,
+    /// Blocks requested and not yet received.
+    pub inflight: std::collections::BTreeSet<BlockId>,
+    /// Current best tip (what this node would mine on).
+    pub tip: Option<BlockId>,
+    /// Height of the best tip.
+    pub tip_height: u64,
+}
+
+impl ChainState {
+    /// Creates an empty chain view (genesis-only, conceptually).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the node has the block in any stage.
+    pub fn knows(&self, block: BlockId) -> bool {
+        self.known.contains(&block)
+            || self.verifying.contains(&block)
+            || self.inflight.contains(&block)
+    }
+
+    /// Adopts a validated block, switching tips on the longest-chain rule
+    /// (first-seen wins ties, as in Bitcoin). Returns `true` when the tip
+    /// moved.
+    pub fn adopt(&mut self, block: &Block) -> bool {
+        self.verifying.remove(&block.id);
+        self.inflight.remove(&block.id);
+        if !self.known.insert(block.id) {
+            return false;
+        }
+        if block.height > self.tip_height || self.tip.is_none() {
+            self.tip = Some(block.id);
+            self.tip_height = block.height;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets the view (cold restart after churn).
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// The global ledger of mined blocks — ground truth for fork accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockLedger {
+    blocks: BTreeMap<BlockId, Block>,
+    next_id: u64,
+}
+
+impl BlockLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        BlockLedger {
+            blocks: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Mints a new block on `parent` mined by `miner`.
+    pub fn mint(
+        &mut self,
+        parent: Option<BlockId>,
+        miner: NodeId,
+        size_bytes: u32,
+    ) -> Block {
+        let height = match parent {
+            Some(p) => self.blocks.get(&p).map_or(0, |b| b.height) + 1,
+            None => 0,
+        };
+        let block = Block {
+            id: BlockId::from_raw(self.next_id),
+            parent,
+            height,
+            miner,
+            size_bytes,
+        };
+        self.next_id += 1;
+        self.blocks.insert(block.id, block);
+        block
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(&id)
+    }
+
+    /// Total blocks mined.
+    pub fn mined_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The best tip: maximum height, then lowest id (earliest mined).
+    pub fn best_tip(&self) -> Option<BlockId> {
+        self.blocks
+            .values()
+            .max_by(|a, b| a.height.cmp(&b.height).then(b.id.cmp(&a.id)))
+            .map(|b| b.id)
+    }
+
+    /// Ids on the main chain (ancestors of the best tip, inclusive).
+    pub fn main_chain(&self) -> Vec<BlockId> {
+        let mut chain = Vec::new();
+        let mut cursor = self.best_tip();
+        while let Some(id) = cursor {
+            chain.push(id);
+            cursor = self.blocks.get(&id).and_then(|b| b.parent);
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Mined blocks that did **not** make the main chain.
+    pub fn stale_count(&self) -> usize {
+        self.mined_count() - self.main_chain().len()
+    }
+
+    /// Fraction of mined blocks that went stale — the fork rate the paper's
+    /// motivation cares about (§I: conflicting simultaneous blocks enable
+    /// double spending).
+    pub fn stale_rate(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.stale_count() as f64 / self.mined_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn minting_builds_heights() {
+        let mut ledger = BlockLedger::new();
+        let g = ledger.mint(None, n(0), 100);
+        assert_eq!(g.height, 0);
+        let b1 = ledger.mint(Some(g.id), n(1), 100);
+        assert_eq!(b1.height, 1);
+        let b2 = ledger.mint(Some(b1.id), n(2), 100);
+        assert_eq!(b2.height, 2);
+        assert_eq!(ledger.mined_count(), 3);
+        assert_eq!(ledger.best_tip(), Some(b2.id));
+        assert_eq!(ledger.stale_count(), 0);
+        assert_eq!(ledger.stale_rate(), 0.0);
+    }
+
+    #[test]
+    fn forks_count_as_stale() {
+        let mut ledger = BlockLedger::new();
+        let g = ledger.mint(None, n(0), 100);
+        let a = ledger.mint(Some(g.id), n(1), 100);
+        let _fork = ledger.mint(Some(g.id), n(2), 100); // competing height 1
+        let b = ledger.mint(Some(a.id), n(1), 100); // extends a, wins
+        assert_eq!(ledger.mined_count(), 4);
+        assert_eq!(ledger.main_chain(), vec![g.id, a.id, b.id]);
+        assert_eq!(ledger.stale_count(), 1);
+        assert!((ledger.stale_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_at_same_height_resolved_by_earliest() {
+        let mut ledger = BlockLedger::new();
+        let g = ledger.mint(None, n(0), 100);
+        let a = ledger.mint(Some(g.id), n(1), 100);
+        let _b = ledger.mint(Some(g.id), n(2), 100);
+        assert_eq!(ledger.best_tip(), Some(a.id), "first-mined wins the tie");
+    }
+
+    #[test]
+    fn chain_state_adopts_longest() {
+        let mut ledger = BlockLedger::new();
+        let g = ledger.mint(None, n(0), 100);
+        let a = ledger.mint(Some(g.id), n(1), 100);
+        let fork = ledger.mint(Some(g.id), n(2), 100);
+        let mut chain = ChainState::new();
+        assert!(chain.adopt(&g));
+        assert!(chain.adopt(&a));
+        assert_eq!(chain.tip, Some(a.id));
+        // Same-height competitor does not displace the first-seen tip.
+        assert!(!chain.adopt(&fork));
+        assert_eq!(chain.tip, Some(a.id));
+        assert_eq!(chain.tip_height, 1);
+        // Re-adopting is a no-op.
+        assert!(!chain.adopt(&a));
+    }
+
+    #[test]
+    fn chain_state_knows_all_stages() {
+        let mut chain = ChainState::new();
+        chain.inflight.insert(BlockId::from_raw(7));
+        assert!(chain.knows(BlockId::from_raw(7)));
+        chain.clear();
+        assert!(!chain.knows(BlockId::from_raw(7)));
+    }
+
+    #[test]
+    fn empty_ledger_behaviour() {
+        let ledger = BlockLedger::new();
+        assert_eq!(ledger.best_tip(), None);
+        assert!(ledger.main_chain().is_empty());
+        assert_eq!(ledger.stale_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(BlockId::from_raw(255).to_string(), "blkff");
+    }
+}

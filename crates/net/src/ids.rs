@@ -1,0 +1,110 @@
+//! Identifier newtypes for the network substrate.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node in the simulated network.
+///
+/// Node ids are dense indices assigned at network construction, which lets
+/// the fabric store per-node state in flat vectors. The newtype keeps them
+/// from being confused with transaction ids or plain counters.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[inline]
+    pub const fn from_index(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index backing this id.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32`.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a transaction.
+///
+/// In the real protocol this is a 32-byte hash; the simulation only needs
+/// uniqueness, so a `u64` drawn from a deterministic counter suffices.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TxId(u64);
+
+impl TxId {
+    /// Creates a transaction id from a raw value.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        TxId(raw)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_u32(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn node_ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert_eq!(NodeId::from_index(7), NodeId::from_index(7));
+    }
+
+    #[test]
+    fn tx_id_round_trips() {
+        let id = TxId::from_raw(0xdead);
+        assert_eq!(id.as_u64(), 0xdead);
+        assert_eq!(id.to_string(), "txdead");
+    }
+
+    #[test]
+    fn ids_usable_in_collections() {
+        use std::collections::{BTreeSet, HashSet};
+        let mut hs = HashSet::new();
+        hs.insert(NodeId::from_index(1));
+        assert!(hs.contains(&NodeId::from_index(1)));
+        let mut bs = BTreeSet::new();
+        bs.insert(TxId::from_raw(2));
+        bs.insert(TxId::from_raw(1));
+        let v: Vec<_> = bs.into_iter().collect();
+        assert_eq!(v, vec![TxId::from_raw(1), TxId::from_raw(2)]);
+    }
+}

@@ -1,0 +1,69 @@
+//! # bcbpt-net — simulated Bitcoin P2P substrate
+//!
+//! The network layer of the BCBPT reproduction (ICDCS 2017, *Proximity
+//! Awareness Approach to Enhance Propagation Delay on the Bitcoin
+//! Peer-to-Peer Network*): a from-scratch rebuild of the event-based
+//! Bitcoin simulator the paper evaluates on (its ref [5]).
+//!
+//! * [`Message`] — the wire subset that drives propagation (Fig. 1):
+//!   INV/GETDATA/TX relay, PING/PONG probing, ADDR discovery, JOIN/
+//!   CLUSTERLIST cluster control.
+//! * [`Network`] — the fabric: geography-derived latencies, the relay state
+//!   machine with per-hop verification, discovery ticks, churn, and the
+//!   measuring-node instrumentation ([`TxWatch`], Fig. 2 / Eq. 5).
+//! * [`NeighborPolicy`]/[`NetView`] — the extension point the paper's
+//!   protocols plug into; [`RandomPolicy`] (vanilla Bitcoin) ships here,
+//!   LBC and BCBPT live in `bcbpt-cluster`.
+//! * [`MessageStats`] — per-kind traffic accounting feeding the overhead
+//!   experiment.
+//!
+//! # Examples
+//!
+//! Measure how fast one transaction floods a small random-topology network:
+//!
+//! ```
+//! use bcbpt_net::{NetConfig, Network, RandomPolicy};
+//!
+//! let mut config = NetConfig::test_scale();
+//! config.num_nodes = 25;
+//! let mut net = Network::build(config, Box::new(RandomPolicy::new()), 7)?;
+//! let origin = net.pick_online_node().expect("nodes online");
+//! net.inject_watched_tx(origin, None)?;
+//! net.run_for_ms(30_000.0);
+//! let watch = net.watch().expect("watch active");
+//! assert_eq!(watch.reached_count(), 24);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod config;
+mod dns;
+mod ids;
+mod links;
+mod msg;
+mod network;
+mod node;
+mod online;
+mod policy;
+mod routes;
+mod stats;
+mod tx;
+mod watch;
+
+pub use block::{Block, BlockId, BlockLedger, ChainState};
+pub use config::NetConfig;
+pub use dns::{geo_ranked_candidates, random_candidates};
+pub use ids::{NodeId, TxId};
+pub use links::Links;
+pub use msg::{Message, MessageKind};
+pub use network::{InjectError, NetEvent, Network, RandomPolicy};
+pub use node::{NodeMeta, ProtoState};
+pub use online::OnlineSet;
+pub use policy::{NeighborPolicy, NetView, TopologyActions};
+pub use routes::RouteTable;
+pub use stats::MessageStats;
+pub use tx::{Transaction, TxFactory, VerifyCost};
+pub use watch::TxWatch;

@@ -1,0 +1,210 @@
+//! Connection bookkeeping.
+//!
+//! Connections are logical TCP sessions between peers: undirected for
+//! message flow, but each edge remembers its *initiator* because Bitcoin
+//! caps outbound (8) and inbound (117) connections separately. All sets are
+//! ordered (`BTreeSet`) so that iteration order — and therefore every
+//! simulation run — is deterministic.
+
+use crate::ids::NodeId;
+use std::collections::BTreeSet;
+
+/// The connection table of the whole network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Links {
+    /// All established peers, per node.
+    peers: Vec<BTreeSet<NodeId>>,
+    /// Peers this node dialled (subset of `peers`).
+    outbound: Vec<BTreeSet<NodeId>>,
+}
+
+impl Links {
+    /// Creates an empty table for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Links {
+            peers: vec![BTreeSet::new(); n],
+            outbound: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes the table covers.
+    pub fn num_nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Establishes `from → to`. Returns `false` (and changes nothing) when
+    /// the edge already exists or the endpoints are equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either id is out of range.
+    pub fn connect(&mut self, from: NodeId, to: NodeId) -> bool {
+        assert!(from.index() < self.peers.len(), "from out of range");
+        assert!(to.index() < self.peers.len(), "to out of range");
+        if from == to || self.peers[from.index()].contains(&to) {
+            return false;
+        }
+        self.peers[from.index()].insert(to);
+        self.peers[to.index()].insert(from);
+        self.outbound[from.index()].insert(to);
+        true
+    }
+
+    /// Tears down the edge between `a` and `b` (either direction). Returns
+    /// `false` when no edge existed.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> bool {
+        let existed = self.peers[a.index()].remove(&b);
+        self.peers[b.index()].remove(&a);
+        self.outbound[a.index()].remove(&b);
+        self.outbound[b.index()].remove(&a);
+        existed
+    }
+
+    /// Drops every edge incident to `node`, returning the former peers.
+    pub fn drop_all(&mut self, node: NodeId) -> Vec<NodeId> {
+        let former: Vec<NodeId> = self.peers[node.index()].iter().copied().collect();
+        for p in &former {
+            self.peers[p.index()].remove(&node);
+            self.outbound[p.index()].remove(&node);
+        }
+        self.peers[node.index()].clear();
+        self.outbound[node.index()].clear();
+        former
+    }
+
+    /// `true` when `a` and `b` are connected.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.peers[a.index()].contains(&b)
+    }
+
+    /// All peers of `node`, in id order.
+    pub fn peers(&self, node: NodeId) -> &BTreeSet<NodeId> {
+        &self.peers[node.index()]
+    }
+
+    /// Peers `node` dialled.
+    pub fn outbound(&self, node: NodeId) -> &BTreeSet<NodeId> {
+        &self.outbound[node.index()]
+    }
+
+    /// Number of connections `node` dialled.
+    pub fn outbound_count(&self, node: NodeId) -> usize {
+        self.outbound[node.index()].len()
+    }
+
+    /// Number of connections dialled *to* `node`.
+    pub fn inbound_count(&self, node: NodeId) -> usize {
+        self.peers[node.index()].len() - self.outbound[node.index()].len()
+    }
+
+    /// Total degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.peers[node.index()].len()
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.peers.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Iterates all undirected edges as `(initiator, acceptor)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.outbound.iter().enumerate().flat_map(|(i, set)| {
+            let from = NodeId::from_index(i as u32);
+            set.iter().map(move |&to| (from, to))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn connect_creates_symmetric_edge() {
+        let mut links = Links::new(4);
+        assert!(links.connect(n(0), n(1)));
+        assert!(links.connected(n(0), n(1)));
+        assert!(links.connected(n(1), n(0)));
+        assert_eq!(links.outbound_count(n(0)), 1);
+        assert_eq!(links.outbound_count(n(1)), 0);
+        assert_eq!(links.inbound_count(n(1)), 1);
+        assert_eq!(links.inbound_count(n(0)), 0);
+        assert_eq!(links.edge_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_self_connect_rejected() {
+        let mut links = Links::new(3);
+        assert!(links.connect(n(0), n(1)));
+        assert!(!links.connect(n(0), n(1)), "duplicate");
+        assert!(!links.connect(n(1), n(0)), "reverse duplicate");
+        assert!(!links.connect(n(2), n(2)), "self loop");
+        assert_eq!(links.edge_count(), 1);
+    }
+
+    #[test]
+    fn disconnect_removes_both_directions() {
+        let mut links = Links::new(3);
+        links.connect(n(0), n(1));
+        assert!(links.disconnect(n(1), n(0)), "either endpoint may disconnect");
+        assert!(!links.connected(n(0), n(1)));
+        assert_eq!(links.degree(n(0)), 0);
+        assert!(!links.disconnect(n(0), n(1)), "double disconnect is false");
+    }
+
+    #[test]
+    fn drop_all_clears_node() {
+        let mut links = Links::new(5);
+        links.connect(n(0), n(1));
+        links.connect(n(2), n(0));
+        links.connect(n(3), n(4));
+        let former = links.drop_all(n(0));
+        assert_eq!(former, vec![n(1), n(2)]);
+        assert_eq!(links.degree(n(0)), 0);
+        assert_eq!(links.degree(n(1)), 0);
+        assert_eq!(links.degree(n(2)), 0);
+        assert!(links.connected(n(3), n(4)), "unrelated edge survives");
+    }
+
+    #[test]
+    fn counts_track_direction() {
+        let mut links = Links::new(4);
+        links.connect(n(0), n(1));
+        links.connect(n(0), n(2));
+        links.connect(n(3), n(0));
+        assert_eq!(links.outbound_count(n(0)), 2);
+        assert_eq!(links.inbound_count(n(0)), 1);
+        assert_eq!(links.degree(n(0)), 3);
+    }
+
+    #[test]
+    fn edges_iterates_initiator_first() {
+        let mut links = Links::new(3);
+        links.connect(n(2), n(0));
+        links.connect(n(0), n(1));
+        let edges: Vec<_> = links.edges().collect();
+        assert_eq!(edges, vec![(n(0), n(1)), (n(2), n(0))]);
+    }
+
+    #[test]
+    fn peers_iteration_is_ordered() {
+        let mut links = Links::new(5);
+        links.connect(n(0), n(3));
+        links.connect(n(0), n(1));
+        links.connect(n(0), n(2));
+        let peers: Vec<_> = links.peers(n(0)).iter().copied().collect();
+        assert_eq!(peers, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut links = Links::new(2);
+        links.connect(n(0), n(5));
+    }
+}

@@ -1,0 +1,274 @@
+//! Wire messages of the simulated Bitcoin P2P protocol.
+//!
+//! The subset that matters for propagation-delay experiments (paper Fig. 1
+//! and §IV): the INV/GETDATA/TX relay exchange, PING/PONG for latency
+//! measurement, ADDR/GETADDR for discovery, VERSION/VERACK handshakes, and
+//! the BCBPT-specific JOIN/CLUSTERLIST exchange.
+
+use crate::block::{Block, BlockId};
+use crate::ids::{NodeId, TxId};
+use crate::tx::Transaction;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// Connection handshake, first half.
+    Version,
+    /// Connection handshake, second half.
+    Verack,
+    /// Latency probe.
+    Ping {
+        /// Echo nonce.
+        nonce: u64,
+    },
+    /// Latency probe reply.
+    Pong {
+        /// Echoed nonce.
+        nonce: u64,
+    },
+    /// Request for known addresses.
+    GetAddr,
+    /// Address gossip.
+    Addr {
+        /// Advertised peers.
+        nodes: Vec<NodeId>,
+    },
+    /// Inventory announcement: "I have these transactions".
+    Inv {
+        /// Announced transaction ids.
+        txids: Vec<TxId>,
+    },
+    /// Request for full transaction data.
+    GetData {
+        /// Requested transaction ids.
+        txids: Vec<TxId>,
+    },
+    /// Full transaction payload.
+    TxData {
+        /// The transaction.
+        tx: Transaction,
+    },
+    /// Block inventory announcement.
+    BlockInv {
+        /// Announced block ids.
+        ids: Vec<BlockId>,
+    },
+    /// Request for full block data.
+    GetBlocks {
+        /// Requested block ids.
+        ids: Vec<BlockId>,
+    },
+    /// Full block payload.
+    BlockData {
+        /// The block.
+        block: Block,
+    },
+    /// BCBPT: ask the closest node to admit us to its cluster (§IV.B).
+    Join,
+    /// BCBPT: reply to [`Message::Join`] listing the cluster's members.
+    ClusterList {
+        /// Members of the responder's cluster.
+        members: Vec<NodeId>,
+    },
+}
+
+/// Coarse message classification for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// VERSION.
+    Version,
+    /// VERACK.
+    Verack,
+    /// PING.
+    Ping,
+    /// PONG.
+    Pong,
+    /// GETADDR.
+    GetAddr,
+    /// ADDR.
+    Addr,
+    /// INV.
+    Inv,
+    /// GETDATA.
+    GetData,
+    /// TX.
+    Tx,
+    /// Block INV.
+    BlockInv,
+    /// GETBLOCKS.
+    GetBlocks,
+    /// BLOCK.
+    Block,
+    /// JOIN.
+    Join,
+    /// CLUSTERLIST.
+    ClusterList,
+}
+
+impl MessageKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [MessageKind; 14] = [
+        MessageKind::Version,
+        MessageKind::Verack,
+        MessageKind::Ping,
+        MessageKind::Pong,
+        MessageKind::GetAddr,
+        MessageKind::Addr,
+        MessageKind::Inv,
+        MessageKind::GetData,
+        MessageKind::Tx,
+        MessageKind::BlockInv,
+        MessageKind::GetBlocks,
+        MessageKind::Block,
+        MessageKind::Join,
+        MessageKind::ClusterList,
+    ];
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageKind::Version => "version",
+            MessageKind::Verack => "verack",
+            MessageKind::Ping => "ping",
+            MessageKind::Pong => "pong",
+            MessageKind::GetAddr => "getaddr",
+            MessageKind::Addr => "addr",
+            MessageKind::Inv => "inv",
+            MessageKind::GetData => "getdata",
+            MessageKind::Tx => "tx",
+            MessageKind::BlockInv => "blockinv",
+            MessageKind::GetBlocks => "getblocks",
+            MessageKind::Block => "block",
+            MessageKind::Join => "join",
+            MessageKind::ClusterList => "clusterlist",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bitcoin wire overhead: 24-byte header on every message.
+const HEADER_BYTES: usize = 24;
+/// Bytes per inventory vector entry (type + hash).
+const INV_ENTRY_BYTES: usize = 36;
+/// Bytes per address entry (time + services + IP + port).
+const ADDR_ENTRY_BYTES: usize = 30;
+
+impl Message {
+    /// The statistics kind of this message.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::Version => MessageKind::Version,
+            Message::Verack => MessageKind::Verack,
+            Message::Ping { .. } => MessageKind::Ping,
+            Message::Pong { .. } => MessageKind::Pong,
+            Message::GetAddr => MessageKind::GetAddr,
+            Message::Addr { .. } => MessageKind::Addr,
+            Message::Inv { .. } => MessageKind::Inv,
+            Message::GetData { .. } => MessageKind::GetData,
+            Message::TxData { .. } => MessageKind::Tx,
+            Message::BlockInv { .. } => MessageKind::BlockInv,
+            Message::GetBlocks { .. } => MessageKind::GetBlocks,
+            Message::BlockData { .. } => MessageKind::Block,
+            Message::Join => MessageKind::Join,
+            Message::ClusterList { .. } => MessageKind::ClusterList,
+        }
+    }
+
+    /// Approximate wire size in bytes, mirroring the real protocol's
+    /// framing. Drives bandwidth accounting and the overhead experiment.
+    pub fn wire_size_bytes(&self) -> usize {
+        HEADER_BYTES
+            + match self {
+                Message::Version => 86,
+                Message::Verack => 0,
+                Message::Ping { .. } | Message::Pong { .. } => 8,
+                Message::GetAddr => 0,
+                Message::Addr { nodes } => 1 + nodes.len() * ADDR_ENTRY_BYTES,
+                Message::Inv { txids } | Message::GetData { txids } => {
+                    1 + txids.len() * INV_ENTRY_BYTES
+                }
+                Message::TxData { tx } => tx.size_bytes as usize,
+                Message::BlockInv { ids } | Message::GetBlocks { ids } => {
+                    1 + ids.len() * INV_ENTRY_BYTES
+                }
+                Message::BlockData { block } => block.size_bytes as usize,
+                Message::Join => 8,
+                Message::ClusterList { members } => 1 + members.len() * ADDR_ENTRY_BYTES,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxId;
+
+    #[test]
+    fn kind_mapping_is_total() {
+        let msgs: Vec<Message> = vec![
+            Message::Version,
+            Message::Verack,
+            Message::Ping { nonce: 1 },
+            Message::Pong { nonce: 1 },
+            Message::GetAddr,
+            Message::Addr { nodes: vec![] },
+            Message::Inv { txids: vec![] },
+            Message::GetData { txids: vec![] },
+            Message::TxData {
+                tx: Transaction::new(TxId::from_raw(1), 250),
+            },
+            Message::BlockInv { ids: vec![] },
+            Message::GetBlocks { ids: vec![] },
+            Message::BlockData {
+                block: Block {
+                    id: BlockId::from_raw(1),
+                    parent: None,
+                    height: 0,
+                    miner: NodeId::from_index(0),
+                    size_bytes: 1000,
+                },
+            },
+            Message::Join,
+            Message::ClusterList { members: vec![] },
+        ];
+        let kinds: Vec<MessageKind> = msgs.iter().map(Message::kind).collect();
+        assert_eq!(kinds, MessageKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let inv1 = Message::Inv {
+            txids: vec![TxId::from_raw(1)],
+        };
+        let inv3 = Message::Inv {
+            txids: vec![TxId::from_raw(1), TxId::from_raw(2), TxId::from_raw(3)],
+        };
+        assert_eq!(
+            inv3.wire_size_bytes() - inv1.wire_size_bytes(),
+            2 * INV_ENTRY_BYTES
+        );
+        let tx = Message::TxData {
+            tx: Transaction::new(TxId::from_raw(1), 500),
+        };
+        assert_eq!(tx.wire_size_bytes(), HEADER_BYTES + 500);
+    }
+
+    #[test]
+    fn every_message_has_nonzero_wire_size() {
+        assert!(Message::Verack.wire_size_bytes() >= HEADER_BYTES);
+        assert!(Message::Ping { nonce: 0 }.wire_size_bytes() > HEADER_BYTES);
+    }
+
+    #[test]
+    fn kind_display_distinct_and_nonempty() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in MessageKind::ALL {
+            let s = k.to_string();
+            assert!(!s.is_empty());
+            assert!(seen.insert(s), "duplicate display for {k:?}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Per-node state.
+
+use crate::ids::TxId;
+use bcbpt_geo::{AccessProfile, Placement};
+use std::collections::BTreeSet;
+
+/// Static/geographic attributes of a node, visible to neighbour-selection
+/// policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMeta {
+    /// Where the node sits and which country tag it carries.
+    pub placement: Placement,
+    /// Its access-network delay profile.
+    pub access: AccessProfile,
+    /// Per-node multiplier on verification time (1.0 = nominal hardware).
+    pub verify_factor: f64,
+    /// Whether the node is currently online (churn toggles this).
+    pub online: bool,
+}
+
+/// Protocol (relay) state of a node.
+///
+/// Sets are ordered so iteration — and thus simulation behaviour — is
+/// deterministic across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtoState {
+    /// Transactions fully verified and available for relay.
+    pub mempool: BTreeSet<TxId>,
+    /// Transactions currently being verified (payload received).
+    pub verifying: BTreeSet<TxId>,
+    /// Transactions requested via GETDATA and not yet received.
+    pub inflight: BTreeSet<TxId>,
+}
+
+impl ProtoState {
+    /// Creates empty protocol state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the node has seen the transaction in any stage.
+    pub fn knows(&self, tx: TxId) -> bool {
+        self.mempool.contains(&tx) || self.verifying.contains(&tx) || self.inflight.contains(&tx)
+    }
+
+    /// Resets relay state (used when a node rejoins after churn with a cold
+    /// cache — conservative: it may re-request transactions).
+    pub fn clear(&mut self) {
+        self.mempool.clear();
+        self.verifying.clear();
+        self.inflight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knows_covers_all_stages() {
+        let mut p = ProtoState::new();
+        let t1 = TxId::from_raw(1);
+        let t2 = TxId::from_raw(2);
+        let t3 = TxId::from_raw(3);
+        assert!(!p.knows(t1));
+        p.mempool.insert(t1);
+        p.verifying.insert(t2);
+        p.inflight.insert(t3);
+        assert!(p.knows(t1));
+        assert!(p.knows(t2));
+        assert!(p.knows(t3));
+        assert!(!p.knows(TxId::from_raw(4)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut p = ProtoState::new();
+        p.mempool.insert(TxId::from_raw(1));
+        p.inflight.insert(TxId::from_raw(2));
+        p.clear();
+        assert_eq!(p, ProtoState::new());
+    }
+}

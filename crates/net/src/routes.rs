@@ -1,0 +1,161 @@
+//! Per-pair internet route stretch.
+//!
+//! Great-circle distance underestimates internet latency non-uniformly:
+//! BGP peering agreements and routing detours make *some* geographically
+//! close pairs slow and some far pairs comparatively fast. The paper's
+//! central argument for BCBPT over LBC rests on this decorrelation (§V.C:
+//! "dynamics of internet routing, as caused by BGP ... can also result in
+//! surprising situations that closest differs between geographical and
+//! topological terms").
+//!
+//! [`RouteTable`] produces a deterministic, symmetric, lognormal
+//! multiplicative factor per node pair with mean 1 — a fixed "shape of the
+//! internet" for a given seed that node placement cannot predict.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic per-pair route-stretch factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteTable {
+    seed: u64,
+    sigma: f64,
+}
+
+impl RouteTable {
+    /// Creates a table with the given seed and lognormal σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma` is negative or non-finite.
+    pub fn new(seed: u64, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "route sigma must be a non-negative finite number"
+        );
+        RouteTable { seed, sigma }
+    }
+
+    /// The lognormal σ in use.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The stretch factor for the pair `(a, b)`.
+    ///
+    /// Symmetric (`stretch(a, b) == stretch(b, a)`), deterministic in the
+    /// seed, lognormally distributed across pairs with mean 1.
+    pub fn stretch(&self, a: NodeId, b: NodeId) -> f64 {
+        if self.sigma == 0.0 || a == b {
+            return 1.0;
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let base = splitmix(
+            self.seed ^ (u64::from(lo.as_u32()) << 32 | u64::from(hi.as_u32())),
+        );
+        // Irwin–Hall approximation of a standard normal: the sum of 12
+        // uniforms minus 6. Deterministic and allocation-free.
+        let mut z = -6.0f64;
+        let mut h = base;
+        for _ in 0..12 {
+            h = splitmix(h);
+            z += (h >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        // Lognormal with mean 1: exp(σz − σ²/2).
+        (self.sigma * z - self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn symmetric_and_deterministic() {
+        let t = RouteTable::new(7, 0.35);
+        for i in 0..20u32 {
+            for j in 0..20u32 {
+                assert_eq!(t.stretch(n(i), n(j)), t.stretch(n(j), n(i)));
+            }
+        }
+        let t2 = RouteTable::new(7, 0.35);
+        assert_eq!(t.stretch(n(1), n(2)), t2.stretch(n(1), n(2)));
+    }
+
+    #[test]
+    fn different_seeds_give_different_internets() {
+        let a = RouteTable::new(1, 0.35);
+        let b = RouteTable::new(2, 0.35);
+        let diff = (0..100u32)
+            .filter(|&i| (a.stretch(n(i), n(i + 1)) - b.stretch(n(i), n(i + 1))).abs() > 1e-12)
+            .count();
+        assert!(diff > 90);
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let t = RouteTable::new(9, 0.0);
+        assert_eq!(t.stretch(n(0), n(1)), 1.0);
+    }
+
+    #[test]
+    fn self_pair_is_identity() {
+        let t = RouteTable::new(9, 0.5);
+        assert_eq!(t.stretch(n(3), n(3)), 1.0);
+    }
+
+    #[test]
+    fn factors_positive_with_mean_near_one() {
+        let t = RouteTable::new(42, 0.35);
+        let mut sum = 0.0;
+        let mut count = 0.0;
+        for i in 0..200u32 {
+            for j in (i + 1)..200u32 {
+                let s = t.stretch(n(i), n(j));
+                assert!(s > 0.0);
+                sum += s;
+                count += 1.0;
+            }
+        }
+        let mean = sum / count;
+        assert!((mean - 1.0).abs() < 0.02, "mean stretch {mean}");
+    }
+
+    #[test]
+    fn spread_matches_sigma_roughly() {
+        let t = RouteTable::new(42, 0.35);
+        let mut slow = 0usize;
+        let mut total = 0usize;
+        for i in 0..100u32 {
+            for j in (i + 1)..100u32 {
+                total += 1;
+                if t.stretch(n(i), n(j)) > 1.5 {
+                    slow += 1;
+                }
+            }
+        }
+        let frac = slow as f64 / total as f64;
+        // P(lognormal(−σ²/2, σ=0.35) > 1.5) ≈ 7%.
+        assert!(
+            (0.02..0.15).contains(&frac),
+            "slow-pair fraction {frac} implausible"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn invalid_sigma_rejected() {
+        RouteTable::new(0, -1.0);
+    }
+}

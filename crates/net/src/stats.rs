@@ -1,0 +1,205 @@
+//! Message-traffic accounting.
+//!
+//! The paper defers evaluating BCBPT's ping-measurement overhead to future
+//! work (§IV.A); this reproduction implements that experiment, so the fabric
+//! counts every message and byte by kind.
+
+use crate::msg::{Message, MessageKind};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-kind message and byte counters.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_net::{Message, MessageKind, MessageStats};
+///
+/// let mut stats = MessageStats::new();
+/// stats.record(&Message::Ping { nonce: 1 });
+/// stats.record(&Message::Pong { nonce: 1 });
+/// assert_eq!(stats.count(MessageKind::Ping), 1);
+/// assert_eq!(stats.total_messages(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MessageStats {
+    counts: BTreeMap<MessageKind, u64>,
+    bytes: BTreeMap<MessageKind, u64>,
+}
+
+impl MessageStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sent message.
+    pub fn record(&mut self, msg: &Message) {
+        let kind = msg.kind();
+        *self.counts.entry(kind).or_insert(0) += 1;
+        *self.bytes.entry(kind).or_insert(0) += msg.wire_size_bytes() as u64;
+    }
+
+    /// Number of messages of `kind` recorded.
+    pub fn count(&self, kind: MessageKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Bytes of `kind` recorded.
+    pub fn bytes(&self, kind: MessageKind) -> u64 {
+        self.bytes.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages across kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total bytes across kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// Messages spent on latency probing (PING + PONG) — the BCBPT overhead
+    /// the paper flags.
+    pub fn probe_messages(&self) -> u64 {
+        self.count(MessageKind::Ping) + self.count(MessageKind::Pong)
+    }
+
+    /// Messages spent on cluster control (JOIN + CLUSTERLIST).
+    pub fn cluster_control_messages(&self) -> u64 {
+        self.count(MessageKind::Join) + self.count(MessageKind::ClusterList)
+    }
+
+    /// Messages spent relaying transactions (INV + GETDATA + TX).
+    pub fn relay_messages(&self) -> u64 {
+        self.count(MessageKind::Inv) + self.count(MessageKind::GetData) + self.count(MessageKind::Tx)
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &MessageStats) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.bytes {
+            *self.bytes.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Difference `self - baseline`, saturating at zero — used to isolate
+    /// the traffic of one phase.
+    #[must_use]
+    pub fn since(&self, baseline: &MessageStats) -> MessageStats {
+        let mut out = MessageStats::new();
+        for kind in MessageKind::ALL {
+            let c = self.count(kind).saturating_sub(baseline.count(kind));
+            let b = self.bytes(kind).saturating_sub(baseline.bytes(kind));
+            if c > 0 {
+                out.counts.insert(kind, c);
+            }
+            if b > 0 {
+                out.bytes.insert(kind, b);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for MessageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} msgs / {} bytes",
+            self.total_messages(),
+            self.total_bytes()
+        )?;
+        for kind in MessageKind::ALL {
+            let c = self.count(kind);
+            if c > 0 {
+                write!(f, " {kind}={c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxId;
+    use crate::tx::Transaction;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = MessageStats::new();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.count(MessageKind::Inv), 0);
+        assert_eq!(s.bytes(MessageKind::Tx), 0);
+    }
+
+    #[test]
+    fn record_accumulates_counts_and_bytes() {
+        let mut s = MessageStats::new();
+        let inv = Message::Inv {
+            txids: vec![TxId::from_raw(1)],
+        };
+        s.record(&inv);
+        s.record(&inv);
+        assert_eq!(s.count(MessageKind::Inv), 2);
+        assert_eq!(s.bytes(MessageKind::Inv), 2 * inv.wire_size_bytes() as u64);
+    }
+
+    #[test]
+    fn category_counters() {
+        let mut s = MessageStats::new();
+        s.record(&Message::Ping { nonce: 0 });
+        s.record(&Message::Pong { nonce: 0 });
+        s.record(&Message::Join);
+        s.record(&Message::ClusterList { members: vec![] });
+        s.record(&Message::Inv { txids: vec![] });
+        s.record(&Message::GetData { txids: vec![] });
+        s.record(&Message::TxData {
+            tx: Transaction::new(TxId::from_raw(1), 100),
+        });
+        assert_eq!(s.probe_messages(), 2);
+        assert_eq!(s.cluster_control_messages(), 2);
+        assert_eq!(s.relay_messages(), 3);
+        assert_eq!(s.total_messages(), 7);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MessageStats::new();
+        let mut b = MessageStats::new();
+        a.record(&Message::Version);
+        b.record(&Message::Version);
+        b.record(&Message::Verack);
+        a.merge(&b);
+        assert_eq!(a.count(MessageKind::Version), 2);
+        assert_eq!(a.count(MessageKind::Verack), 1);
+    }
+
+    #[test]
+    fn since_isolates_a_phase() {
+        let mut s = MessageStats::new();
+        s.record(&Message::Ping { nonce: 0 });
+        let baseline = s.clone();
+        s.record(&Message::Ping { nonce: 1 });
+        s.record(&Message::Join);
+        let phase = s.since(&baseline);
+        assert_eq!(phase.count(MessageKind::Ping), 1);
+        assert_eq!(phase.count(MessageKind::Join), 1);
+        assert_eq!(phase.total_messages(), 2);
+    }
+
+    #[test]
+    fn display_lists_active_kinds() {
+        let mut s = MessageStats::new();
+        s.record(&Message::GetAddr);
+        let text = s.to_string();
+        assert!(text.contains("getaddr=1"));
+        assert!(text.contains("1 msgs"));
+    }
+}

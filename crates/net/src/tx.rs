@@ -1,0 +1,158 @@
+//! Transactions and the verification-cost model.
+
+use crate::ids::TxId;
+use serde::{Deserialize, Serialize};
+
+/// A simulated Bitcoin transaction.
+///
+/// Only the attributes that influence propagation matter to the model: the
+/// identity (for INV dedup) and the wire size (transmission + verification
+/// cost). Scripts, signatures and UTXOs are out of scope — the paper's
+/// simulator treats verification as a per-transaction time cost too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Unique id (stands in for the transaction hash).
+    pub id: TxId,
+    /// Serialized size in bytes.
+    pub size_bytes: u32,
+}
+
+impl Transaction {
+    /// Creates a transaction.
+    pub fn new(id: TxId, size_bytes: u32) -> Self {
+        Transaction { id, size_bytes }
+    }
+}
+
+/// Deterministic transaction factory.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_net::TxFactory;
+///
+/// let mut factory = TxFactory::new(500);
+/// let a = factory.create();
+/// let b = factory.create();
+/// assert_ne!(a.id, b.id);
+/// assert_eq!(a.size_bytes, 500);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxFactory {
+    next: u64,
+    size_bytes: u32,
+}
+
+impl TxFactory {
+    /// Creates a factory emitting transactions of `size_bytes` each.
+    pub fn new(size_bytes: u32) -> Self {
+        TxFactory {
+            next: 1,
+            size_bytes,
+        }
+    }
+
+    /// Mints the next transaction.
+    pub fn create(&mut self) -> Transaction {
+        let id = TxId::from_raw(self.next);
+        self.next += 1;
+        Transaction::new(id, self.size_bytes)
+    }
+
+    /// Mints a transaction with an explicit size.
+    pub fn create_with_size(&mut self, size_bytes: u32) -> Transaction {
+        let id = TxId::from_raw(self.next);
+        self.next += 1;
+        Transaction::new(id, size_bytes)
+    }
+
+    /// Number of transactions minted so far.
+    pub fn minted(&self) -> u64 {
+        self.next - 1
+    }
+}
+
+/// Verification-cost model: a base cost plus a per-kilobyte cost.
+///
+/// Decker & Wattenhofer attribute much of Bitcoin's propagation delay to
+/// per-hop verification; the paper's simulator inherits that structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerifyCost {
+    /// Fixed per-transaction verification time (ms).
+    pub base_ms: f64,
+    /// Additional time per kilobyte of transaction (ms).
+    pub per_kb_ms: f64,
+}
+
+impl VerifyCost {
+    /// Defaults in line with published measurements: ~2 ms base + 1 ms/KB.
+    pub fn realistic() -> Self {
+        VerifyCost {
+            base_ms: 2.0,
+            per_kb_ms: 1.0,
+        }
+    }
+
+    /// Zero-cost verification, for isolating pure network delay in tests.
+    pub fn free() -> Self {
+        VerifyCost {
+            base_ms: 0.0,
+            per_kb_ms: 0.0,
+        }
+    }
+
+    /// Verification time for a transaction, in milliseconds.
+    pub fn verify_ms(&self, tx: &Transaction) -> f64 {
+        self.base_ms + self.per_kb_ms * f64::from(tx.size_bytes) / 1024.0
+    }
+}
+
+impl Default for VerifyCost {
+    fn default() -> Self {
+        Self::realistic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_ids_are_unique_and_sequential() {
+        let mut f = TxFactory::new(250);
+        let ids: Vec<u64> = (0..100).map(|_| f.create().id.as_u64()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+        assert_eq!(f.minted(), 100);
+    }
+
+    #[test]
+    fn explicit_size_override() {
+        let mut f = TxFactory::new(250);
+        let tx = f.create_with_size(1000);
+        assert_eq!(tx.size_bytes, 1000);
+        assert_eq!(f.create().size_bytes, 250);
+    }
+
+    #[test]
+    fn verify_cost_scales_with_size() {
+        let cost = VerifyCost::realistic();
+        let small = Transaction::new(TxId::from_raw(1), 256);
+        let big = Transaction::new(TxId::from_raw(2), 2048);
+        assert!(cost.verify_ms(&big) > cost.verify_ms(&small));
+        assert_eq!(cost.verify_ms(&small), 2.0 + 256.0 / 1024.0);
+    }
+
+    #[test]
+    fn free_verification_is_zero() {
+        let tx = Transaction::new(TxId::from_raw(1), 4096);
+        assert_eq!(VerifyCost::free().verify_ms(&tx), 0.0);
+    }
+
+    #[test]
+    fn default_is_realistic() {
+        assert_eq!(VerifyCost::default(), VerifyCost::realistic());
+    }
+}

@@ -1,0 +1,186 @@
+//! The measuring-node instrumentation (paper Fig. 2 and Eq. 5).
+//!
+//! The experiment methodology: a measuring node `m` creates a transaction,
+//! sends it to exactly **one** of its connections, and then records the time
+//! at which each of its connections first *announces* the transaction back
+//! to it. The deltas `Δt(m,i) = T_i − T_m` are the propagation-delay samples
+//! the paper's Fig. 3/Fig. 4 plot. The watch also records each node's first
+//! mempool acceptance, which feeds the network-wide validation experiment.
+
+use crate::ids::{NodeId, TxId};
+use bcbpt_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Observation record for one watched transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxWatch {
+    /// The watched transaction.
+    pub tx: TxId,
+    /// The measuring node `m`.
+    pub origin: NodeId,
+    /// When `m` propagated the transaction (`T_m`).
+    pub injected_at: SimTime,
+    /// First announcement (INV) seen by `m` from each of its peers.
+    announcements: BTreeMap<NodeId, SimTime>,
+    /// First mempool acceptance per node (network-wide propagation).
+    arrivals: BTreeMap<NodeId, SimTime>,
+}
+
+impl TxWatch {
+    /// Starts watching `tx` injected by `origin` at `injected_at`.
+    pub fn new(tx: TxId, origin: NodeId, injected_at: SimTime) -> Self {
+        TxWatch {
+            tx,
+            origin,
+            injected_at,
+            announcements: BTreeMap::new(),
+            arrivals: BTreeMap::new(),
+        }
+    }
+
+    /// Records that peer `from` announced the watched tx to the measuring
+    /// node at `at`. Only the first announcement per peer counts.
+    pub fn record_announcement(&mut self, from: NodeId, at: SimTime) {
+        self.announcements.entry(from).or_insert(at);
+    }
+
+    /// Records that `node` accepted the watched tx into its mempool at `at`.
+    /// Only the first acceptance counts.
+    pub fn record_arrival(&mut self, node: NodeId, at: SimTime) {
+        self.arrivals.entry(node).or_insert(at);
+    }
+
+    /// Per-peer announcement deltas `Δt(m,i)` in milliseconds, in peer-id
+    /// order (Eq. 5).
+    pub fn deltas_ms(&self) -> Vec<f64> {
+        self.announcements
+            .values()
+            .map(|t| t.saturating_since(self.injected_at).as_millis_f64())
+            .collect()
+    }
+
+    /// Number of peers that have announced so far.
+    pub fn announced_count(&self) -> usize {
+        self.announcements.len()
+    }
+
+    /// The raw per-peer announcement times.
+    pub fn announcements(&self) -> &BTreeMap<NodeId, SimTime> {
+        &self.announcements
+    }
+
+    /// Network-wide first-arrival delays in milliseconds (excluding the
+    /// origin), in node-id order — the series the validation experiment
+    /// compares against reference measurements.
+    pub fn arrival_delays_ms(&self) -> Vec<f64> {
+        self.arrivals
+            .iter()
+            .filter(|(node, _)| **node != self.origin)
+            .map(|(_, t)| t.saturating_since(self.injected_at).as_millis_f64())
+            .collect()
+    }
+
+    /// Number of nodes the transaction has reached (excluding the origin).
+    pub fn reached_count(&self) -> usize {
+        self.arrivals
+            .keys()
+            .filter(|node| **node != self.origin)
+            .count()
+    }
+
+    /// Time (ms) by which the transaction reached `fraction` of
+    /// `population` nodes, or `None` if it never did.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `(0, 1]`.
+    pub fn time_to_reach_ms(&self, fraction: f64, population: usize) -> Option<f64> {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        let needed = ((population as f64) * fraction).ceil() as usize;
+        let mut delays = self.arrival_delays_ms();
+        if delays.len() < needed {
+            return None;
+        }
+        delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        delays.get(needed.saturating_sub(1)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn deltas_follow_eq5() {
+        let mut w = TxWatch::new(TxId::from_raw(1), n(0), t(100));
+        w.record_announcement(n(1), t(130));
+        w.record_announcement(n(2), t(150));
+        assert_eq!(w.deltas_ms(), vec![30.0, 50.0]);
+        assert_eq!(w.announced_count(), 2);
+    }
+
+    #[test]
+    fn only_first_announcement_counts() {
+        let mut w = TxWatch::new(TxId::from_raw(1), n(0), t(0));
+        w.record_announcement(n(1), t(10));
+        w.record_announcement(n(1), t(99));
+        assert_eq!(w.deltas_ms(), vec![10.0]);
+    }
+
+    #[test]
+    fn arrivals_exclude_origin() {
+        let mut w = TxWatch::new(TxId::from_raw(1), n(0), t(0));
+        w.record_arrival(n(0), t(0));
+        w.record_arrival(n(1), t(20));
+        w.record_arrival(n(2), t(40));
+        assert_eq!(w.arrival_delays_ms(), vec![20.0, 40.0]);
+        assert_eq!(w.reached_count(), 2);
+    }
+
+    #[test]
+    fn only_first_arrival_counts() {
+        let mut w = TxWatch::new(TxId::from_raw(1), n(0), t(0));
+        w.record_arrival(n(1), t(5));
+        w.record_arrival(n(1), t(50));
+        assert_eq!(w.arrival_delays_ms(), vec![5.0]);
+    }
+
+    #[test]
+    fn time_to_reach_fraction() {
+        let mut w = TxWatch::new(TxId::from_raw(1), n(0), t(0));
+        for i in 1..=10u32 {
+            w.record_arrival(n(i), t(u64::from(i) * 10));
+        }
+        // population of 10 others: 50% = 5 nodes, reached at t=50.
+        assert_eq!(w.time_to_reach_ms(0.5, 10), Some(50.0));
+        assert_eq!(w.time_to_reach_ms(1.0, 10), Some(100.0));
+        assert_eq!(w.time_to_reach_ms(1.0, 20), None, "never reached 20 nodes");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn fraction_validated() {
+        let w = TxWatch::new(TxId::from_raw(1), n(0), t(0));
+        let _ = w.time_to_reach_ms(0.0, 10);
+    }
+
+    #[test]
+    fn announcements_accessor_ordered() {
+        let mut w = TxWatch::new(TxId::from_raw(1), n(0), t(0));
+        w.record_announcement(n(5), t(10));
+        w.record_announcement(n(2), t(20));
+        let keys: Vec<_> = w.announcements().keys().copied().collect();
+        assert_eq!(keys, vec![n(2), n(5)]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the network fabric.
+
+use bcbpt_net::{Message, NetConfig, Network, NodeId, RandomPolicy, TxId};
+use proptest::prelude::*;
+
+fn build(n: usize, seed: u64) -> Network {
+    let mut config = NetConfig::test_scale();
+    config.num_nodes = n;
+    Network::build(config, Box::new(RandomPolicy::new()), seed).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Outbound caps hold for any seed; edges are symmetric; no self loops.
+    #[test]
+    fn topology_caps_hold(seed in any::<u64>()) {
+        let net = build(40, seed);
+        for i in 0..40u32 {
+            let node = NodeId::from_index(i);
+            prop_assert!(net.links().outbound_count(node) <= 8);
+            prop_assert!(!net.links().connected(node, node));
+            prop_assert_eq!(
+                net.links().inbound_count(node) + net.links().outbound_count(node),
+                net.links().degree(node)
+            );
+        }
+        // Edge count equals half the degree sum.
+        let degree_sum: usize = (0..40u32)
+            .map(|i| net.links().degree(NodeId::from_index(i)))
+            .sum();
+        prop_assert_eq!(net.links().edge_count() * 2, degree_sum);
+    }
+
+    /// Base RTT is symmetric, positive and respects the triangle-free floor.
+    #[test]
+    fn rtt_symmetric_positive(seed in any::<u64>()) {
+        let net = build(20, seed);
+        for i in 0..20u32 {
+            for j in 0..20u32 {
+                let a = NodeId::from_index(i);
+                let b = NodeId::from_index(j);
+                let rtt = net.base_rtt_ms(a, b);
+                prop_assert!(rtt >= 0.0 && rtt.is_finite());
+                prop_assert!((rtt - net.base_rtt_ms(b, a)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Watched floods: arrival times are at least the injection time, and
+    /// announcement deltas never decrease when we give the network longer.
+    #[test]
+    fn watch_monotone_in_time(seed in any::<u64>()) {
+        let mut net = build(30, seed);
+        let origin = net.pick_online_node().unwrap();
+        net.inject_watched_tx(origin, None).unwrap();
+        net.run_for_ms(1_000.0);
+        let early = net.watch().unwrap().reached_count();
+        net.run_for_ms(59_000.0);
+        let late = net.watch().unwrap().reached_count();
+        prop_assert!(late >= early, "coverage cannot shrink");
+        prop_assert_eq!(late, 29, "eventually everyone");
+    }
+
+    /// Traffic accounting: total bytes grow monotonically with messages and
+    /// every message carries at least the 24-byte header.
+    #[test]
+    fn byte_accounting(seed in any::<u64>(), k in 1usize..10) {
+        let mut net = build(20, seed);
+        for _ in 0..k {
+            let origin = net.pick_online_node().unwrap();
+            let _ = net.inject_broadcast_tx(origin);
+            net.run_for_ms(5_000.0);
+        }
+        let s = net.stats();
+        prop_assert!(s.total_bytes() >= s.total_messages() * 24);
+    }
+
+    /// Deterministic replay: identical seeds yield identical traffic and
+    /// identical watch results.
+    #[test]
+    fn replay_identical(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut net = build(25, seed);
+            let origin = net.pick_online_node().unwrap();
+            net.inject_watched_tx(origin, None).unwrap();
+            net.run_for_ms(20_000.0);
+            (
+                net.stats().total_messages(),
+                net.stats().total_bytes(),
+                net.take_watch().unwrap().deltas_ms(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Mining at any interval yields a consistent ledger: main chain never
+    /// exceeds mined count, heights strictly increase along the chain.
+    #[test]
+    fn ledger_consistency(seed in any::<u64>(), interval in 200.0f64..5_000.0) {
+        let mut net = build(25, seed);
+        net.enable_mining(interval);
+        net.run_for_ms(30_000.0);
+        let ledger = net.ledger();
+        let chain = ledger.main_chain();
+        prop_assert!(chain.len() <= ledger.mined_count());
+        for w in chain.windows(2) {
+            let a = ledger.get(w[0]).unwrap();
+            let b = ledger.get(w[1]).unwrap();
+            prop_assert_eq!(b.parent, Some(a.id));
+            prop_assert_eq!(b.height, a.height + 1);
+        }
+        prop_assert!((0.0..=1.0).contains(&ledger.stale_rate()));
+    }
+
+    /// Wire sizes are stable: re-encoding the same message reports the same
+    /// size, and content growth strictly grows the size.
+    #[test]
+    fn wire_size_monotone(n in 0usize..50) {
+        let ids: Vec<TxId> = (0..n as u64).map(TxId::from_raw).collect();
+        let small = Message::Inv { txids: ids.clone() };
+        let mut bigger_ids = ids;
+        bigger_ids.push(TxId::from_raw(u64::MAX));
+        let big = Message::Inv { txids: bigger_ids };
+        prop_assert!(big.wire_size_bytes() > small.wire_size_bytes());
+        prop_assert_eq!(small.wire_size_bytes(), small.wire_size_bytes());
+    }
+}

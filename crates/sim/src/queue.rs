@@ -1,0 +1,282 @@
+//! The pending-event queue.
+//!
+//! A thin wrapper over a binary heap that guarantees **deterministic
+//! ordering**: events fire in `(time, sequence-number)` order, so two events
+//! scheduled for the same instant fire in the order they were scheduled,
+//! independent of heap internals.
+
+use crate::time::SimTime;
+use core::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable to cancel it later.
+///
+/// Ids are unique within one [`EventQueue`] (and therefore within one
+/// engine run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Raw sequence number backing this id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// An event popped from the queue: when it fires, its id, and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing<E> {
+    /// Instant at which the event fires.
+    pub time: SimTime,
+    /// The id under which the event was scheduled.
+    pub id: EventId,
+    /// The scheduled payload.
+    pub payload: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Manual impls: order by (time, seq) only, ignoring the payload, and invert
+// so that `BinaryHeap` (a max-heap) pops the *earliest* event first.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic pending-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), "late");
+/// q.schedule(SimTime::from_millis(1), "early");
+/// assert_eq!(q.pop().unwrap().payload, "early");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs scheduled and not yet fired or cancelled.
+    pending: HashSet<u64>,
+    /// Seqs cancelled but still occupying a heap slot (dropped lazily).
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            pending: HashSet::with_capacity(capacity),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time` and returns its cancellation id.
+    ///
+    /// Events scheduled for the same instant fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` when the event was still pending, `false` when it has
+    /// already fired, was already cancelled, or was never scheduled here.
+    /// Cancellation is O(1); the slot is dropped lazily on pop.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// slots.
+    pub fn pop(&mut self) -> Option<Firing<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            return Some(Firing {
+                time: entry.time,
+                id: EventId(entry.seq),
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// The firing instant of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled slots from the front so the peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_pending_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert!(!q.cancel(b), "cancelling a fired event reports false");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert_eq!(q.scheduled_total(), 2, "history survives clear");
+    }
+
+    #[test]
+    fn firing_reports_time_and_id() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(t(7), 'x');
+        let firing = q.pop().unwrap();
+        assert_eq!(firing.time, t(7));
+        assert_eq!(firing.id, id);
+        assert_eq!(firing.payload, 'x');
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the event engine invariants.
+
+use bcbpt_sim::{Control, Engine, EventQueue, RngHub, SimDuration, SimTime};
+use proptest::prelude::*;
+use rand::RngCore;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the insert order.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(f) = q.pop() {
+            prop_assert!(f.time >= last, "time went backwards");
+            last = f.time;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Equal-time events preserve scheduling order (FIFO within an instant).
+    #[test]
+    fn queue_is_fifo_within_instant(
+        times in proptest::collection::vec(0u64..50, 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(f) = q.pop() {
+            if let Some((lt, li)) = last {
+                if lt == f.time {
+                    prop_assert!(li < f.payload, "FIFO violated within an instant");
+                }
+            }
+            last = Some((f.time, f.payload));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_micros(t), i))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            let cancel = cancel_mask.get(i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expect.push(i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some(f) = q.pop() {
+            got.push(f.payload);
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The engine clock is monotone for any workload of relative reschedules.
+    #[test]
+    fn engine_clock_is_monotone(delays in proptest::collection::vec(0u64..5_000, 1..150)) {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::ZERO, 0usize);
+        let mut last = SimTime::ZERO;
+        let mut idx = 0usize;
+        let delays2 = delays.clone();
+        e.run(|engine, _| {
+            assert!(engine.now() >= last);
+            last = engine.now();
+            if idx < delays2.len() {
+                engine.schedule_in(SimDuration::from_micros(delays2[idx]), idx + 1);
+                idx += 1;
+            }
+            Control::Continue
+        });
+        prop_assert_eq!(idx, delays.len());
+    }
+
+    /// Two engines fed the same seed produce identical event streams.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>()) {
+        fn run(seed: u64) -> Vec<(u64, u64)> {
+            let hub = RngHub::new(seed);
+            let mut rng = hub.stream("load");
+            let mut e = Engine::new();
+            for _ in 0..50 {
+                let t = rng.next_u64() % 1_000_000;
+                let v = rng.next_u64();
+                e.schedule_at(SimTime::from_micros(t), v);
+            }
+            let mut out = Vec::new();
+            e.run(|engine, v| {
+                out.push((engine.now().as_micros(), v));
+                Control::Continue
+            });
+            out
+        }
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Horizon-bounded runs never process an event at or past the horizon.
+    #[test]
+    fn horizon_is_respected(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        horizon in 1u64..1_000
+    ) {
+        let mut e = Engine::new();
+        for &t in &times {
+            e.schedule_at(SimTime::from_micros(t), t);
+        }
+        let horizon_t = SimTime::from_micros(horizon);
+        e.run_until(horizon_t, |engine, _| {
+            assert!(engine.now() < horizon_t);
+            Control::Continue
+        });
+        let expected = times.iter().filter(|&&t| t < horizon).count() as u64;
+        prop_assert_eq!(e.processed(), expected);
+    }
+
+    /// Duration arithmetic round-trips through milliseconds within 0.5 µs.
+    #[test]
+    fn duration_float_round_trip(ms in 0.0f64..1.0e9) {
+        let d = SimDuration::from_millis_f64(ms);
+        let back = d.as_millis_f64();
+        prop_assert!((back - ms).abs() <= 0.000_5 + ms * 1e-12);
+    }
+}

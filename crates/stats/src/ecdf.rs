@@ -1,0 +1,281 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's figures (Fig. 3, Fig. 4) plot the *distribution* of the
+//! per-connection transaction arrival deltas `Δt(m,n)`; [`Ecdf`] is the data
+//! structure those figures are generated from.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// Stores the sorted sample; evaluation is a binary search. Construction is
+/// `O(n log n)` once, queries are `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_stats::Ecdf;
+///
+/// let cdf = Ecdf::from_samples([10.0, 20.0, 30.0, 40.0]).unwrap();
+/// assert_eq!(cdf.eval(25.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 20.0);
+/// assert_eq!(cdf.median(), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+/// Error returned when an [`Ecdf`] cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildEcdfError {
+    /// The sample was empty after dropping non-finite values.
+    Empty,
+}
+
+impl fmt::Display for BuildEcdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildEcdfError::Empty => f.write_str("sample contains no finite values"),
+        }
+    }
+}
+
+impl std::error::Error for BuildEcdfError {}
+
+impl Ecdf {
+    /// Builds an ECDF from samples, silently dropping non-finite values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildEcdfError::Empty`] when no finite samples remain.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Result<Self, BuildEcdfError> {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        if sorted.is_empty() {
+            return Err(BuildEcdfError::Empty);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `false` always: an `Ecdf` is never empty by construction. Provided for
+    /// API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates `F(x)` — the fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), using the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = (q * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// The median (`quantile(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Arithmetic mean of the sample.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Sample variance of the sample (n − 1 denominator).
+    pub fn sample_variance(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    }
+
+    /// Evaluates the CDF at evenly spaced points between `min` and `max`,
+    /// returning `(x, F(x))` pairs — the series a figure plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points < 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two curve points");
+        let lo = self.min();
+        let hi = self.max();
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic: the maximum vertical distance
+    /// between this CDF and `other`.
+    ///
+    /// Used to validate the simulator against the reference propagation-delay
+    /// distribution (paper §V.A).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bcbpt_stats::Ecdf;
+    ///
+    /// let a = Ecdf::from_samples((0..100).map(f64::from)).unwrap();
+    /// let b = Ecdf::from_samples((0..100).map(f64::from)).unwrap();
+    /// assert_eq!(a.ks_distance(&b), 0.0);
+    /// ```
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in &self.sorted {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+            // Also check just below x (left limit of the step).
+            let fx_self = self.eval(x - f64::EPSILON * x.abs().max(1.0));
+            let fx_other = other.eval(x - f64::EPSILON * x.abs().max(1.0));
+            d = d.max((fx_self - fx_other).abs());
+        }
+        for &x in &other.sorted {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(v: &[f64]) -> Ecdf {
+        Ecdf::from_samples(v.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn empty_sample_is_an_error() {
+        assert_eq!(Ecdf::from_samples([]), Err(BuildEcdfError::Empty));
+        assert_eq!(
+            Ecdf::from_samples([f64::NAN, f64::INFINITY]),
+            Err(BuildEcdfError::Empty)
+        );
+        assert!(!BuildEcdfError::Empty.to_string().is_empty());
+    }
+
+    #[test]
+    fn eval_step_function() {
+        let c = cdf(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let c = cdf(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(c.quantile(0.0), 10.0);
+        assert_eq!(c.quantile(0.2), 10.0);
+        assert_eq!(c.quantile(0.21), 20.0);
+        assert_eq!(c.quantile(0.5), 30.0);
+        assert_eq!(c.quantile(1.0), 50.0);
+        assert_eq!(c.median(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_validates_range() {
+        cdf(&[1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn min_max_mean_variance() {
+        let c = cdf(&[4.0, 2.0, 8.0, 6.0]);
+        assert_eq!(c.min(), 2.0);
+        assert_eq!(c.max(), 8.0);
+        assert_eq!(c.mean(), 5.0);
+        assert!((c.sample_variance() - 20.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let c = cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.samples(), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn curve_spans_range_and_is_monotone() {
+        let c = cdf(&[0.0, 1.0, 2.0, 5.0, 10.0]);
+        let curve = c.curve(11);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].0, 0.0);
+        assert_eq!(curve[10].0, 10.0);
+        assert_eq!(curve[10].1, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let a = cdf(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_distance(&a.clone()), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = cdf(&[1.0, 2.0, 3.0]);
+        let b = cdf(&[10.0, 20.0, 30.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+        assert_eq!(b.ks_distance(&a), 1.0);
+    }
+
+    #[test]
+    fn ks_distance_shifted_half() {
+        // a: {0,1}, b: {1,2}: max gap is 0.5 at x in [0,1).
+        let a = cdf(&[0.0, 1.0]);
+        let b = cdf(&[1.0, 2.0]);
+        assert!((a.ks_distance(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let c = Ecdf::from_samples([1.0, f64::NAN, 2.0]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Fixed-bin histograms.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniform bins over `[lo, hi)` plus underflow/overflow
+/// counters.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+/// h.record(5.0);
+/// h.record(15.0);
+/// h.record(15.5);
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(1), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo_milli: i64,
+    hi_milli: i64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+/// Error constructing a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildHistogramError {
+    /// `hi` was not strictly greater than `lo`.
+    EmptyRange,
+    /// Zero bins were requested.
+    NoBins,
+    /// A bound was NaN or infinite.
+    NonFiniteBound,
+}
+
+impl fmt::Display for BuildHistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BuildHistogramError::EmptyRange => "histogram range is empty",
+            BuildHistogramError::NoBins => "histogram needs at least one bin",
+            BuildHistogramError::NonFiniteBound => "histogram bounds must be finite",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for BuildHistogramError {}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// Bounds are stored with milli-unit precision so the type stays `Eq`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildHistogramError::NonFiniteBound`] for NaN/infinite bounds.
+    /// * [`BuildHistogramError::EmptyRange`] when `hi <= lo`.
+    /// * [`BuildHistogramError::NoBins`] when `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, BuildHistogramError> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(BuildHistogramError::NonFiniteBound);
+        }
+        if hi <= lo {
+            return Err(BuildHistogramError::EmptyRange);
+        }
+        if bins == 0 {
+            return Err(BuildHistogramError::NoBins);
+        }
+        Ok(Histogram {
+            lo_milli: (lo * 1000.0).round() as i64,
+            hi_milli: (hi * 1000.0).round() as i64,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> f64 {
+        self.lo_milli as f64 / 1000.0
+    }
+
+    /// Upper bound (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi_milli as f64 / 1000.0
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi() - self.lo()) / self.bins.len() as f64
+    }
+
+    /// Records an observation; out-of-range values land in the
+    /// underflow/overflow counters, non-finite values are dropped.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let lo = self.lo();
+        let hi = self.hi();
+        if x < lo {
+            self.underflow += 1;
+        } else if x >= hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - lo) / self.bin_width()) as usize;
+            let idx = idx.min(self.bins.len() - 1); // guard FP edge at hi
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= num_bins()`.
+    pub fn bin_count(&self, index: usize) -> u64 {
+        self.bins[index]
+    }
+
+    /// `(bin_lower_edge, count)` for each bin.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let lo = self.lo();
+        let w = self.bin_width();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (lo + w * i as f64, c))
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(MergeMismatch)` when the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeMismatch> {
+        if self.lo_milli != other.lo_milli
+            || self.hi_milli != other.hi_milli
+            || self.bins.len() != other.bins.len()
+        {
+            return Err(MergeMismatch);
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        Ok(())
+    }
+}
+
+/// Error merging histograms with different geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeMismatch;
+
+impl fmt::Display for MergeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("histogram geometries differ")
+    }
+}
+
+impl std::error::Error for MergeMismatch {}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            Histogram::new(1.0, 1.0, 4),
+            Err(BuildHistogramError::EmptyRange)
+        );
+        assert_eq!(
+            Histogram::new(2.0, 1.0, 4),
+            Err(BuildHistogramError::EmptyRange)
+        );
+        assert_eq!(Histogram::new(0.0, 1.0, 0), Err(BuildHistogramError::NoBins));
+        assert_eq!(
+            Histogram::new(f64::NAN, 1.0, 2),
+            Err(BuildHistogramError::NonFiniteBound)
+        );
+        for e in [
+            BuildHistogramError::EmptyRange,
+            BuildHistogramError::NoBins,
+            BuildHistogramError::NonFiniteBound,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.record(x);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(4), 1);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bin_width(), 2.0);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 1).unwrap();
+        h.record(-0.5);
+        h.record(1.0); // hi is exclusive
+        h.record(9.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+        h.record(f64::NAN);
+        assert_eq!(h.total(), 3, "NaN dropped entirely");
+    }
+
+    #[test]
+    fn iter_yields_edges_and_counts() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.record(2.5);
+        let v: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[2], (2.0, 1));
+    }
+
+    #[test]
+    fn merge_same_geometry() {
+        let mut a = Histogram::new(0.0, 10.0, 2).unwrap();
+        let mut b = Histogram::new(0.0, 10.0, 2).unwrap();
+        a.record(1.0);
+        b.record(2.0);
+        b.record(7.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.bin_count(0), 2);
+        assert_eq!(a.bin_count(1), 1);
+    }
+
+    #[test]
+    fn merge_mismatch_rejected() {
+        let mut a = Histogram::new(0.0, 10.0, 2).unwrap();
+        let b = Histogram::new(0.0, 10.0, 3).unwrap();
+        assert_eq!(a.merge(&b), Err(MergeMismatch));
+        let c = Histogram::new(0.0, 20.0, 2).unwrap();
+        assert_eq!(a.merge(&c), Err(MergeMismatch));
+        assert!(!MergeMismatch.to_string().is_empty());
+    }
+
+    #[test]
+    fn extend_records_all() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend((0..10).map(f64::from));
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let h = Histogram::new(0.5, 2.5, 8).unwrap();
+        assert_eq!(h.lo(), 0.5);
+        assert_eq!(h.hi(), 2.5);
+        assert_eq!(h.num_bins(), 8);
+        assert_eq!(h.bin_width(), 0.25);
+    }
+}

@@ -1,0 +1,44 @@
+//! # bcbpt-stats — statistics for the BCBPT reproduction
+//!
+//! Small, dependency-light statistics toolkit used throughout the
+//! reproduction of *Proximity Awareness Approach to Enhance Propagation
+//! Delay on the Bitcoin Peer-to-Peer Network* (ICDCS 2017):
+//!
+//! * [`Summary`] — streaming mean/variance/min/max (Welford), mergeable for
+//!   parallel campaigns.
+//! * [`Ecdf`] — empirical CDFs with quantiles, curve extraction (for the
+//!   paper's Fig. 3/Fig. 4 delay distributions) and the two-sample
+//!   Kolmogorov–Smirnov distance (simulator validation, §V.A).
+//! * [`Histogram`] — fixed-bin histograms with under/overflow accounting.
+//! * [`Figure`]/[`Series`]/[`StatTable`] — plain-text rendering of the
+//!   regenerated figures and tables.
+//! * [`bootstrap_ci`] — percentile-bootstrap confidence intervals so
+//!   campaign summaries carry uncertainty.
+//!
+//! # Examples
+//!
+//! ```
+//! use bcbpt_stats::{Ecdf, Summary};
+//!
+//! let delays = [12.0, 48.0, 33.0, 90.0, 41.0];
+//! let summary: Summary = delays.iter().copied().collect();
+//! let cdf = Ecdf::from_samples(delays)?;
+//! assert!(summary.mean() > 0.0);
+//! assert!(cdf.quantile(0.9) <= cdf.max());
+//! # Ok::<(), bcbpt_stats::BuildEcdfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod ecdf;
+mod histogram;
+mod summary;
+mod table;
+
+pub use bootstrap::{bootstrap_ci, BootstrapError, ConfidenceInterval};
+pub use ecdf::{BuildEcdfError, Ecdf};
+pub use histogram::{BuildHistogramError, Histogram, MergeMismatch};
+pub use summary::Summary;
+pub use table::{Figure, Series, StatTable};

@@ -1,0 +1,294 @@
+//! Streaming summary statistics.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Single-pass summary of a stream of observations: count, mean, variance
+/// (Welford's algorithm), min and max.
+///
+/// Numerically stable and O(1) per observation, so it can run inline in the
+/// hot path of a simulation with millions of samples.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_stats::Summary;
+///
+/// let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_variance(), 4.0);
+/// assert_eq!(s.min(), 2.0);
+/// assert_eq!(s.max(), 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// Non-finite values are ignored (and counted separately by callers that
+    /// care); a simulation latency can never meaningfully be NaN.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); `0.0` with fewer than 1 sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`); `0.0` with fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bcbpt_stats::Summary;
+    ///
+    /// let all: Summary = (0..100).map(f64::from).collect();
+    /// let mut left: Summary = (0..40).map(f64::from).collect();
+    /// let right: Summary = (40..100).map(f64::from).collect();
+    /// left.merge(&right);
+    /// assert_eq!(left.count(), all.count());
+    /// assert!((left.mean() - all.mean()).abs() < 1e-9);
+    /// assert!((left.sample_variance() - all.sample_variance()).abs() < 1e-6);
+    /// ```
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = Summary::new();
+        s.record(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0, 5.0].iter().copied().collect();
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.population_variance(), 2.0);
+        assert_eq!(s.sample_variance(), 2.5);
+        assert_eq!(s.sum(), 15.0);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut s = Summary::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 1.0);
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = Summary::new();
+        let b: Summary = [1.0, 2.0].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let mut c: Summary = [1.0, 2.0].iter().copied().collect();
+        c.merge(&Summary::new());
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 100.0).collect();
+        let seq: Summary = xs.iter().copied().collect();
+        let mut merged: Summary = xs[..300].iter().copied().collect();
+        let right: Summary = xs[300..].iter().copied().collect();
+        merged.merge(&right);
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-9);
+        assert!((merged.sample_variance() - seq.sample_variance()).abs() < 1e-6);
+        assert_eq!(merged.min(), seq.min());
+        assert_eq!(merged.max(), seq.max());
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0]);
+        s.extend([3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: large offset, small spread.
+        let offset = 1.0e9;
+        let s: Summary = [offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0]
+            .iter()
+            .copied()
+            .collect();
+        assert!((s.mean() - (offset + 10.0)).abs() < 1e-3);
+        assert!((s.sample_variance() - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s: Summary = [1.0].iter().copied().collect();
+        assert!(s.to_string().contains("n=1"));
+    }
+}

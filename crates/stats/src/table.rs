@@ -1,0 +1,281 @@
+//! Plain-text rendering of result tables and figure series.
+//!
+//! The bench harness regenerates the paper's figures as text: one labelled
+//! series per protocol/threshold, one row per x-point. Keeping the renderer
+//! here lets unit tests assert on exact output.
+
+use core::fmt::Write as _;
+use serde::{Deserialize, Serialize};
+
+/// One labelled data series, e.g. the Δt CDF of one protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label, e.g. `"BCBPT (dt=25ms)"`.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a labelled series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A figure: a caption plus one or more series sharing an x-axis meaning.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_stats::{Figure, Series};
+///
+/// let fig = Figure::new("Fig.3", "delay ms", "CDF")
+///     .with_series(Series::new("bitcoin", vec![(0.0, 0.0), (10.0, 1.0)]));
+/// let text = fig.render();
+/// assert!(text.contains("Fig.3"));
+/// assert!(text.contains("bitcoin"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure caption.
+    pub caption: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        caption: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            caption: caption.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Adds a series in place.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders the figure as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.caption);
+        let _ = writeln!(out, "# x: {}   y: {}", self.x_label, self.y_label);
+        for s in &self.series {
+            let _ = writeln!(out, "## series: {}", s.label);
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{x:>12.4}  {y:>10.4}");
+            }
+        }
+        out
+    }
+
+    /// Renders all series side by side on a shared x column (series must
+    /// have identical x grids; rows missing from a series render as blanks).
+    pub fn render_columns(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.caption);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "  {:>18}", truncate(&s.label, 18));
+        }
+        out.push('\n');
+        let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.0));
+            match x {
+                Some(x) => {
+                    let _ = write!(out, "{x:>12.4}");
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "");
+                }
+            }
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, "  {y:>18.4}");
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>18}", "");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A simple key/statistics table (used for summary reports).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl StatTable {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        StatTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a labelled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count differs from the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row arity must match columns"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows as `(label, values)` pairs.
+    pub fn rows(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.rows.iter().map(|(l, v)| (l.as_str(), v.as_slice()))
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
+        let _ = write!(out, "{:<label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, "  {c:>12}");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:<label_w$}");
+            for v in values {
+                let _ = write!(out, "  {v:>12.4}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_render_contains_everything() {
+        let fig = Figure::new("Test figure", "x", "y")
+            .with_series(Series::new("s1", vec![(1.0, 0.5)]))
+            .with_series(Series::new("s2", vec![(2.0, 0.7)]));
+        let text = fig.render();
+        assert!(text.contains("Test figure"));
+        assert!(text.contains("series: s1"));
+        assert!(text.contains("series: s2"));
+        assert!(text.contains("0.5000"));
+        assert!(text.contains("0.7000"));
+    }
+
+    #[test]
+    fn figure_columns_layout() {
+        let fig = Figure::new("F", "delay", "cdf")
+            .with_series(Series::new("a", vec![(1.0, 0.1), (2.0, 0.2)]))
+            .with_series(Series::new("b", vec![(1.0, 0.3)]));
+        let text = fig.render_columns();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // caption, header, 2 rows
+        assert!(lines[1].contains("delay"));
+        assert!(lines[2].contains("0.1000"));
+        assert!(lines[2].contains("0.3000"));
+        assert!(lines[3].contains("0.2000"));
+    }
+
+    #[test]
+    fn push_series_in_place() {
+        let mut fig = Figure::new("F", "x", "y");
+        fig.push_series(Series::new("a", vec![]));
+        assert_eq!(fig.series.len(), 1);
+    }
+
+    #[test]
+    fn stat_table_renders_rows() {
+        let mut t = StatTable::new("Delays", &["mean", "p90"]);
+        t.push_row("bitcoin", vec![120.0, 300.0]);
+        t.push_row("bcbpt", vec![40.0, 80.0]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.render();
+        assert!(text.contains("Delays"));
+        assert!(text.contains("bitcoin"));
+        assert!(text.contains("40.0000"));
+        let rows: Vec<_> = t.rows().collect();
+        assert_eq!(rows[1].0, "bcbpt");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn stat_table_validates_arity() {
+        let mut t = StatTable::new("T", &["a"]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn truncate_handles_unicode() {
+        assert_eq!(truncate("héllo wörld", 5), "héllo");
+        assert_eq!(truncate("ab", 5), "ab");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for statistics invariants.
+
+use bcbpt_stats::{Ecdf, Histogram, Summary};
+use proptest::prelude::*;
+
+fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, 1..max_len)
+}
+
+proptest! {
+    /// ECDF is monotone non-decreasing and bounded in [0, 1].
+    #[test]
+    fn ecdf_is_monotone(samples in finite_samples(200)) {
+        let cdf = Ecdf::from_samples(samples.iter().copied()).unwrap();
+        let mut prev = 0.0;
+        for &(x, y) in cdf.curve(64).iter() {
+            prop_assert!((0.0..=1.0).contains(&y), "F({x}) = {y} out of range");
+            prop_assert!(y >= prev, "CDF decreased");
+            prev = y;
+        }
+        prop_assert_eq!(cdf.eval(cdf.max()), 1.0);
+        prop_assert_eq!(cdf.eval(cdf.min() - 1.0), 0.0);
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_are_monotone(samples in finite_samples(200)) {
+        let cdf = Ecdf::from_samples(samples.iter().copied()).unwrap();
+        let mut prev = cdf.min();
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = cdf.quantile(q);
+            prop_assert!(v >= prev, "quantile decreased at q={q}");
+            prop_assert!(v >= cdf.min() && v <= cdf.max());
+            prev = v;
+        }
+    }
+
+    /// KS distance is a pseudo-metric: symmetric, zero on identical samples,
+    /// bounded by 1, and satisfies the triangle inequality.
+    #[test]
+    fn ks_is_a_pseudmetric(
+        a in finite_samples(60),
+        b in finite_samples(60),
+        c in finite_samples(60)
+    ) {
+        let ca = Ecdf::from_samples(a.iter().copied()).unwrap();
+        let cb = Ecdf::from_samples(b.iter().copied()).unwrap();
+        let cc = Ecdf::from_samples(c.iter().copied()).unwrap();
+        let dab = ca.ks_distance(&cb);
+        let dba = cb.ks_distance(&ca);
+        prop_assert!((dab - dba).abs() < 1e-12, "asymmetric: {dab} vs {dba}");
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert!(ca.ks_distance(&ca) == 0.0);
+        let dac = ca.ks_distance(&cc);
+        let dcb = cc.ks_distance(&cb);
+        prop_assert!(dab <= dac + dcb + 1e-12, "triangle violated");
+    }
+
+    /// Summary mean is bracketed by min/max, variance is non-negative.
+    #[test]
+    fn summary_brackets(samples in finite_samples(300)) {
+        let s: Summary = samples.iter().copied().collect();
+        prop_assert_eq!(s.count(), samples.len() as u64);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.sample_variance() >= 0.0);
+        prop_assert!(s.population_variance() <= s.sample_variance() + 1e-9 || s.count() < 2);
+    }
+
+    /// Merging summaries in any split matches the sequential result.
+    #[test]
+    fn summary_merge_associates(samples in finite_samples(300), split in 0usize..300) {
+        let split = split.min(samples.len());
+        let seq: Summary = samples.iter().copied().collect();
+        let mut left: Summary = samples[..split].iter().copied().collect();
+        let right: Summary = samples[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), seq.count());
+        prop_assert!((left.mean() - seq.mean()).abs() < 1e-6);
+        let scale = seq.sample_variance().abs().max(1.0);
+        prop_assert!((left.sample_variance() - seq.sample_variance()).abs() / scale < 1e-6);
+    }
+
+    /// Histogram conserves observations: bins + underflow + overflow = n.
+    #[test]
+    fn histogram_conserves_mass(samples in finite_samples(300)) {
+        let mut h = Histogram::new(-1000.0, 1000.0, 37).unwrap();
+        h.extend(samples.iter().copied());
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let binned: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), samples.len() as u64);
+    }
+
+    /// ECDF mean/variance agree with Summary on the same data.
+    #[test]
+    fn ecdf_and_summary_agree(samples in finite_samples(200)) {
+        let cdf = Ecdf::from_samples(samples.iter().copied()).unwrap();
+        let s: Summary = samples.iter().copied().collect();
+        prop_assert!((cdf.mean() - s.mean()).abs() < 1e-6);
+        let scale = s.sample_variance().abs().max(1.0);
+        prop_assert!((cdf.sample_variance() - s.sample_variance()).abs() / scale < 1e-6);
+        prop_assert_eq!(cdf.min(), s.min());
+        prop_assert_eq!(cdf.max(), s.max());
+    }
+}

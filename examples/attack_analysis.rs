@@ -1,0 +1,40 @@
+//! Security analysis of proximity clustering: eclipse and partition
+//! attacks.
+//!
+//! The paper flags both risks (§V.C) — an adversary can concentrate bad
+//! peers inside one latency neighbourhood, and a clustered overlay exposes
+//! a cheap inter-cluster cut set — and defers their evaluation to future
+//! work. This example runs that evaluation at a small scale.
+//!
+//! Run with: `cargo run --release --example attack_analysis`
+
+use bcbpt::{eclipse_table, partition_table, ExperimentConfig, Protocol};
+
+fn main() -> Result<(), String> {
+    let mut base = ExperimentConfig::quick(Protocol::Bitcoin);
+    base.net.num_nodes = 250;
+    base.warmup_ms = 4_000.0;
+    base.runs = 0; // attacks need the topology, not relay measurements
+
+    let protocols = [Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()];
+
+    eprintln!("building topologies and measuring eclipse exposure...");
+    let eclipse = eclipse_table(&base, &protocols, 0.10, 12)?;
+    println!("{}", eclipse.render());
+    println!(
+        "With 10% adversarial nodes placed latency-close to a victim, the\n\
+         random baseline hands the adversary ~10% of the victim's slots —\n\
+         proximity clustering hands it several times that. Proximity awareness\n\
+         trades propagation speed for eclipse surface.\n"
+    );
+
+    eprintln!("measuring partition resilience...");
+    let partition = partition_table(&base, &protocols)?;
+    println!("{}", partition.render());
+    println!(
+        "Clustered overlays expose a small inter-cluster cut set; severing it\n\
+         fragments the network, while the random topology has no such cheap\n\
+         cut. This is the partition risk the paper flags for future work."
+    );
+    Ok(())
+}

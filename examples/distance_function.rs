@@ -1,0 +1,62 @@
+//! The paper's distance utility function (Eq. 2–4), explored numerically.
+//!
+//! Prints `D(i,j)` for representative city pairs under (a) the
+//! self-consistent default parameters and (b) the constants as literally
+//! printed in the paper, illustrating the faithfulness note in DESIGN.md:
+//! with the published `rate ≈ 100 KB/hour`, the transmission term alone
+//! exceeds any plausible clustering threshold.
+//!
+//! Run with: `cargo run --example distance_function`
+
+use bcbpt::geo::{DistanceParams, GeoPoint, TransmissionMedium};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cities = [
+        ("London", GeoPoint::new(51.5074, -0.1278)?),
+        ("Paris", GeoPoint::new(48.8566, 2.3522)?),
+        ("Frankfurt", GeoPoint::new(50.1109, 8.6821)?),
+        ("New York", GeoPoint::new(40.7128, -74.0060)?),
+        ("Tokyo", GeoPoint::new(35.6762, 139.6503)?),
+    ];
+
+    let sane = DistanceParams::sane();
+    let paper = DistanceParams::paper();
+
+    println!(
+        "{:<22} {:>9} {:>12} {:>14}",
+        "pair", "km", "D sane (ms)", "D paper (ms)"
+    );
+    for (i, (name_a, a)) in cities.iter().enumerate() {
+        for (name_b, b) in cities.iter().skip(i + 1) {
+            let km = a.distance_km(b);
+            println!(
+                "{:<22} {:>9.0} {:>12.2} {:>14.1}",
+                format!("{name_a}-{name_b}"),
+                km,
+                sane.distance_ms(km),
+                paper.distance_ms(km),
+            );
+        }
+    }
+
+    println!("\nthreshold coverage radii under the sane parameters:");
+    for dt in [25.0, 30.0, 50.0, 100.0] {
+        println!(
+            "  Dth = {:>5.0} ms  ->  radius {:>6.0} km",
+            dt,
+            sane.coverage_radius_km(dt)
+        );
+    }
+    println!(
+        "\nunder the paper's printed constants the transmission term alone is\n\
+         {:.0} ms, so the 25 ms threshold admits nobody — see DESIGN.md §1\n\
+         for why the defaults use a self-consistent rate instead.",
+        paper.transmission_ms()
+    );
+    println!(
+        "\n(signal speeds: wifi {:.0} km/ms, copper/fibre {:.0} km/ms)",
+        TransmissionMedium::Wifi.signal_speed_km_per_ms(),
+        TransmissionMedium::Copper.signal_speed_km_per_ms()
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Double-spend exposure window: the scenario that motivates the paper.
+//!
+//! A merchant accepting zero-confirmation payments is vulnerable while a
+//! payment has not yet reached most of the network (paper §I: accelerating
+//! propagation "would result in reducing the probability of performing a
+//! successful double spending attack"). This example measures, for each
+//! protocol, how long a transaction needs to reach 50% / 90% of nodes —
+//! the attacker's window.
+//!
+//! Run with: `cargo run --release --example double_spend_window`
+
+use bcbpt::{NetConfig, Network, Protocol};
+
+const NODES: usize = 300;
+const TRIALS: usize = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("double-spend exposure window ({NODES} nodes, {TRIALS} trials per protocol)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "protocol", "t50 (ms)", "t90 (ms)", "coverage"
+    );
+    for protocol in [Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()] {
+        let mut config = NetConfig::test_scale();
+        config.num_nodes = NODES;
+        let mut net = Network::build(config, protocol.build_policy(), 2024)?;
+        net.warmup_ms(4_000.0);
+
+        let mut t50 = Vec::new();
+        let mut t90 = Vec::new();
+        let mut coverage = Vec::new();
+        for _ in 0..TRIALS {
+            let origin = net.pick_online_node().expect("online node");
+            // Merchants broadcast to all peers (normal client behaviour).
+            if net.inject_broadcast_tx(origin).is_err() {
+                continue;
+            }
+            net.run_for_ms(30_000.0);
+            let watch = net.take_watch().expect("watch armed");
+            let population = net.online_count().saturating_sub(1);
+            if let Some(t) = watch.time_to_reach_ms(0.5, population) {
+                t50.push(t);
+            }
+            if let Some(t) = watch.time_to_reach_ms(0.9, population) {
+                t90.push(t);
+            }
+            coverage.push(watch.reached_count() as f64 / population as f64);
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>11.1}%",
+            protocol.label(),
+            mean(&t50),
+            mean(&t90),
+            mean(&coverage) * 100.0
+        );
+    }
+    println!(
+        "\nReading the numbers: time-to-coverage is a *global* flood metric and\n\
+         flooding always takes the fastest of many paths, so the medians sit\n\
+         close together across protocols. The clustering win the paper reports\n\
+         is in the per-connection announcement deltas (run the fig3 binary) —\n\
+         i.e. how quickly and uniformly *your own* peers confirm having seen\n\
+         the payment, which is what a watching merchant actually observes."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Fork (stale-block) rate under each relay protocol.
+//!
+//! The paper's motivation (§I): slow transaction/block propagation lets two
+//! blocks be mined "simultaneously, each one as a possible addition to the
+//! same sub-chain", enabling double spends. This example runs proof-of-work
+//! on top of each protocol's topology and compares how many mined blocks go
+//! stale, using compact (20 KB) blocks so relay latency is the bottleneck.
+//!
+//! Run with: `cargo run --release --example fork_rate`
+
+use bcbpt::{fork_table, ExperimentConfig, Protocol};
+
+fn main() -> Result<(), String> {
+    let mut base = ExperimentConfig::quick(Protocol::Bitcoin);
+    base.net.num_nodes = 250;
+    base.net.block_size_bytes = 20_000;
+    base.warmup_ms = 4_000.0;
+    base.runs = 0;
+
+    // Aggressively fast blocks (1 s) relative to propagation, so the fork
+    // signal is visible in a short run.
+    let interval_ms = 1_000.0;
+    let duration_ms = 240_000.0;
+    eprintln!(
+        "mining every {interval_ms} ms for {duration_ms} ms over {} nodes...",
+        base.net.num_nodes
+    );
+    let table = fork_table(
+        &base,
+        &[Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()],
+        interval_ms,
+        duration_ms,
+    )?;
+    println!("{}", table.render());
+    println!(
+        "Lower stale rates mean fewer competing branches and a smaller\n\
+         double-spend surface. Note the flip side visible in tip_agreement:\n\
+         clustered overlays spread blocks quickly *within* a cluster but\n\
+         cross clusters over only a few long links, so global convergence\n\
+         can lag the random topology — a trade-off the paper does not\n\
+         discuss but this reproduction surfaces."
+    );
+    Ok(())
+}

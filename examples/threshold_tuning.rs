@@ -1,0 +1,36 @@
+//! Threshold tuning: pick the BCBPT distance threshold `Dth` for a
+//! deployment.
+//!
+//! The paper investigates "the optimal latency distance threshold that can
+//! speed up information propagation" (§V.C, Fig. 4) and finds that smaller
+//! thresholds reduce delay variance because clusters stay small and tight.
+//! This example sweeps `Dth`, printing delay statistics *and* the cluster
+//! structure each threshold induces, so an operator can see the trade-off:
+//! too tight and nodes fall back to long links; too loose and clusters stop
+//! meaning anything.
+//!
+//! Run with: `cargo run --release --example threshold_tuning`
+
+use bcbpt::{threshold_sweep, ExperimentConfig, Protocol};
+
+fn main() -> Result<(), String> {
+    let mut base = ExperimentConfig::quick(Protocol::Bitcoin);
+    base.net.num_nodes = 250;
+    base.warmup_ms = 4_000.0;
+    base.runs = 10;
+
+    let thresholds = [10.0, 25.0, 50.0, 100.0, 200.0];
+    eprintln!(
+        "sweeping Dth over {thresholds:?} ms on a {}-node network ({} runs each)...",
+        base.net.num_nodes, base.runs
+    );
+    let table = threshold_sweep(&base, &thresholds)?;
+    println!("{}", table.render());
+    println!(
+        "Reading the table: variance falls as Dth tightens (the paper's Fig. 4\n\
+         finding) while the cluster count rises; below the network's natural\n\
+         latency floor most candidates fail the threshold and nodes lean on\n\
+         long links again."
+    );
+    Ok(())
+}

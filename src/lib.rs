@@ -1,0 +1,93 @@
+//! # bcbpt — reproduction of the BCBPT proximity-aware Bitcoin relay
+//!
+//! A from-scratch Rust reproduction of **“Proximity Awareness Approach to
+//! Enhance Propagation Delay on the Bitcoin Peer-to-Peer Network”**
+//! (Fadhil/Sallal, Owen, Adda — ICDCS 2017): the BCBPT ping-time clustering
+//! protocol, its LBC and vanilla-Bitcoin baselines, the event-driven
+//! Bitcoin network simulator they are evaluated on, and the full experiment
+//! harness that regenerates the paper's figures.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `bcbpt-sim` | deterministic discrete-event engine |
+//! | [`geo`] | `bcbpt-geo` | world model, Eq. 2–4 distance utility, latency & churn |
+//! | [`stats`] | `bcbpt-stats` | summaries, ECDFs, KS distance, figures |
+//! | [`net`] | `bcbpt-net` | Bitcoin P2P substrate and network fabric |
+//! | [`cluster`] | `bcbpt-cluster` | BCBPT, LBC, protocol selection |
+//! | [`experiments`] | `bcbpt-core` | campaigns, Fig. 3/Fig. 4, validation, overhead, attacks |
+//!
+//! The most common types are at the top level.
+//!
+//! # Examples
+//!
+//! Measure one transaction's propagation under BCBPT:
+//!
+//! ```
+//! use bcbpt::{NetConfig, Network, Protocol};
+//!
+//! let mut config = NetConfig::test_scale();
+//! config.num_nodes = 40;
+//! let mut net = Network::build(config, Protocol::bcbpt_paper().build_policy(), 7)?;
+//! net.warmup_ms(1_000.0); // clusters form
+//! let origin = net.pick_online_node().expect("nodes online");
+//! net.inject_watched_tx(origin, None)?;
+//! net.run_for_ms(30_000.0);
+//! let watch = net.watch().expect("watch armed");
+//! assert!(watch.reached_count() > 30);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Regenerate a CI-scale Fig. 3:
+//!
+//! ```no_run
+//! use bcbpt::{fig3, ExperimentConfig, Protocol};
+//!
+//! let bundle = fig3(&ExperimentConfig::quick(Protocol::Bitcoin))?;
+//! println!("{}", bundle.render());
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The discrete-event simulation engine (`bcbpt-sim`).
+pub mod sim {
+    pub use bcbpt_sim::*;
+}
+
+/// Geography, latency and churn models (`bcbpt-geo`).
+pub mod geo {
+    pub use bcbpt_geo::*;
+}
+
+/// Statistics toolkit (`bcbpt-stats`).
+pub mod stats {
+    pub use bcbpt_stats::*;
+}
+
+/// The Bitcoin P2P substrate (`bcbpt-net`).
+pub mod net {
+    pub use bcbpt_net::*;
+}
+
+/// Clustering protocols (`bcbpt-cluster`).
+pub mod cluster {
+    pub use bcbpt_cluster::*;
+}
+
+/// Experiment harness (`bcbpt-core`).
+pub mod experiments {
+    pub use bcbpt_core::*;
+}
+
+pub use bcbpt_cluster::{BcbptConfig, BcbptPolicy, LbcConfig, LbcPolicy, Protocol};
+pub use bcbpt_core::{
+    degree_variance_table, eclipse_table, fig3, fig4, fork_table, overhead_table, partition_table,
+    threshold_sweep, validate_delays, CampaignResult, ExperimentConfig, FigureBundle,
+};
+pub use bcbpt_geo::{ChurnModel, DistanceParams, GeoPoint, LatencyConfig};
+pub use bcbpt_net::{NetConfig, Network, NodeId, Transaction, TxId, TxWatch};
+pub use bcbpt_sim::{SimDuration, SimTime};
+pub use bcbpt_stats::{Ecdf, Summary};

@@ -1,0 +1,97 @@
+//! Integration: behaviour under churn (the paper's simulator models
+//! session-length-driven join/leave events; §V.A).
+
+use bcbpt::{ChurnModel, ExperimentConfig, Protocol};
+
+fn churny() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+    cfg.net.num_nodes = 150;
+    cfg.net.churn = ChurnModel {
+        median_session_ms: 60_000.0,
+        session_sigma: 1.0,
+        mean_offline_ms: 20_000.0,
+    };
+    cfg.warmup_ms = 3_000.0;
+    cfg.window_ms = 20_000.0;
+    cfg.runs = 8;
+    cfg
+}
+
+#[test]
+fn protocols_keep_relaying_under_churn() {
+    for protocol in [Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()] {
+        let result = churny().with_protocol(protocol).run().unwrap();
+        assert!(
+            !result.runs.is_empty(),
+            "{protocol}: no successful runs under churn"
+        );
+        // Coverage may dip below 100% (nodes offline mid-flood), but the
+        // overlay must not fragment.
+        assert!(
+            result.mean_coverage() > 0.80,
+            "{protocol}: coverage {} too low under churn",
+            result.mean_coverage()
+        );
+    }
+}
+
+#[test]
+fn heavy_churn_does_not_deadlock_or_panic() {
+    let mut cfg = churny();
+    cfg.net.churn = ChurnModel {
+        median_session_ms: 5_000.0,
+        session_sigma: 1.2,
+        mean_offline_ms: 2_000.0,
+    };
+    cfg.runs = 4;
+    cfg.window_ms = 10_000.0;
+    for protocol in [Protocol::Bitcoin, Protocol::bcbpt_paper()] {
+        // The assertion is completion: campaigns terminate and yield data
+        // structures in a consistent state.
+        let result = cfg.with_protocol(protocol).run().unwrap();
+        for run in &result.runs {
+            assert!(run.online > 0);
+            assert!(run.reached <= result.num_nodes);
+        }
+    }
+}
+
+#[test]
+fn churned_nodes_lose_cluster_membership_and_regain_it() {
+    use bcbpt::{NetConfig, Network, NodeId};
+    let mut config = NetConfig::test_scale();
+    config.num_nodes = 60;
+    config.churn = ChurnModel {
+        median_session_ms: 2_000.0,
+        session_sigma: 0.6,
+        mean_offline_ms: 1_000.0,
+    };
+    let mut net = Network::build(config, Protocol::bcbpt_paper().build_policy(), 11).unwrap();
+    net.run_for_ms(20_000.0);
+    // Every *online* node has cluster membership; offline nodes have none.
+    for i in 0..60u32 {
+        let node = NodeId::from_index(i);
+        if net.is_online(node) {
+            // Nodes that just rejoined may briefly await their next
+            // discovery tick; allow either but require the common case.
+            continue;
+        }
+        assert_eq!(
+            net.cluster_of(node),
+            None,
+            "offline node {node} still registered"
+        );
+    }
+    let online_clustered = (0..60u32)
+        .map(NodeId::from_index)
+        .filter(|&n| net.is_online(n) && net.cluster_of(n).is_some())
+        .count();
+    let online_total = (0..60u32)
+        .map(NodeId::from_index)
+        .filter(|&n| net.is_online(n))
+        .count();
+    assert!(
+        online_clustered * 10 >= online_total * 8,
+        "only {online_clustered}/{online_total} online nodes clustered"
+    );
+}

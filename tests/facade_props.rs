@@ -1,0 +1,86 @@
+//! Property-based integration tests through the public facade: invariants
+//! that must hold for any seed and any protocol.
+
+use bcbpt::{NetConfig, Network, NodeId, Protocol};
+use proptest::prelude::*;
+
+fn any_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Bitcoin),
+        Just(Protocol::Lbc),
+        (10.0f64..150.0).prop_map(|t| Protocol::Bcbpt { threshold_ms: t }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the protocol and seed: the built topology respects the
+    /// outbound cap, contains no self-loops, and every edge is symmetric.
+    #[test]
+    fn topology_invariants(protocol in any_protocol(), seed in 0u64..1000) {
+        let mut config = NetConfig::test_scale();
+        config.num_nodes = 60;
+        let mut net = Network::build(config.clone(), protocol.build_policy(), seed).unwrap();
+        net.warmup_ms(1_000.0);
+        for i in 0..60u32 {
+            let node = NodeId::from_index(i);
+            prop_assert!(net.links().outbound_count(node) <= config.target_outbound);
+            prop_assert!(!net.links().connected(node, node));
+            for peer in net.links().peers(node).iter().copied() {
+                prop_assert!(net.links().connected(peer, node), "asymmetric edge");
+            }
+        }
+    }
+
+    /// A watched transaction reaches every online node when churn is off,
+    /// and every announcement delta is non-negative and finite.
+    #[test]
+    fn full_flood_and_sane_deltas(protocol in any_protocol(), seed in 0u64..1000) {
+        let mut config = NetConfig::test_scale();
+        config.num_nodes = 40;
+        let mut net = Network::build(config, protocol.build_policy(), seed).unwrap();
+        net.warmup_ms(800.0);
+        let origin = net.pick_online_node().unwrap();
+        net.inject_watched_tx(origin, None).unwrap();
+        net.run_for_ms(60_000.0);
+        let watch = net.watch().unwrap();
+        prop_assert_eq!(watch.reached_count(), 39, "flood incomplete");
+        for d in watch.deltas_ms() {
+            prop_assert!(d.is_finite() && d >= 0.0);
+        }
+    }
+
+    /// Cluster membership is internally consistent for clustering
+    /// protocols: same cluster id => both online nodes report it.
+    #[test]
+    fn cluster_ids_consistent(seed in 0u64..1000, threshold in 15.0f64..120.0) {
+        let mut config = NetConfig::test_scale();
+        config.num_nodes = 50;
+        let protocol = Protocol::Bcbpt { threshold_ms: threshold };
+        let mut net = Network::build(config, protocol.build_policy(), seed).unwrap();
+        net.warmup_ms(1_000.0);
+        let mut seen = std::collections::BTreeMap::new();
+        for i in 0..50u32 {
+            let node = NodeId::from_index(i);
+            let c = net.cluster_of(node);
+            prop_assert!(c.is_some(), "node {} unclustered after warmup", node);
+            *seen.entry(c.unwrap()).or_insert(0usize) += 1;
+        }
+        prop_assert_eq!(seen.values().sum::<usize>(), 50);
+    }
+
+    /// Traffic statistics are conserved: category counters never exceed the
+    /// total.
+    #[test]
+    fn stats_conservation(protocol in any_protocol(), seed in 0u64..1000) {
+        let mut config = NetConfig::test_scale();
+        config.num_nodes = 40;
+        let mut net = Network::build(config, protocol.build_policy(), seed).unwrap();
+        net.warmup_ms(500.0);
+        let s = net.stats();
+        let categorised = s.probe_messages() + s.cluster_control_messages() + s.relay_messages();
+        prop_assert!(categorised <= s.total_messages());
+        prop_assert!(s.total_bytes() >= s.total_messages() * 24, "every message has a header");
+    }
+}

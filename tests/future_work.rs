@@ -1,0 +1,137 @@
+//! Integration: the experiments the paper declares as future work —
+//! overhead accounting (§IV.A) and the eclipse/partition evaluations
+//! (§V.C) — exercised through the public facade.
+
+use bcbpt::{
+    eclipse_table, overhead_table, partition_table, validate_delays, ExperimentConfig, Protocol,
+};
+
+fn base() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+    cfg.net.num_nodes = 150;
+    cfg.warmup_ms = 3_000.0;
+    cfg.window_ms = 15_000.0;
+    cfg.runs = 4;
+    cfg
+}
+
+#[test]
+fn overhead_ranks_bcbpt_highest() {
+    let table = overhead_table(
+        &base(),
+        &[Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()],
+    )
+    .unwrap();
+    let probe: Vec<(String, f64)> = table
+        .rows()
+        .map(|(l, v)| (l.to_string(), v[0]))
+        .collect();
+    let of = |label: &str| {
+        probe
+            .iter()
+            .find(|(l, _)| l.starts_with(label))
+            .map(|(_, p)| *p)
+            .unwrap()
+    };
+    assert_eq!(of("bitcoin"), 0.0);
+    assert_eq!(of("lbc"), 0.0);
+    assert!(of("bcbpt") > 0.0, "bcbpt must pay measurement overhead");
+}
+
+#[test]
+fn eclipse_exposure_ordering() {
+    let table = eclipse_table(
+        &base(),
+        &[Protocol::Bitcoin, Protocol::bcbpt_paper()],
+        0.10,
+        8,
+    )
+    .unwrap();
+    let shares: Vec<(String, f64)> = table
+        .rows()
+        .map(|(l, v)| (l.to_string(), v[0]))
+        .collect();
+    let bitcoin = shares
+        .iter()
+        .find(|(l, _)| l.starts_with("bitcoin"))
+        .unwrap()
+        .1;
+    let bcbpt = shares
+        .iter()
+        .find(|(l, _)| l.starts_with("bcbpt"))
+        .unwrap()
+        .1;
+    assert!(
+        bcbpt > bitcoin * 1.5,
+        "proximity clustering should materially raise exposure: {bcbpt} vs {bitcoin}"
+    );
+}
+
+#[test]
+fn partition_attack_only_hurts_clustered_overlays() {
+    let table = partition_table(&base(), &[Protocol::Bitcoin, Protocol::bcbpt_paper()]).unwrap();
+    let rows: Vec<(String, Vec<f64>)> = table
+        .rows()
+        .map(|(l, v)| (l.to_string(), v.to_vec()))
+        .collect();
+    let (bitcoin_cut, bitcoin_reach) = rows
+        .iter()
+        .find(|(l, _)| l.starts_with("bitcoin"))
+        .map(|(_, v)| (v[0], v[2]))
+        .unwrap();
+    let (bcbpt_cut, bcbpt_reach) = rows
+        .iter()
+        .find(|(l, _)| l.starts_with("bcbpt"))
+        .map(|(_, v)| (v[0], v[2]))
+        .unwrap();
+    assert_eq!(bitcoin_cut, 0.0);
+    assert_eq!(bitcoin_reach, 1.0);
+    assert!(bcbpt_cut > 0.0);
+    assert!(bcbpt_reach < bitcoin_reach);
+}
+
+#[test]
+fn measured_client_config_passes_shape_validation() {
+    // The §V.A validation experiment end-to-end: vanilla protocol on the
+    // measured-client configuration must produce a Bitcoin-shaped delay
+    // distribution.
+    let mut cfg = base();
+    let n = cfg.net.num_nodes;
+    cfg.net = bcbpt::NetConfig::measured_client();
+    cfg.net.num_nodes = n;
+    cfg.runs = 6;
+    cfg.window_ms = 45_000.0;
+    cfg.protocol = Protocol::Bitcoin;
+    let campaign = cfg.run().unwrap();
+    let report = validate_delays(&campaign.all_arrivals_ms()).unwrap();
+    assert!(
+        report.shape_ok,
+        "validation failed: ks={} tail={} (ref {})",
+        report.ks_distance, report.sim_tail_ratio, report.ref_tail_ratio
+    );
+}
+
+#[test]
+fn pipelined_relay_is_faster_than_measured_client() {
+    // Decker & Wattenhofer's pipelining claim, reproduced: the pipelined
+    // relay (no trickling, fast verification) propagates much faster than
+    // the measured 2013-era client behaviour.
+    let mut pipelined = base();
+    pipelined.runs = 4;
+    let fast = pipelined.run().unwrap();
+
+    let mut measured = base();
+    let n = measured.net.num_nodes;
+    measured.net = bcbpt::NetConfig::measured_client();
+    measured.net.num_nodes = n;
+    measured.runs = 4;
+    measured.window_ms = 45_000.0;
+    let slow = measured.run().unwrap();
+
+    let fast_median = fast.arrival_ecdf().unwrap().median();
+    let slow_median = slow.arrival_ecdf().unwrap().median();
+    assert!(
+        fast_median * 2.0 < slow_median,
+        "pipelined median {fast_median} should be far below measured {slow_median}"
+    );
+}
