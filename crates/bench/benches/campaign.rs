@@ -1,0 +1,47 @@
+//! Campaign-runner benchmark: the same multi-run campaign executed serially
+//! and through the thread pool (the §V.B measuring loop the parallel runner
+//! accelerates). Output equality between the two modes is asserted on every
+//! sample — this bench doubles as a determinism check under load.
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::ExperimentConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn campaign_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+    cfg.net.num_nodes = 120;
+    cfg.warmup_ms = 2_000.0;
+    cfg.window_ms = 15_000.0;
+    cfg.runs = 16;
+    cfg
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let reference = campaign_config().run_serial().expect("campaign runs");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("campaign/16_runs_120_nodes");
+    group.sample_size(10);
+    for threads in [1usize, cores] {
+        let cfg = campaign_config();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &(cfg, threads),
+            |b, (cfg, threads)| {
+                b.iter(|| {
+                    let result = cfg.run_with_threads(*threads).expect("campaign runs");
+                    assert_eq!(&result, &reference, "parallel output diverged");
+                    black_box(result.runs.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_campaign
+}
+criterion_main!(benches);

@@ -10,7 +10,11 @@ use bcbpt_core::{fork_table, ExperimentConfig};
 fn main() -> Result<(), String> {
     let paper = std::env::args().any(|a| a == "--paper");
     let (mut base, interval_ms, duration_ms) = if paper {
-        (ExperimentConfig::paper(Protocol::Bitcoin), 2_000.0, 600_000.0)
+        (
+            ExperimentConfig::paper(Protocol::Bitcoin),
+            2_000.0,
+            600_000.0,
+        )
     } else {
         let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
         cfg.net.num_nodes = 400;

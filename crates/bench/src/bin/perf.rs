@@ -1,0 +1,187 @@
+//! Performance baseline: measures the hot layers this repository's BENCH
+//! trajectory tracks and writes the results as JSON.
+//!
+//! * event-queue throughput (schedule + drain, timer cascade) in events/sec;
+//! * relay-fabric throughput (one transaction flooding a 200-node network);
+//! * the §V.B campaign loop: wall-clock for a multi-run campaign executed
+//!   serially vs through the thread pool, with the determinism check.
+//!
+//! Usage: `cargo run --release -p bcbpt-bench --bin perf [--quick] [OUT.json]`
+//!
+//! `--quick` shrinks the campaign for CI smoke runs. The output path
+//! defaults to `BENCH_PR1.json` in the current directory.
+
+use bcbpt_cluster::Protocol;
+use bcbpt_core::ExperimentConfig;
+use bcbpt_net::{NetConfig, Network, RandomPolicy};
+use bcbpt_sim::{Control, Engine, SimDuration, SimTime};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct EngineMetrics {
+    schedule_drain_events_per_sec: f64,
+    timer_cascade_events_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct FloodMetrics {
+    nodes: usize,
+    events_processed: u64,
+    events_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct CampaignMetrics {
+    nodes: usize,
+    runs: usize,
+    window_ms: f64,
+    serial_secs: f64,
+    parallel_secs: f64,
+    parallel_threads: usize,
+    speedup: f64,
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    host_cores: usize,
+    engine: EngineMetrics,
+    flood: FloodMetrics,
+    campaign: CampaignMetrics,
+}
+
+fn bench_engine() -> EngineMetrics {
+    const N: u64 = 1_000_000;
+    let start = Instant::now();
+    let mut engine = Engine::<u64>::with_capacity(N as usize);
+    for i in 0..N {
+        engine.schedule_at(
+            SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 10_000_000),
+            i,
+        );
+    }
+    let mut sum = 0u64;
+    engine.run(|_, v| {
+        sum = sum.wrapping_add(v);
+        Control::Continue
+    });
+    black_box(sum);
+    let schedule_drain = N as f64 / start.elapsed().as_secs_f64();
+
+    const CASCADE: u32 = 1_000_000;
+    let start = Instant::now();
+    let mut engine = Engine::new();
+    engine.schedule_in(SimDuration::from_micros(1), 0u32);
+    let mut n = 0u32;
+    engine.run(|engine, _| {
+        n += 1;
+        if n < CASCADE {
+            engine.schedule_in(SimDuration::from_micros(1), n);
+        }
+        Control::Continue
+    });
+    black_box(n);
+    let cascade = f64::from(CASCADE) / start.elapsed().as_secs_f64();
+
+    EngineMetrics {
+        schedule_drain_events_per_sec: schedule_drain,
+        timer_cascade_events_per_sec: cascade,
+    }
+}
+
+fn bench_flood() -> FloodMetrics {
+    let mut config = NetConfig::test_scale();
+    config.num_nodes = 200;
+    let mut net = Network::build(config, Box::new(RandomPolicy::new()), 42).expect("valid config");
+    let origin = net.pick_online_node().expect("nodes online");
+    let start = Instant::now();
+    net.inject_watched_tx(origin, None).expect("online origin");
+    net.run_for_ms(30_000.0);
+    let elapsed = start.elapsed().as_secs_f64();
+    let events = net.events_processed();
+    FloodMetrics {
+        nodes: 200,
+        events_processed: events,
+        events_per_sec: events as f64 / elapsed,
+    }
+}
+
+fn bench_campaign(quick: bool) -> CampaignMetrics {
+    let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+    cfg.net.num_nodes = 150;
+    cfg.warmup_ms = 2_000.0;
+    cfg.window_ms = 20_000.0;
+    cfg.runs = if quick { 40 } else { 1000 };
+
+    let start = Instant::now();
+    let serial = cfg.run_serial().expect("campaign runs");
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let start = Instant::now();
+    let parallel = cfg.run_with_threads(threads).expect("campaign runs");
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    CampaignMetrics {
+        nodes: cfg.net.num_nodes,
+        runs: cfg.runs,
+        window_ms: cfg.window_ms,
+        serial_secs,
+        parallel_secs,
+        parallel_threads: threads,
+        speedup: serial_secs / parallel_secs,
+        deterministic: serial == parallel,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+
+    eprintln!("perf: engine microbenchmarks...");
+    let engine = bench_engine();
+    eprintln!(
+        "perf: schedule+drain {:.0} ev/s, cascade {:.0} ev/s",
+        engine.schedule_drain_events_per_sec, engine.timer_cascade_events_per_sec
+    );
+
+    eprintln!("perf: relay flood...");
+    let flood = bench_flood();
+    eprintln!("perf: flood {:.0} ev/s", flood.events_per_sec);
+
+    eprintln!(
+        "perf: campaign ({} mode)...",
+        if quick { "quick" } else { "full 1000-run" }
+    );
+    let campaign = bench_campaign(quick);
+    eprintln!(
+        "perf: campaign serial {:.2}s, parallel {:.2}s on {} threads (speedup {:.2}x, deterministic: {})",
+        campaign.serial_secs,
+        campaign.parallel_secs,
+        campaign.parallel_threads,
+        campaign.speedup,
+        campaign.deterministic
+    );
+    assert!(
+        campaign.deterministic,
+        "parallel campaign diverged from serial"
+    );
+
+    let report = PerfReport {
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        engine,
+        flood,
+        campaign,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    println!("{json}");
+    eprintln!("perf: wrote {out_path}");
+}

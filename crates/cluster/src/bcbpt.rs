@@ -20,9 +20,7 @@
 
 use crate::registry::ClusterRegistry;
 use crate::rtt::RttEstimator;
-use bcbpt_net::{
-    geo_ranked_candidates, Message, NeighborPolicy, NetView, NodeId, TopologyActions,
-};
+use bcbpt_net::{geo_ranked_candidates, Message, NeighborPolicy, NetView, NodeId, TopologyActions};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
@@ -86,7 +84,7 @@ impl Default for BcbptConfig {
 /// assert!(c.is_some());
 /// # Ok::<(), String>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BcbptPolicy {
     config: BcbptConfig,
     registry: ClusterRegistry,
@@ -250,6 +248,10 @@ impl NeighborPolicy for BcbptPolicy {
         "bcbpt"
     }
 
+    fn clone_box(&self) -> Box<dyn NeighborPolicy> {
+        Box::new(self.clone())
+    }
+
     fn bootstrap(&mut self, node: NodeId, view: &mut NetView<'_>) -> Vec<NodeId> {
         self.ensure_sized(view.num_nodes());
         self.join(node, view)
@@ -303,12 +305,7 @@ impl NeighborPolicy for BcbptPolicy {
                         // (it JOINs us).
                         view.count_control(&Message::Join);
                         view.count_control(&Message::ClusterList {
-                            members: self
-                                .registry
-                                .members(my_cluster)
-                                .iter()
-                                .copied()
-                                .collect(),
+                            members: self.registry.members(my_cluster).iter().copied().collect(),
                         });
                         self.registry.assign(c, my_cluster);
                         if intra_used < intra_budget {
@@ -383,11 +380,7 @@ mod tests {
         // the threshold in ground-truth RTT.
         let mut close = 0usize;
         let mut total = 0usize;
-        for (a, b) in net
-            .links()
-            .edges()
-            .collect::<Vec<_>>()
-        {
+        for (a, b) in net.links().edges().collect::<Vec<_>>() {
             if net.cluster_of(a) == net.cluster_of(b) {
                 total += 1;
                 if net.base_rtt_ms(a, b) < 25.0 * 1.5 {

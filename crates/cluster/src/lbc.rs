@@ -16,9 +16,7 @@
 //! imperfect proxy for internet proximity.
 
 use crate::registry::ClusterRegistry;
-use bcbpt_net::{
-    geo_ranked_candidates, Message, NeighborPolicy, NetView, NodeId, TopologyActions,
-};
+use bcbpt_net::{geo_ranked_candidates, Message, NeighborPolicy, NetView, NodeId, TopologyActions};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -66,7 +64,7 @@ impl Default for LbcConfig {
 /// assert!(net.cluster_of(NodeId::from_index(0)).is_some());
 /// # Ok::<(), String>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LbcPolicy {
     config: LbcConfig,
     registry: ClusterRegistry,
@@ -188,6 +186,10 @@ impl NeighborPolicy for LbcPolicy {
         "lbc"
     }
 
+    fn clone_box(&self) -> Box<dyn NeighborPolicy> {
+        Box::new(self.clone())
+    }
+
     fn bootstrap(&mut self, node: NodeId, view: &mut NetView<'_>) -> Vec<NodeId> {
         self.ensure_sized(view.num_nodes());
         self.join(node, view)
@@ -235,12 +237,12 @@ impl NeighborPolicy for LbcPolicy {
         // Prefer same-country (recommended first, then discovered), then
         // top up long links with anything else.
         let mut connect: Vec<NodeId> = Vec::new();
-        for c in recommended
-            .into_iter()
-            .chain(discovered.iter().copied().filter(|&c| {
-                c != node && view.is_online(c) && view.country(c) == country
-            }))
-        {
+        for c in recommended.into_iter().chain(
+            discovered
+                .iter()
+                .copied()
+                .filter(|&c| c != node && view.is_online(c) && view.country(c) == country),
+        ) {
             if connect.len() >= free {
                 break;
             }
@@ -252,8 +254,7 @@ impl NeighborPolicy for LbcPolicy {
             if connect.len() >= free {
                 break;
             }
-            if c != node && view.is_online(c) && !view.connected(node, c) && !connect.contains(&c)
-            {
+            if c != node && view.is_online(c) && !view.connected(node, c) && !connect.contains(&c) {
                 connect.push(c);
             }
         }
@@ -292,7 +293,10 @@ mod tests {
                 let same_country = net.meta(a).placement.country == net.meta(b).placement.country;
                 let same_cluster = net.cluster_of(a) == net.cluster_of(b);
                 if same_country {
-                    assert!(same_cluster, "same-country nodes {a},{b} in different clusters");
+                    assert!(
+                        same_cluster,
+                        "same-country nodes {a},{b} in different clusters"
+                    );
                 }
             }
         }

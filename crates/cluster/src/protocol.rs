@@ -32,9 +32,9 @@ impl Protocol {
         match *self {
             Protocol::Bitcoin => Box::new(RandomPolicy::new()),
             Protocol::Lbc => Box::new(LbcPolicy::new(LbcConfig::paper())),
-            Protocol::Bcbpt { threshold_ms } => {
-                Box::new(BcbptPolicy::new(BcbptConfig::with_threshold_ms(threshold_ms)))
-            }
+            Protocol::Bcbpt { threshold_ms } => Box::new(BcbptPolicy::new(
+                BcbptConfig::with_threshold_ms(threshold_ms),
+            )),
         }
     }
 

@@ -91,8 +91,16 @@ pub fn degree_variance_table(
             vec![
                 dv.slope,
                 dv.buckets.len() as f64,
-                if min_var.is_finite() { min_var } else { f64::NAN },
-                if max_var.is_finite() { max_var } else { f64::NAN },
+                if min_var.is_finite() {
+                    min_var
+                } else {
+                    f64::NAN
+                },
+                if max_var.is_finite() {
+                    max_var
+                } else {
+                    f64::NAN
+                },
             ],
         );
     }
@@ -159,16 +167,19 @@ mod tests {
     #[test]
     fn buckets_group_by_degree() {
         let campaign = campaign_with_runs(vec![
-            run(vec![10.0, 12.0]),                     // degree 2 -> bucket 2
-            run(vec![11.0, 13.0]),                     // degree 2
-            run(vec![50.0, 60.0, 70.0, 80.0, 90.0]),   // degree 5 -> bucket 4
+            run(vec![10.0, 12.0]),                   // degree 2 -> bucket 2
+            run(vec![11.0, 13.0]),                   // degree 2
+            run(vec![50.0, 60.0, 70.0, 80.0, 90.0]), // degree 5 -> bucket 4
         ]);
         let dv = degree_variance(&campaign, 2);
         assert_eq!(dv.buckets.len(), 2);
         assert_eq!(dv.buckets[0].0, 2);
         assert_eq!(dv.buckets[0].1, 4, "four deltas in the small bucket");
         assert_eq!(dv.buckets[1].0, 4);
-        assert!(dv.buckets[1].2 > dv.buckets[0].2, "wider deltas, more variance");
+        assert!(
+            dv.buckets[1].2 > dv.buckets[0].2,
+            "wider deltas, more variance"
+        );
         assert!(dv.slope > 0.0);
     }
 

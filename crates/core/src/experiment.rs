@@ -8,9 +8,12 @@
 
 use bcbpt_cluster::Protocol;
 use bcbpt_net::{MessageStats, NetConfig, Network, NodeId, TxWatch};
+use bcbpt_sim::RngHub;
 use bcbpt_stats::{bootstrap_ci, BuildEcdfError, ConfidenceInterval, Ecdf, Summary};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One measuring run's harvest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,6 +143,10 @@ impl CampaignResult {
     }
 }
 
+/// A completed measuring run (`None` = the run was skipped because its
+/// origin churned away) together with its measurement-window traffic.
+type RunOutcome = Option<(RunResult, MessageStats)>;
+
 /// Configuration of one campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -197,51 +204,132 @@ impl ExperimentConfig {
         }
     }
 
-    /// Runs the campaign.
+    /// Runs the campaign with one worker thread per available core.
     ///
-    /// Builds the network, lets clusters form during warmup, then performs
-    /// `runs` sequential measuring-node injections, each with its own
-    /// measurement window. Runs whose origin churned away are skipped (the
-    /// paper likewise averages over successful measurements, §V.B: "errors
-    /// such as loss of connection ... are expected").
+    /// Builds the network once and lets clusters form during warmup. Each
+    /// of the `runs` measuring-node injections then executes on its own
+    /// clone of that warmed-up snapshot, with every random stream re-derived
+    /// from `(seed, run_index)` — runs are mutually independent, so the
+    /// pool can execute them in any order while the merged output stays
+    /// byte-identical to [`run_serial`](Self::run_serial). Runs whose origin
+    /// churned away are skipped (the paper likewise averages over successful
+    /// measurements, §V.B: "errors such as loss of connection ... are
+    /// expected").
+    ///
+    /// Per-run results merge in run-index order; traffic counters aggregate
+    /// associatively (warmup traffic + the sum of each run's window
+    /// traffic).
     ///
     /// # Errors
     ///
     /// Propagates network-construction errors (invalid configuration).
     pub fn run(&self) -> Result<CampaignResult, String> {
-        let mut net = Network::build(self.net.clone(), self.protocol.build_policy(), self.seed)?;
-        net.warmup_ms(self.warmup_ms);
-        let warmup_traffic = net.stats().clone();
+        self.run_with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Runs the campaign strictly on the calling thread. Reference
+    /// implementation for the determinism contract: `run()` must produce
+    /// byte-identical output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors (invalid configuration).
+    pub fn run_serial(&self) -> Result<CampaignResult, String> {
+        self.run_with_threads(1)
+    }
+
+    /// Runs the campaign on exactly `threads` worker threads (`0` is
+    /// treated as 1). The thread count is an execution detail of the host,
+    /// not part of the experiment description — output is byte-identical
+    /// for every value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors (invalid configuration).
+    pub fn run_with_threads(&self, threads: usize) -> Result<CampaignResult, String> {
+        let mut base = Network::build(self.net.clone(), self.protocol.build_policy(), self.seed)?;
+        base.warmup_ms(self.warmup_ms);
+        let warmup_traffic = base.stats().clone();
+
+        let outcomes: Vec<RunOutcome> = if threads <= 1 || self.runs <= 1 {
+            (0..self.runs)
+                .map(|i| self.measure_one(&base, &warmup_traffic, i))
+                .collect()
+        } else {
+            // Work-stealing by atomic counter: each worker claims the next
+            // unstarted run index and writes into that run's dedicated
+            // slot, so merge order is run-index order regardless of
+            // scheduling.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<RunOutcome>>> =
+                (0..self.runs).map(|_| Mutex::new(None)).collect();
+            let base_ref = &base;
+            let warmup_ref = &warmup_traffic;
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(self.runs) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= self.runs {
+                            break;
+                        }
+                        let outcome = self.measure_one(base_ref, warmup_ref, i);
+                        *slots[i].lock().expect("slot lock") = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("slot lock")
+                        .expect("worker filled every claimed slot")
+                })
+                .collect()
+        };
 
         let mut runs = Vec::with_capacity(self.runs);
-        for run_index in 0..self.runs {
-            let Some(origin) = pick_origin(&mut net) else {
-                continue;
-            };
-            if net.inject_watched_tx(origin, None).is_err() {
-                continue;
-            }
-            net.run_for_ms(self.window_ms);
-            let watch: TxWatch = net.take_watch().expect("watch was just armed");
-            runs.push(RunResult {
-                run_index,
-                origin: origin.as_u32(),
-                deltas_ms: watch.deltas_ms(),
-                arrival_delays_ms: watch.arrival_delays_ms(),
-                reached: watch.reached_count(),
-                online: net.online_count(),
-            });
+        let mut traffic = warmup_traffic.clone();
+        for outcome in outcomes.into_iter().flatten() {
+            let (result, window_traffic) = outcome;
+            traffic.merge(&window_traffic);
+            runs.push(result);
         }
 
-        let cluster_sizes = cluster_sizes(&net);
+        let cluster_sizes = cluster_sizes(&base);
         Ok(CampaignResult {
             protocol: self.protocol.label(),
             runs,
-            traffic: net.stats().clone(),
+            traffic,
             warmup_traffic,
             cluster_sizes,
             num_nodes: self.net.num_nodes,
         })
+    }
+
+    /// One measuring run: clone the warmed-up snapshot, re-derive its RNG
+    /// streams from `(campaign seed, run_index)`, inject, simulate the
+    /// window, and harvest the watch plus the window's traffic delta.
+    fn measure_one(
+        &self,
+        base: &Network,
+        warmup_traffic: &MessageStats,
+        run_index: usize,
+    ) -> RunOutcome {
+        let mut net = base.clone();
+        net.reseed_streams(&RngHub::new(self.seed).subhub("run", run_index as u64));
+        let origin = pick_origin(&mut net)?;
+        net.inject_watched_tx(origin, None).ok()?;
+        net.run_for_ms(self.window_ms);
+        let watch: TxWatch = net.take_watch().expect("watch was just armed");
+        let result = RunResult {
+            run_index,
+            origin: origin.as_u32(),
+            deltas_ms: watch.deltas_ms(),
+            arrival_delays_ms: watch.arrival_delays_ms(),
+            reached: watch.reached_count(),
+            online: net.online_count(),
+        };
+        Some((result, net.stats().since(warmup_traffic)))
     }
 }
 
@@ -312,6 +400,34 @@ mod tests {
         let a = tiny(Protocol::Lbc).run().unwrap();
         let b = tiny(Protocol::Lbc).run().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_output_matches_serial() {
+        // The determinism contract of the parallel runner: any thread
+        // count, byte-identical campaign.
+        for protocol in [Protocol::Bitcoin, Protocol::bcbpt_paper()] {
+            let mut cfg = tiny(protocol);
+            cfg.runs = 6;
+            let serial = cfg.run_serial().unwrap();
+            for threads in [2, 3, 8] {
+                let parallel = cfg.run_with_threads(threads).unwrap();
+                assert_eq!(parallel, serial, "{} threads diverged from serial", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_independent_of_preceding_runs() {
+        // Dropping the first runs must not change later runs' results:
+        // per-run streams derive from (seed, run_index), not from what ran
+        // before.
+        let mut cfg = tiny(Protocol::Bitcoin);
+        cfg.runs = 4;
+        let four = cfg.run_serial().unwrap();
+        cfg.runs = 2;
+        let two = cfg.run_serial().unwrap();
+        assert_eq!(&four.runs[..2], &two.runs[..]);
     }
 
     #[test]

@@ -199,7 +199,12 @@ mod tests {
     fn fig4_sweeps_three_thresholds() {
         let bundle = fig4(&tiny()).unwrap();
         assert_eq!(bundle.figure.series.len(), 3);
-        let labels: Vec<&str> = bundle.figure.series.iter().map(|s| s.label.as_str()).collect();
+        let labels: Vec<&str> = bundle
+            .figure
+            .series
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
         assert!(labels.contains(&"bcbpt(dt=30ms)"));
         assert!(labels.contains(&"bcbpt(dt=50ms)"));
         assert!(labels.contains(&"bcbpt(dt=100ms)"));

@@ -75,9 +75,7 @@ pub fn fork_table(
     duration_ms: f64,
 ) -> Result<StatTable, String> {
     let mut table = StatTable::new(
-        format!(
-            "Fork rate under proof-of-work (blocks every {block_interval_ms} ms on average)"
-        ),
+        format!("Fork rate under proof-of-work (blocks every {block_interval_ms} ms on average)"),
         &["mined", "stale", "stale_rate", "tip_agreement"],
     );
     for &p in protocols {

@@ -52,8 +52,8 @@ pub use attacks::{
 };
 pub use degree::{degree_variance, degree_variance_table, DegreeVariance};
 pub use experiment::{cluster_sizes, CampaignResult, ExperimentConfig, RunResult};
-pub use forks::{fork_experiment, fork_table, ForkReport};
 pub use figures::{fig3, fig4, threshold_sweep, FigureBundle};
+pub use forks::{fork_experiment, fork_table, ForkReport};
 pub use overhead::overhead_table;
 pub use validation::{
     reference_samples, validate_delays, ValidationReport, KS_ACCEPT, REFERENCE_SIGMA,

@@ -100,8 +100,8 @@ pub fn validate_delays(sim_delays_ms: &[f64]) -> Result<ValidationReport, String
     // median-1 reference.
     let normalised: Vec<f64> = sim.samples().iter().map(|d| d / sim_median).collect();
     let sim_norm = Ecdf::from_samples(normalised).expect("non-empty");
-    let reference = Ecdf::from_samples(reference_samples(4096, 1.0, 0xB17C01))
-        .expect("reference non-empty");
+    let reference =
+        Ecdf::from_samples(reference_samples(4096, 1.0, 0xB17C01)).expect("reference non-empty");
     let ks = sim_norm.ks_distance(&reference);
     let sim_tail = sim.quantile(0.9) / sim.median();
     let ref_tail = reference.quantile(0.9) / reference.median();
@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn reference_is_deterministic() {
-        assert_eq!(reference_samples(16, 100.0, 7), reference_samples(16, 100.0, 7));
+        assert_eq!(
+            reference_samples(16, 100.0, 7),
+            reference_samples(16, 100.0, 7)
+        );
     }
 
     #[test]

@@ -186,10 +186,7 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(4);
         let n = 50_000;
         let mean: f64 = (0..n).map(|_| m.sample_offline_ms(&mut rng)).sum::<f64>() / n as f64;
-        assert!(
-            (mean / m.mean_offline_ms - 1.0).abs() < 0.05,
-            "mean {mean}"
-        );
+        assert!((mean / m.mean_offline_ms - 1.0).abs() < 0.05, "mean {mean}");
     }
 
     #[test]

@@ -184,7 +184,10 @@ mod tests {
         let r = p.coverage_radius_km(25.0);
         assert!(r > 0.0);
         let d = p.distance_ms(r);
-        assert!((d - 25.0).abs() < 1e-9, "distance at radius should hit threshold");
+        assert!(
+            (d - 25.0).abs() < 1e-9,
+            "distance at radius should hit threshold"
+        );
     }
 
     #[test]

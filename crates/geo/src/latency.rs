@@ -343,7 +343,10 @@ mod tests {
             .map(|_| model.sample_one_way_ms(base, &mut rng))
             .sum::<f64>()
             / n as f64;
-        assert!((mean - base).abs() < 2.0, "mean {mean} should be near {base}");
+        assert!(
+            (mean - base).abs() < 2.0,
+            "mean {mean} should be near {base}"
+        );
     }
 
     #[test]

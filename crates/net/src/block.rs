@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifies a block (stands in for the block-header hash).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct BlockId(u64);
 
@@ -122,12 +120,7 @@ impl BlockLedger {
     }
 
     /// Mints a new block on `parent` mined by `miner`.
-    pub fn mint(
-        &mut self,
-        parent: Option<BlockId>,
-        miner: NodeId,
-        size_bytes: u32,
-    ) -> Block {
+    pub fn mint(&mut self, parent: Option<BlockId>, miner: NodeId, size_bytes: u32) -> Block {
         let height = match parent {
             Some(p) => self.blocks.get(&p).map_or(0, |b| b.height) + 1,
             None => 0,

@@ -196,6 +196,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn validation_catches_each_violation() {
         let mut c = NetConfig::default();
         c.num_nodes = 1;
@@ -253,8 +254,10 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         // JSON cannot represent infinities, so use finite churn here.
-        let mut c = NetConfig::default();
-        c.churn = bcbpt_geo::ChurnModel::measured_like();
+        let c = NetConfig {
+            churn: bcbpt_geo::ChurnModel::measured_like(),
+            ..NetConfig::default()
+        };
         let json = serde_json::to_string(&c).unwrap();
         let back: NetConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);

@@ -114,10 +114,7 @@ mod tests {
             let got = geo_ranked_candidates(view, node, 8);
             assert_eq!(got.len(), 8);
             // Distances must be non-decreasing.
-            let d: Vec<f64> = got
-                .iter()
-                .map(|&c| view.geo_distance_km(node, c))
-                .collect();
+            let d: Vec<f64> = got.iter().map(|&c| view.geo_distance_km(node, c)).collect();
             for w in d.windows(2) {
                 assert!(w[0] <= w[1] + 1e-9, "not sorted: {d:?}");
             }

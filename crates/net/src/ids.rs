@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Node ids are dense indices assigned at network construction, which lets
 /// the fabric store per-node state in flat vectors. The newtype keeps them
 /// from being confused with transaction ids or plain counters.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(u32);
 
@@ -44,9 +42,7 @@ impl fmt::Display for NodeId {
 ///
 /// In the real protocol this is a 32-byte hash; the simulation only needs
 /// uniqueness, so a `u64` drawn from a deterministic counter suffices.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TxId(u64);
 

@@ -151,7 +151,10 @@ mod tests {
     fn disconnect_removes_both_directions() {
         let mut links = Links::new(3);
         links.connect(n(0), n(1));
-        assert!(links.disconnect(n(1), n(0)), "either endpoint may disconnect");
+        assert!(
+            links.disconnect(n(1), n(0)),
+            "either endpoint may disconnect"
+        );
         assert!(!links.connected(n(0), n(1)));
         assert_eq!(links.degree(n(0)), 0);
         assert!(!links.disconnect(n(0), n(1)), "double disconnect is false");

@@ -40,10 +40,23 @@ pub enum Message {
         /// Announced transaction ids.
         txids: Vec<TxId>,
     },
+    /// Single-transaction inventory announcement — the relay fabric's hot
+    /// path announces exactly one transaction per INV, and this variant
+    /// carries it inline instead of heap-allocating a one-element vector.
+    /// Wire-identical to `Inv` with one entry.
+    InvOne {
+        /// The announced transaction id.
+        txid: TxId,
+    },
     /// Request for full transaction data.
     GetData {
         /// Requested transaction ids.
         txids: Vec<TxId>,
+    },
+    /// Single-transaction data request (allocation-free twin of `GetData`).
+    GetDataOne {
+        /// The requested transaction id.
+        txid: TxId,
     },
     /// Full transaction payload.
     TxData {
@@ -55,10 +68,21 @@ pub enum Message {
         /// Announced block ids.
         ids: Vec<BlockId>,
     },
+    /// Single-block inventory announcement (allocation-free twin of
+    /// `BlockInv`).
+    BlockInvOne {
+        /// The announced block id.
+        id: BlockId,
+    },
     /// Request for full block data.
     GetBlocks {
         /// Requested block ids.
         ids: Vec<BlockId>,
+    },
+    /// Single-block data request (allocation-free twin of `GetBlocks`).
+    GetBlocksOne {
+        /// The requested block id.
+        id: BlockId,
     },
     /// Full block payload.
     BlockData {
@@ -166,11 +190,11 @@ impl Message {
             Message::Pong { .. } => MessageKind::Pong,
             Message::GetAddr => MessageKind::GetAddr,
             Message::Addr { .. } => MessageKind::Addr,
-            Message::Inv { .. } => MessageKind::Inv,
-            Message::GetData { .. } => MessageKind::GetData,
+            Message::Inv { .. } | Message::InvOne { .. } => MessageKind::Inv,
+            Message::GetData { .. } | Message::GetDataOne { .. } => MessageKind::GetData,
             Message::TxData { .. } => MessageKind::Tx,
-            Message::BlockInv { .. } => MessageKind::BlockInv,
-            Message::GetBlocks { .. } => MessageKind::GetBlocks,
+            Message::BlockInv { .. } | Message::BlockInvOne { .. } => MessageKind::BlockInv,
+            Message::GetBlocks { .. } | Message::GetBlocksOne { .. } => MessageKind::GetBlocks,
             Message::BlockData { .. } => MessageKind::Block,
             Message::Join => MessageKind::Join,
             Message::ClusterList { .. } => MessageKind::ClusterList,
@@ -190,10 +214,12 @@ impl Message {
                 Message::Inv { txids } | Message::GetData { txids } => {
                     1 + txids.len() * INV_ENTRY_BYTES
                 }
+                Message::InvOne { .. } | Message::GetDataOne { .. } => 1 + INV_ENTRY_BYTES,
                 Message::TxData { tx } => tx.size_bytes as usize,
                 Message::BlockInv { ids } | Message::GetBlocks { ids } => {
                     1 + ids.len() * INV_ENTRY_BYTES
                 }
+                Message::BlockInvOne { .. } | Message::GetBlocksOne { .. } => 1 + INV_ENTRY_BYTES,
                 Message::BlockData { block } => block.size_bytes as usize,
                 Message::Join => 8,
                 Message::ClusterList { members } => 1 + members.len() * ADDR_ENTRY_BYTES,
@@ -260,6 +286,31 @@ mod tests {
     fn every_message_has_nonzero_wire_size() {
         assert!(Message::Verack.wire_size_bytes() >= HEADER_BYTES);
         assert!(Message::Ping { nonce: 0 }.wire_size_bytes() > HEADER_BYTES);
+    }
+
+    #[test]
+    fn one_element_twins_match_their_vec_forms() {
+        let txid = TxId::from_raw(7);
+        let id = BlockId::from_raw(9);
+        let pairs = [
+            (Message::Inv { txids: vec![txid] }, Message::InvOne { txid }),
+            (
+                Message::GetData { txids: vec![txid] },
+                Message::GetDataOne { txid },
+            ),
+            (
+                Message::BlockInv { ids: vec![id] },
+                Message::BlockInvOne { id },
+            ),
+            (
+                Message::GetBlocks { ids: vec![id] },
+                Message::GetBlocksOne { id },
+            ),
+        ];
+        for (vec_form, one_form) in pairs {
+            assert_eq!(vec_form.kind(), one_form.kind());
+            assert_eq!(vec_form.wire_size_bytes(), one_form.wire_size_bytes());
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! leave churn from session-length models, periodic discovery ticks
 //! (§V.B: every 100 ms), and the measuring-node instrumentation (Fig. 2).
 
-use crate::block::{Block, BlockId, BlockLedger, ChainState};
+use crate::block::{BlockId, BlockLedger, ChainState};
 use crate::config::NetConfig;
 use crate::ids::{NodeId, TxId};
 use crate::links::Links;
@@ -44,11 +44,15 @@ pub enum NetEvent {
         node: NodeId,
     },
     /// Verification of a received transaction finished.
+    ///
+    /// Carries only the transaction id: payload bodies are interned in the
+    /// network's transaction registry, so events stay two words instead of
+    /// cloning the payload through the queue.
     VerifyDone {
         /// The verifying node.
         node: NodeId,
-        /// The verified transaction.
-        tx: Transaction,
+        /// Id of the verified transaction.
+        tx: TxId,
         /// Who delivered the payload (excluded from the re-announcement).
         relayer: NodeId,
     },
@@ -72,11 +76,14 @@ pub enum NetEvent {
     /// The global proof-of-work process finds a block.
     MineBlock,
     /// Verification of a received block finished.
+    ///
+    /// Carries only the block id; the body is interned in the global
+    /// ledger.
     BlockVerifyDone {
         /// The verifying node.
         node: NodeId,
-        /// The verified block.
-        block: Block,
+        /// Id of the verified block.
+        block: BlockId,
         /// Who delivered the payload.
         relayer: NodeId,
     },
@@ -137,6 +144,7 @@ impl std::error::Error for InjectError {}
 /// assert!(watch.reached_count() > 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[derive(Clone)]
 pub struct Network {
     config: NetConfig,
     meta: Vec<NodeMeta>,
@@ -161,6 +169,10 @@ pub struct Network {
     mining_rng: ChaCha12Rng,
     /// Mean block inter-arrival in ms; 0 = mining disabled.
     mining_interval_ms: f64,
+    /// Reused fan-out buffer: every relay hop collects the peers to
+    /// announce to, and this scratch space keeps that collection
+    /// allocation-free on the hot path.
+    scratch_nodes: Vec<NodeId>,
 }
 
 impl fmt::Debug for Network {
@@ -232,6 +244,7 @@ impl Network {
             ledger: BlockLedger::new(),
             mining_rng: hub.stream("mining"),
             mining_interval_ms: 0.0,
+            scratch_nodes: Vec::new(),
             config,
         };
 
@@ -356,6 +369,22 @@ impl Network {
         self.discovery_enabled = enabled;
     }
 
+    /// Re-derives every random stream from `hub`, leaving topology, clocks
+    /// and pending events untouched.
+    ///
+    /// The parallel campaign runner snapshots one warmed-up network and
+    /// clones it per measuring run; reseeding each clone from
+    /// `RngHub::new(campaign_seed).subhub("run", run_index)` makes run `k`
+    /// independent of which thread executes it — parallel output is
+    /// byte-identical to the serial schedule.
+    pub fn reseed_streams(&mut self, hub: &bcbpt_sim::RngHub) {
+        self.policy_rng = hub.stream("policy");
+        self.latency_rng = hub.stream("latency");
+        self.churn_rng = hub.stream("churn");
+        self.inject_rng = hub.stream("inject");
+        self.mining_rng = hub.stream("mining");
+    }
+
     /// Events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.engine.processed()
@@ -363,7 +392,9 @@ impl Network {
 
     /// Picks a deterministic pseudo-random online node, if any is online.
     pub fn pick_online_node(&mut self) -> Option<NodeId> {
-        let sample = self.online.sample(1, NodeId::from_index(u32::MAX - 1), &mut self.inject_rng);
+        let sample = self
+            .online
+            .sample(1, NodeId::from_index(u32::MAX - 1), &mut self.inject_rng);
         sample.first().copied()
     }
 
@@ -560,6 +591,24 @@ impl Network {
     // Messaging
     // ------------------------------------------------------------------
 
+    /// Takes the reusable fan-out buffer, filled with `node`'s peers minus
+    /// `exclude` — the relay hot path's allocation-free peer collection.
+    /// Callers iterate it and hand it back by assigning to
+    /// `self.scratch_nodes` (forgetting to restore only costs the reuse,
+    /// never correctness).
+    fn take_peer_scratch(&mut self, node: NodeId, exclude: Option<NodeId>) -> Vec<NodeId> {
+        let mut peers = std::mem::take(&mut self.scratch_nodes);
+        peers.clear();
+        peers.extend(
+            self.links
+                .peers(node)
+                .iter()
+                .copied()
+                .filter(|&p| Some(p) != exclude),
+        );
+        peers
+    }
+
     /// Schedules delivery of `msg` from `from` to `to` with sampled link
     /// latency plus serialization delay.
     fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
@@ -622,7 +671,7 @@ impl Network {
         if !self.meta[origin.index()].online {
             return Err(InjectError::OriginOffline(origin));
         }
-        let peers: Vec<NodeId> = self.links.peers(origin).iter().copied().collect();
+        let peers = self.links.peers(origin);
         if peers.is_empty() {
             return Err(InjectError::NoPeers(origin));
         }
@@ -634,7 +683,10 @@ impl Network {
                     first_hop: t,
                 })
             }
-            None => peers[self.inject_rng.gen_range(0..peers.len())],
+            None => {
+                let k = self.inject_rng.gen_range(0..peers.len());
+                *peers.iter().nth(k).expect("index sampled below len")
+            }
         };
         let tx = self.tx_factory.create();
         self.tx_registry.insert(tx.id, tx);
@@ -666,11 +718,12 @@ impl Network {
         let mut watch = TxWatch::new(tx.id, origin, self.now());
         watch.record_arrival(origin, self.now());
         self.watch = Some(watch);
-        let peers: Vec<NodeId> = self.links.peers(origin).iter().copied().collect();
-        for p in peers {
+        let peers = self.take_peer_scratch(origin, None);
+        for &p in &peers {
             let trickle = self.sample_trickle_ms();
-            self.send_with_extra_delay(origin, p, Message::Inv { txids: vec![tx.id] }, trickle);
+            self.send_with_extra_delay(origin, p, Message::InvOne { txid: tx.id }, trickle);
         }
+        self.scratch_nodes = peers;
         Ok(tx.id)
     }
 
@@ -739,10 +792,13 @@ impl Network {
         // Measuring-node hook: record the first announcement per peer.
         if let Some(watch) = &mut self.watch {
             if to == watch.origin {
-                if let Message::Inv { txids } = &msg {
-                    if txids.contains(&watch.tx) {
-                        watch.record_announcement(from, self.engine.now());
-                    }
+                let announces = match &msg {
+                    Message::Inv { txids } => txids.contains(&watch.tx),
+                    Message::InvOne { txid } => *txid == watch.tx,
+                    _ => false,
+                };
+                if announces {
+                    watch.record_announcement(from, self.engine.now());
                 }
             }
         }
@@ -750,9 +806,9 @@ impl Network {
             Message::Ping { nonce } => self.send(to, from, Message::Pong { nonce }),
             Message::Pong { .. } => {}
             Message::GetAddr => {
-                let nodes = self
-                    .online
-                    .sample(self.config.discovery_sample, to, &mut self.policy_rng);
+                let nodes =
+                    self.online
+                        .sample(self.config.discovery_sample, to, &mut self.policy_rng);
                 self.send(to, from, Message::Addr { nodes });
             }
             Message::Addr { .. } => {}
@@ -774,12 +830,30 @@ impl Network {
                     self.send(to, from, Message::GetData { txids: wanted });
                 }
             }
+            Message::InvOne { txid } => {
+                // Hot-path twin of `Inv`: one id, no vectors end to end.
+                let proto = &mut self.proto[to.index()];
+                if !proto.knows(txid) {
+                    proto.inflight.insert(txid);
+                    let timeout = SimDuration::from_millis_f64(self.config.getdata_timeout_ms);
+                    self.engine
+                        .schedule_in(timeout, NetEvent::GetDataTimeout { node: to, tx: txid });
+                    self.send(to, from, Message::GetDataOne { txid });
+                }
+            }
             Message::GetData { txids } => {
                 for txid in txids {
                     if self.proto[to.index()].mempool.contains(&txid) {
                         if let Some(&tx) = self.tx_registry.get(&txid) {
                             self.send(to, from, Message::TxData { tx });
                         }
+                    }
+                }
+            }
+            Message::GetDataOne { txid } => {
+                if self.proto[to.index()].mempool.contains(&txid) {
+                    if let Some(&tx) = self.tx_registry.get(&txid) {
+                        self.send(to, from, Message::TxData { tx });
                     }
                 }
             }
@@ -797,7 +871,7 @@ impl Network {
                     verify,
                     NetEvent::VerifyDone {
                         node: to,
-                        tx,
+                        tx: tx.id,
                         relayer: from,
                     },
                 );
@@ -825,12 +899,34 @@ impl Network {
                     self.send(to, from, Message::GetBlocks { ids: wanted });
                 }
             }
+            Message::BlockInvOne { id } => {
+                let chain = &mut self.chain[to.index()];
+                if !chain.knows(id) {
+                    chain.inflight.insert(id);
+                    let timeout = SimDuration::from_millis_f64(self.config.getdata_timeout_ms);
+                    self.engine.schedule_in(
+                        timeout,
+                        NetEvent::GetBlockTimeout {
+                            node: to,
+                            block: id,
+                        },
+                    );
+                    self.send(to, from, Message::GetBlocksOne { id });
+                }
+            }
             Message::GetBlocks { ids } => {
                 for id in ids {
                     if self.chain[to.index()].known.contains(&id) {
                         if let Some(&block) = self.ledger.get(id) {
                             self.send(to, from, Message::BlockData { block });
                         }
+                    }
+                }
+            }
+            Message::GetBlocksOne { id } => {
+                if self.chain[to.index()].known.contains(&id) {
+                    if let Some(&block) = self.ledger.get(id) {
+                        self.send(to, from, Message::BlockData { block });
                     }
                 }
             }
@@ -850,7 +946,7 @@ impl Network {
                     verify,
                     NetEvent::BlockVerifyDone {
                         node: to,
-                        block,
+                        block: block.id,
                         relayer: from,
                     },
                 );
@@ -861,31 +957,26 @@ impl Network {
         }
     }
 
-    fn handle_verified(&mut self, node: NodeId, tx: Transaction, relayer: NodeId) {
+    fn handle_verified(&mut self, node: NodeId, txid: TxId, relayer: NodeId) {
         if !self.meta[node.index()].online {
             return; // Departed while verifying.
         }
         let proto = &mut self.proto[node.index()];
-        proto.verifying.remove(&tx.id);
-        if !proto.mempool.insert(tx.id) {
+        proto.verifying.remove(&txid);
+        if !proto.mempool.insert(txid) {
             return;
         }
         if let Some(watch) = &mut self.watch {
-            if tx.id == watch.tx {
+            if txid == watch.tx {
                 watch.record_arrival(node, self.engine.now());
             }
         }
-        let peers: Vec<NodeId> = self
-            .links
-            .peers(node)
-            .iter()
-            .copied()
-            .filter(|&p| p != relayer)
-            .collect();
-        for p in peers {
+        let peers = self.take_peer_scratch(node, Some(relayer));
+        for &p in &peers {
             let trickle = self.sample_trickle_ms();
-            self.send_with_extra_delay(node, p, Message::Inv { txids: vec![tx.id] }, trickle);
+            self.send_with_extra_delay(node, p, Message::InvOne { txid }, trickle);
         }
+        self.scratch_nodes = peers;
     }
 
     fn handle_discovery(&mut self, node: NodeId) {
@@ -899,9 +990,9 @@ impl Network {
         }
         // "The normal Bitcoin network nodes discovery mechanism": learn a
         // few addresses (accounted as a GETADDR/ADDR exchange with a peer).
-        let discovered = self
-            .online
-            .sample(self.config.discovery_sample, node, &mut self.policy_rng);
+        let discovered =
+            self.online
+                .sample(self.config.discovery_sample, node, &mut self.policy_rng);
         if !discovered.is_empty() {
             self.stats.record(&Message::GetAddr);
             self.stats.record(&Message::Addr {
@@ -971,31 +1062,30 @@ impl Network {
             .ledger
             .mint(parent, miner, self.config.block_size_bytes);
         self.chain[miner.index()].adopt(&block);
-        let peers: Vec<NodeId> = self.links.peers(miner).iter().copied().collect();
-        for p in peers {
-            self.send(miner, p, Message::BlockInv { ids: vec![block.id] });
+        let peers = self.take_peer_scratch(miner, None);
+        for &p in &peers {
+            self.send(miner, p, Message::BlockInvOne { id: block.id });
         }
+        self.scratch_nodes = peers;
     }
 
-    fn handle_block_verified(&mut self, node: NodeId, block: Block, relayer: NodeId) {
+    fn handle_block_verified(&mut self, node: NodeId, id: BlockId, relayer: NodeId) {
         if !self.meta[node.index()].online {
             return;
         }
         let chain = &mut self.chain[node.index()];
-        if chain.known.contains(&block.id) {
+        if chain.known.contains(&id) {
             return;
         }
-        chain.adopt(&block);
-        let peers: Vec<NodeId> = self
-            .links
-            .peers(node)
-            .iter()
-            .copied()
-            .filter(|&p| p != relayer)
-            .collect();
-        for p in peers {
-            self.send(node, p, Message::BlockInv { ids: vec![block.id] });
+        let Some(&block) = self.ledger.get(id) else {
+            return; // Unmintable: ids only come from the ledger.
+        };
+        self.chain[node.index()].adopt(&block);
+        let peers = self.take_peer_scratch(node, Some(relayer));
+        for &p in &peers {
+            self.send(node, p, Message::BlockInvOne { id });
         }
+        self.scratch_nodes = peers;
     }
 }
 
@@ -1024,6 +1114,10 @@ impl RandomPolicy {
 impl NeighborPolicy for RandomPolicy {
     fn name(&self) -> &'static str {
         "bitcoin"
+    }
+
+    fn clone_box(&self) -> Box<dyn NeighborPolicy> {
+        Box::new(self.clone())
     }
 
     fn bootstrap(&mut self, node: NodeId, view: &mut NetView<'_>) -> Vec<NodeId> {
@@ -1273,7 +1367,9 @@ mod tests {
         net.handle(NetEvent::ChurnLeave {
             node: NodeId::from_index(0),
         });
-        let err = net.inject_watched_tx(NodeId::from_index(0), None).unwrap_err();
+        let err = net
+            .inject_watched_tx(NodeId::from_index(0), None)
+            .unwrap_err();
         assert!(matches!(err, InjectError::OriginOffline(_)));
     }
 
@@ -1296,7 +1392,11 @@ mod tests {
         // After a quiet period every node converges on the best tip.
         net.run_for_ms(30_000.0);
         // (Mining continues; agreement is high but not necessarily total.)
-        assert!(net.tip_agreement() > 0.5, "agreement {}", net.tip_agreement());
+        assert!(
+            net.tip_agreement() > 0.5,
+            "agreement {}",
+            net.tip_agreement()
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl OnlineSet {
     /// Samples up to `k` distinct online nodes uniformly, excluding
     /// `exclude`. O(k) expected.
     pub fn sample<R: Rng + ?Sized>(&self, k: usize, exclude: NodeId, rng: &mut R) -> Vec<NodeId> {
-        let available = self.list.len().saturating_sub(usize::from(self.contains(exclude)));
+        let available = self
+            .list
+            .len()
+            .saturating_sub(usize::from(self.contains(exclude)));
         let k = k.min(available);
         if k == 0 {
             return Vec::new();
@@ -190,7 +193,7 @@ mod tests {
     fn sample_is_roughly_uniform() {
         let s = OnlineSet::all_online(20);
         let mut rng = ChaCha12Rng::seed_from_u64(4);
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         let trials = 20_000;
         for _ in 0..trials {
             for node in s.sample(1, n(19), &mut rng) {

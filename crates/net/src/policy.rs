@@ -62,9 +62,17 @@ impl TopologyActions {
 /// Policies that maintain clusters should report membership through
 /// [`cluster_of`](Self::cluster_of) so experiments can inspect cluster
 /// structure.
-pub trait NeighborPolicy: core::fmt::Debug {
+///
+/// Policies are `Send + Sync` and cloneable so campaigns can snapshot a
+/// warmed-up network (policy state included) and fan independent measuring
+/// runs out across worker threads.
+pub trait NeighborPolicy: core::fmt::Debug + Send + Sync {
     /// Short name used in reports (`"bitcoin"`, `"lbc"`, `"bcbpt"`).
     fn name(&self) -> &'static str;
+
+    /// Clones the policy (with its full state) into a fresh box — the
+    /// per-run snapshot primitive of the parallel campaign runner.
+    fn clone_box(&self) -> Box<dyn NeighborPolicy>;
 
     /// Initial outbound targets for a (re)joining node.
     fn bootstrap(&mut self, node: NodeId, view: &mut NetView<'_>) -> Vec<NodeId>;
@@ -83,6 +91,12 @@ pub trait NeighborPolicy: core::fmt::Debug {
     /// The cluster `node` currently belongs to, if this policy clusters.
     fn cluster_of(&self, _node: NodeId) -> Option<usize> {
         None
+    }
+}
+
+impl Clone for Box<dyn NeighborPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 
@@ -326,10 +340,7 @@ mod tests {
             assert_eq!(v.peers(a).collect::<Vec<_>>(), vec![b]);
             assert_eq!(v.outbound_count(a), 1);
             assert_eq!(v.inbound_count(b), 1);
-            assert_eq!(
-                v.free_outbound_slots(a),
-                v.config().target_outbound - 1
-            );
+            assert_eq!(v.free_outbound_slots(a), v.config().target_outbound - 1);
             assert!(v.can_accept_inbound(b));
         });
     }

@@ -50,9 +50,7 @@ impl RouteTable {
             return 1.0;
         }
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let base = splitmix(
-            self.seed ^ (u64::from(lo.as_u32()) << 32 | u64::from(hi.as_u32())),
-        );
+        let base = splitmix(self.seed ^ (u64::from(lo.as_u32()) << 32 | u64::from(hi.as_u32())));
         // Irwin–Hall approximation of a standard normal: the sum of 12
         // uniforms minus 6. Deterministic and allocation-free.
         let mut z = -6.0f64;

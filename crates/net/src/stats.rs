@@ -74,7 +74,9 @@ impl MessageStats {
 
     /// Messages spent relaying transactions (INV + GETDATA + TX).
     pub fn relay_messages(&self) -> u64 {
-        self.count(MessageKind::Inv) + self.count(MessageKind::GetData) + self.count(MessageKind::Tx)
+        self.count(MessageKind::Inv)
+            + self.count(MessageKind::GetData)
+            + self.count(MessageKind::Tx)
     }
 
     /// Merges another set of counters into this one.

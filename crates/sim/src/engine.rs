@@ -70,7 +70,7 @@ pub enum Control {
 /// assert_eq!(reason, StopReason::QueueEmpty);
 /// assert_eq!(seen, 10);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
@@ -244,7 +244,10 @@ mod tests {
             times.push(engine.now());
             Control::Continue
         });
-        assert_eq!(times, vec![SimTime::from_millis(5), SimTime::from_millis(9)]);
+        assert_eq!(
+            times,
+            vec![SimTime::from_millis(5), SimTime::from_millis(9)]
+        );
         assert_eq!(e.processed(), 2);
     }
 

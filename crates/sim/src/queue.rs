@@ -7,7 +7,7 @@
 
 use crate::time::SimTime;
 use core::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Identifier of a scheduled event, usable to cancel it later.
 ///
@@ -34,11 +34,51 @@ pub struct Firing<E> {
     pub payload: E,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
     payload: E,
+}
+
+/// Dense bitset indexed by event sequence number.
+///
+/// Sequence numbers are allocated contiguously from zero, so per-event
+/// state is two bits in flat `u64` blocks instead of a `HashSet` probe on
+/// the pop path — the event queue is the innermost loop of every
+/// experiment, and hashing each popped seq dominated its profile.
+#[derive(Debug, Clone, Default)]
+struct SeqBitSet {
+    blocks: Vec<u64>,
+}
+
+impl SeqBitSet {
+    #[inline]
+    fn set(&mut self, seq: u64) {
+        let block = (seq >> 6) as usize;
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        self.blocks[block] |= 1u64 << (seq & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, seq: u64) {
+        if let Some(block) = self.blocks.get_mut((seq >> 6) as usize) {
+            *block &= !(1u64 << (seq & 63));
+        }
+    }
+
+    #[inline]
+    fn get(&self, seq: u64) -> bool {
+        self.blocks
+            .get((seq >> 6) as usize)
+            .is_some_and(|block| block & (1u64 << (seq & 63)) != 0)
+    }
+
+    fn clear_all(&mut self) {
+        self.blocks.clear();
+    }
 }
 
 // Manual impls: order by (time, seq) only, ignoring the payload, and invert
@@ -74,13 +114,16 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop().unwrap().payload, "late");
 /// assert!(q.pop().is_none());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Seqs scheduled and not yet fired or cancelled.
-    pending: HashSet<u64>,
-    /// Seqs cancelled but still occupying a heap slot (dropped lazily).
-    cancelled: HashSet<u64>,
+    /// Bit per seq: scheduled and not yet fired or cancelled.
+    pending: SeqBitSet,
+    /// Bit per seq: cancelled but still occupying a heap slot (the slot is
+    /// a tombstone, dropped lazily on pop/peek).
+    cancelled: SeqBitSet,
+    /// Number of live (pending) events.
+    live: usize,
     next_seq: u64,
 }
 
@@ -95,8 +138,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            pending: SeqBitSet::default(),
+            cancelled: SeqBitSet::default(),
+            live: 0,
             next_seq: 0,
         }
     }
@@ -105,8 +149,9 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
-            pending: HashSet::with_capacity(capacity),
-            cancelled: HashSet::new(),
+            pending: SeqBitSet::default(),
+            cancelled: SeqBitSet::default(),
+            live: 0,
             next_seq: 0,
         }
     }
@@ -118,7 +163,8 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
-        self.pending.insert(seq);
+        self.pending.set(seq);
+        self.live += 1;
         EventId(seq)
     }
 
@@ -126,24 +172,28 @@ impl<E> EventQueue<E> {
     ///
     /// Returns `true` when the event was still pending, `false` when it has
     /// already fired, was already cancelled, or was never scheduled here.
-    /// Cancellation is O(1); the slot is dropped lazily on pop.
+    /// Cancellation flips two bits; the heap slot becomes a tombstone
+    /// dropped lazily on pop.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.pending.remove(&id.0) {
-            self.cancelled.insert(id.0);
+        if self.pending.get(id.0) {
+            self.pending.clear(id.0);
+            self.cancelled.set(id.0);
+            self.live -= 1;
             true
         } else {
             false
         }
     }
 
-    /// Removes and returns the earliest pending event, skipping cancelled
-    /// slots.
+    /// Removes and returns the earliest pending event, skipping tombstones.
     pub fn pop(&mut self) -> Option<Firing<E>> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if self.cancelled.get(entry.seq) {
+                self.cancelled.clear(entry.seq);
                 continue;
             }
-            self.pending.remove(&entry.seq);
+            self.pending.clear(entry.seq);
+            self.live -= 1;
             return Some(Firing {
                 time: entry.time,
                 id: EventId(entry.seq),
@@ -155,12 +205,12 @@ impl<E> EventQueue<E> {
 
     /// The firing instant of the earliest live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain cancelled slots from the front so the peek is accurate.
+        // Drain tombstones from the front so the peek is accurate.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
+            if self.cancelled.get(entry.seq) {
                 let seq = entry.seq;
                 self.heap.pop();
-                self.cancelled.remove(&seq);
+                self.cancelled.clear(seq);
                 continue;
             }
             return Some(entry.time);
@@ -170,7 +220,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live pending events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// `true` when no live events are pending.
@@ -186,8 +236,9 @@ impl<E> EventQueue<E> {
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
-        self.cancelled.clear();
+        self.pending.clear_all();
+        self.cancelled.clear_all();
+        self.live = 0;
     }
 }
 

@@ -151,7 +151,10 @@ mod tests {
     fn subhub_is_deterministic_and_independent() {
         let hub = RngHub::new(11);
         let s1 = hub.subhub("run", 0).stream("latency").next_u64();
-        let s2 = RngHub::new(11).subhub("run", 0).stream("latency").next_u64();
+        let s2 = RngHub::new(11)
+            .subhub("run", 0)
+            .stream("latency")
+            .next_u64();
         assert_eq!(s1, s2);
         let s3 = hub.subhub("run", 1).stream("latency").next_u64();
         assert_ne!(s1, s3);

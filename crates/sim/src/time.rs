@@ -327,10 +327,7 @@ mod tests {
         assert_eq!(late - early, SimDuration::from_millis(8));
         assert_eq!(early - late, SimDuration::ZERO);
         assert_eq!(early.checked_since(late), None);
-        assert_eq!(
-            late.checked_since(early),
-            Some(SimDuration::from_millis(8))
-        );
+        assert_eq!(late.checked_since(early), Some(SimDuration::from_millis(8)));
     }
 
     #[test]

@@ -141,3 +141,84 @@ proptest! {
         prop_assert!((back - ms).abs() <= 0.000_5 + ms * 1e-12);
     }
 }
+
+proptest! {
+    /// Tombstone semantics under arbitrary interleavings of schedule,
+    /// cancel and pop: cancel-after-pop and double-cancel always report
+    /// `false`, and the live count tracks exactly the outstanding events.
+    #[test]
+    fn cancel_tombstone_semantics(
+        ops in proptest::collection::vec((0u8..4, 0u64..1_000), 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        // (id, finished) — finished means popped or cancelled already.
+        let mut ids: Vec<(bcbpt_sim::EventId, bool)> = Vec::new();
+        let mut live = 0usize;
+        for (op, t) in ops {
+            match op {
+                0 | 1 => {
+                    let id = q.schedule(SimTime::from_micros(t), t);
+                    ids.push((id, false));
+                    live += 1;
+                }
+                2 => {
+                    if !ids.is_empty() {
+                        let k = (t as usize) % ids.len();
+                        let (id, finished) = ids[k];
+                        let expect_cancel = !finished;
+                        prop_assert_eq!(q.cancel(id), expect_cancel,
+                            "cancel of {:?} (finished: {})", id, finished);
+                        if expect_cancel {
+                            ids[k].1 = true;
+                            live -= 1;
+                        }
+                        prop_assert!(!q.cancel(id), "double cancel must be false");
+                    }
+                }
+                _ => {
+                    if let Some(firing) = q.pop() {
+                        live -= 1;
+                        for entry in ids.iter_mut() {
+                            if entry.0 == firing.id {
+                                prop_assert!(!entry.1, "popped an already-finished event");
+                                entry.1 = true;
+                            }
+                        }
+                        prop_assert!(!q.cancel(firing.id), "cancel-after-pop must be false");
+                    } else {
+                        prop_assert_eq!(live, 0, "empty pop with live events outstanding");
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), live);
+            prop_assert_eq!(q.is_empty(), live == 0);
+        }
+        // Drain: every remaining live event pops exactly once, in time order.
+        let mut popped = 0usize;
+        let mut last = SimTime::ZERO;
+        while let Some(firing) = q.pop() {
+            prop_assert!(firing.time >= last);
+            last = firing.time;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, live);
+    }
+
+    /// Cancelling everything leaves an empty queue whose tombstoned heap
+    /// slots never resurface through pop or peek.
+    #[test]
+    fn cancel_all_yields_empty_queue(times in proptest::collection::vec(0u64..10_000, 1..120)) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .map(|&t| q.schedule(SimTime::from_micros(t), t))
+            .collect();
+        for id in &ids {
+            prop_assert!(q.cancel(*id));
+        }
+        prop_assert_eq!(q.len(), 0);
+        prop_assert_eq!(q.peek_time(), None);
+        prop_assert!(q.pop().is_none());
+        prop_assert_eq!(q.scheduled_total(), times.len() as u64);
+    }
+}

@@ -209,7 +209,10 @@ mod tests {
             Histogram::new(2.0, 1.0, 4),
             Err(BuildHistogramError::EmptyRange)
         );
-        assert_eq!(Histogram::new(0.0, 1.0, 0), Err(BuildHistogramError::NoBins));
+        assert_eq!(
+            Histogram::new(0.0, 1.0, 0),
+            Err(BuildHistogramError::NoBins)
+        );
         assert_eq!(
             Histogram::new(f64::NAN, 1.0, 2),
             Err(BuildHistogramError::NonFiniteBound)

@@ -102,7 +102,12 @@ impl Figure {
             let _ = write!(out, "  {:>18}", truncate(&s.label, 18));
         }
         out.push('\n');
-        let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for i in 0..rows {
             let x = self
                 .series

@@ -1,0 +1,394 @@
+//! Offline stand-in for the `rand` crate (0.8-series API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal reimplementation of the parts of `rand` it uses. The algorithms
+//! mirror `rand` 0.8 / `rand_core` 0.6 bit-for-bit where determinism leaks
+//! into simulation results:
+//!
+//! * [`SeedableRng::seed_from_u64`] — the PCG32-based seed expansion.
+//! * `gen::<f64>()` — 53 random bits scaled into `[0, 1)`.
+//! * `gen_range` over integers — Lemire widening-multiply rejection.
+//! * `gen_range` over floats — the `[1, 2)` mantissa-fill transform.
+//! * [`seq::SliceRandom::shuffle`] — reverse Fisher–Yates with inclusive
+//!   bounds.
+
+#![forbid(unsafe_code)]
+
+/// Core RNG abstraction (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Builds `next_u64` from two `next_u32` calls, low word first — the
+/// `rand_core` convention for 32-bit generators.
+pub fn next_u64_via_u32<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+    let x = u64::from(rng.next_u32());
+    let y = u64::from(rng.next_u32());
+    (y << 32) | x
+}
+
+/// Seedable RNG abstraction (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type, e.g. `[u8; 32]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates an RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64`, expanding it with the same PCG32-based
+    /// procedure as `rand_core` 0.6 so streams match the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that [`Rng::gen`] can produce (stands in for
+/// `Standard: Distribution<T>`).
+pub trait StandardSample {
+    /// Draws one value from the standard distribution for this type.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl StandardSample for i32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 significant bits into [0, 1): matches rand 0.8's Standard.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// rand 0.8 samples u8/u16/u32 ranges through a 32-bit generator word and
+// u64/usize ranges through a 64-bit word; the split is reproduced here so
+// generator streams stay aligned with the real crate.
+macro_rules! uniform_int_range_32 {
+    ($($ty:ty => $small_zone:expr),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let range = (self.end.wrapping_sub(self.start)) as u32;
+                self.start.wrapping_add(sample_u32_below(rng, range, $small_zone) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let range = (hi.wrapping_sub(lo) as u32).wrapping_add(1);
+                if range == 0 {
+                    return lo.wrapping_add(rng.next_u32() as $ty);
+                }
+                lo.wrapping_add(sample_u32_below(rng, range, $small_zone) as $ty)
+            }
+        }
+    )*};
+}
+
+// u8/u16 compute the rejection zone by modulo; u32 by shift (rand 0.8).
+uniform_int_range_32!(u8 => true, u16 => true, u32 => false, i8 => true, i16 => true, i32 => false);
+
+macro_rules! uniform_int_range_64 {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let range = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(sample_u64_below(rng, range) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let range = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if range == 0 {
+                    // Full u64 span: every draw is in range.
+                    return lo.wrapping_add(rng.next_u64() as $ty);
+                }
+                lo.wrapping_add(sample_u64_below(rng, range) as $ty)
+            }
+        }
+    )*};
+}
+
+uniform_int_range_64!(u64, usize, i64, isize);
+
+/// Lemire widening-multiply rejection in the 32-bit domain (rand 0.8's
+/// `sample_single` for `u8`/`u16`/`u32`).
+fn sample_u32_below<R: RngCore + ?Sized>(rng: &mut R, range: u32, small_zone: bool) -> u32 {
+    debug_assert!(range > 0);
+    let zone = if small_zone {
+        // Types no wider than u16: exact zone by modulo.
+        let ints_to_reject = (u32::MAX - range + 1) % range;
+        u32::MAX - ints_to_reject
+    } else {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    };
+    loop {
+        let v = rng.next_u32();
+        let m = u64::from(v) * u64::from(range);
+        let lo = m as u32;
+        if lo <= zone {
+            return (m >> 32) as u32;
+        }
+    }
+}
+
+/// Lemire's widening-multiply rejection sampling of a uniform value in
+/// `[0, range)` — the `rand` 0.8 `sample_single` algorithm for 64-bit
+/// unsigned ranges, so draws match the real crate for a given stream.
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = u128::from(v) * u128::from(range);
+        let lo = m as u64;
+        if lo <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// `rand` 0.8's `gen_index`: bounds that fit in `u32` sample through the
+/// 32-bit path so slice helpers consume the stream identically.
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        (0..ubound as u32).sample_from(rng) as usize
+    } else {
+        (0..ubound).sample_from(rng)
+    }
+}
+
+/// `[1, 2)` mantissa fill used by rand 0.8's float uniform sampling.
+fn value1_2<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let bits = rng.next_u64() >> 12; // keep 52 mantissa bits
+    f64::from_bits((1023u64 << 52) | bits)
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        let offset = self.start - scale;
+        value1_2(rng) * scale + offset
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // rand 0.8's new_inclusive: stretch the scale so the maximum
+        // mantissa fill lands exactly on `hi`.
+        let max_rand = 1.0 - f64::EPSILON / 2.0;
+        let scale = (hi - lo) / max_rand;
+        let offset = lo - scale;
+        let value = value1_2(rng) * scale + offset;
+        value.clamp(lo, hi)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let bits = rng.next_u32() >> 9;
+        let v = f32::from_bits((127u32 << 23) | bits);
+        let scale = self.end - self.start;
+        v * scale + (self.start - scale)
+    }
+}
+
+/// Convenience methods over any [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution for `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence helpers (mirrors `rand::seq`).
+pub mod seq {
+    use super::{gen_index, RngCore};
+
+    /// Slice extension trait (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (reverse Fisher–Yates, matching
+        /// rand 0.8's draw order).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = gen_index(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+    }
+}
+
+/// `rand::rngs` stand-in (unused streams kept for API familiarity).
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn f64_standard_in_unit_interval() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(-2.5f64..=2.5);
+            assert!((-2.5..=2.5).contains(&b));
+            let c = rng.gen_range(0u64..1);
+            assert_eq!(c, 0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = Counter(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

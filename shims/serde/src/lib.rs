@@ -1,0 +1,425 @@
+//! Offline stand-in for `serde`.
+//!
+//! Serialization here targets a small JSON-like [`Value`] tree instead of
+//! serde's visitor machinery; `serde_json` renders/parses that tree. The
+//! derive macros (re-exported from the in-tree `serde_derive`) generate
+//! `to_value`/`from_value` implementations with serde's externally-tagged
+//! enum representation, so round trips through `serde_json` behave like the
+//! real crates for the data shapes this workspace uses.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (negative values).
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object (insertion-ordered key/value pairs).
+    Map(Vec<(String, Value)>),
+}
+
+/// Static `null` for missing-key lookups.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// The object entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in map entries, yielding `null` when absent (how the
+/// derive handles `Option` fields).
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses a value tree into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! unsigned_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$ty>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    Value::I64(n) => <$ty>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as $ty),
+                    other => Err(Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                if *self >= 0 { Value::U64(*self as u64) } else { Value::I64(*self as i64) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$ty>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    Value::I64(n) => <$ty>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    Value::F64(x) if x.fract() == 0.0 => Ok(*x as $ty),
+                    other => Err(Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            // serde_json renders non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected 2-tuple"))?;
+        if seq.len() != 2 {
+            return Err(Error::custom(format!(
+                "expected 2 elements, got {}",
+                seq.len()
+            )));
+        }
+        Ok((A::from_value(&seq[0])?, B::from_value(&seq[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected 3-tuple"))?;
+        if seq.len() != 3 {
+            return Err(Error::custom(format!(
+                "expected 3 elements, got {}",
+                seq.len()
+            )));
+        }
+        Ok((
+            A::from_value(&seq[0])?,
+            B::from_value(&seq[1])?,
+            C::from_value(&seq[2])?,
+        ))
+    }
+}
+
+/// Maps serialize with stringified keys, like `serde_json` objects.
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = v.as_map().ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = BTreeMap::new();
+        for (k, val) in entries {
+            let key = key_from_string::<K>(k)?;
+            out.insert(key, V::from_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) => x.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must be a primitive, got {other:?}"),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(x) = key.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::F64(x)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot parse map key {key:?}")))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back: Vec<(f64, f64)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        let back: BTreeMap<String, u64> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err = bool::from_value(&Value::U64(1)).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+    }
+}

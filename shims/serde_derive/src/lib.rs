@@ -1,0 +1,350 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! Parses the derive input token stream by hand (no `syn`/`quote` in the
+//! offline build) and generates `to_value`/`from_value` implementations:
+//!
+//! * named structs — object with one entry per field;
+//! * single-field tuple structs — transparent (delegate to the inner value),
+//!   which matches the `#[serde(transparent)]` annotation the workspace's
+//!   newtype ids carry;
+//! * enums — externally tagged: unit variants as strings, struct variants
+//!   as one-entry objects, serde's default representation.
+//!
+//! Generics, tuple enum variants and multi-field tuple structs are not used
+//! by this workspace and are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    NewtypeStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Vec<String>)>,
+    },
+}
+
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // the attribute group
+                if i < tokens.len() {
+                    if let TokenTree::Punct(p2) = &tokens[i] {
+                        // #![...] inner attribute
+                        if p2.as_char() == '!' {
+                            i += 1;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses `name: Type,` fields out of a brace group, returning field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field {name}, found {other}"),
+        }
+        // Skip the type: commas inside groups are invisible (one token
+        // tree), but generic angle brackets are punctuation we must track.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, Vec<String>)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut fields = Vec::new();
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = parse_named_fields(g);
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    panic!("serde stand-in derive does not support tuple enum variants ({name})")
+                }
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive does not support generic type {name}");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = inner
+                    .iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count();
+                if commas > 1 {
+                    panic!(
+                        "serde stand-in derive supports only single-field tuple structs ({name})"
+                    );
+                }
+                Shape::NewtypeStruct { name }
+            }
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for {other} items"),
+    }
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        )
+                    } else {
+                        let binds = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Value::Map(::std::vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __m = v.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::map_get(__inner, \"{f}\"))?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let __inner = __entry.1.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected map for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let __entry = &__entries[0];\n\
+                                 match __entry.0.as_str() {{\n\
+                                     {struct_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"cannot read {name} from {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

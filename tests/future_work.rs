@@ -22,10 +22,7 @@ fn overhead_ranks_bcbpt_highest() {
         &[Protocol::Bitcoin, Protocol::Lbc, Protocol::bcbpt_paper()],
     )
     .unwrap();
-    let probe: Vec<(String, f64)> = table
-        .rows()
-        .map(|(l, v)| (l.to_string(), v[0]))
-        .collect();
+    let probe: Vec<(String, f64)> = table.rows().map(|(l, v)| (l.to_string(), v[0])).collect();
     let of = |label: &str| {
         probe
             .iter()
@@ -47,10 +44,7 @@ fn eclipse_exposure_ordering() {
         8,
     )
     .unwrap();
-    let shares: Vec<(String, f64)> = table
-        .rows()
-        .map(|(l, v)| (l.to_string(), v[0]))
-        .collect();
+    let shares: Vec<(String, f64)> = table.rows().map(|(l, v)| (l.to_string(), v[0])).collect();
     let bitcoin = shares
         .iter()
         .find(|(l, _)| l.starts_with("bitcoin"))

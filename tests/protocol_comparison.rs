@@ -115,8 +115,14 @@ fn tight_threshold_beats_loose_threshold() {
     );
     // And the structural driver the paper cites: tighter thresholds keep
     // clusters smaller ("the number of nodes at each cluster is minimised").
-    assert!(stat("dt=30ms", 4) > stat("dt=250ms", 4), "more clusters when tight");
-    assert!(stat("dt=30ms", 6) < stat("dt=250ms", 6), "smaller max cluster when tight");
+    assert!(
+        stat("dt=30ms", 4) > stat("dt=250ms", 4),
+        "more clusters when tight"
+    );
+    assert!(
+        stat("dt=30ms", 6) < stat("dt=250ms", 6),
+        "smaller max cluster when tight"
+    );
 }
 
 #[test]
