@@ -1,0 +1,143 @@
+//! The one experiment driver: runs declarative scenario files.
+//!
+//! Replaces the old per-figure binaries (`fig3`, `fig4`, `sweep`, `forks`,
+//! `attacks`, `overhead`): every experiment is a JSON [`Scenario`] under
+//! `scenarios/`, and this binary loads, validates and runs it.
+//!
+//! Usage:
+//!
+//! ```text
+//! scenario run <file.json>... [--json]   # run scenario files
+//! scenario quick <name> [--json]         # run a built-in at CI scale
+//! scenario list                          # list built-ins and their files
+//! scenario export <dir>                  # write built-ins as JSON files
+//! scenario parse <outcome.json>          # check an outcome file parses
+//! ```
+//!
+//! `--json` prints the [`ScenarioOutcome`] as JSON instead of the rendered
+//! figure/table text, for machine consumption.
+
+use bcbpt_core::{Scenario, ScenarioOutcome};
+use std::fs;
+
+fn main() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag(&mut args, "--json");
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "run" => run_files(rest, json),
+        Some((cmd, rest)) if cmd == "quick" => match rest {
+            [name] => run_quick(name, json),
+            _ => Err(usage("quick takes exactly one built-in scenario name")),
+        },
+        Some((cmd, rest)) if cmd == "list" && rest.is_empty() => {
+            list();
+            Ok(())
+        }
+        Some((cmd, rest)) if cmd == "export" => match rest {
+            [dir] => export(dir),
+            _ => Err(usage("export takes exactly one target directory")),
+        },
+        Some((cmd, rest)) if cmd == "parse" => match rest {
+            [path] => parse_outcome(path),
+            _ => Err(usage("parse takes exactly one outcome file")),
+        },
+        _ => Err(usage("missing or unknown subcommand")),
+    }
+}
+
+fn usage(problem: &str) -> String {
+    format!(
+        "{problem}\n\
+         usage: scenario run <file.json>... [--json]\n\
+         \x20      scenario quick <name> [--json]\n\
+         \x20      scenario list\n\
+         \x20      scenario export <dir>\n\
+         \x20      scenario parse <outcome.json>"
+    )
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+fn run_files(paths: &[String], json: bool) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err(usage("run needs at least one scenario file"));
+    }
+    for path in paths {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        // Scenario::run validates; just attach the file to any error.
+        execute(&scenario, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run_quick(name: &str, json: bool) -> Result<(), String> {
+    let scenario = Scenario::builtin(name)
+        .ok_or_else(|| {
+            format!(
+                "unknown built-in scenario {name:?} (known: {})",
+                Scenario::builtin_names().join(", ")
+            )
+        })?
+        .quick_scaled();
+    execute(&scenario, json)
+}
+
+fn execute(scenario: &Scenario, json: bool) -> Result<(), String> {
+    eprintln!(
+        "scenario {}: {} workload, {} cell(s), {} nodes, {} runs, seed {:#x}",
+        scenario.name,
+        scenario.workload.kind(),
+        scenario.cells().len(),
+        scenario.net.num_nodes,
+        scenario.runs,
+        scenario.seed,
+    );
+    let outcome = scenario.run()?;
+    if json {
+        println!("{}", outcome.to_json());
+    } else {
+        println!("{}", outcome.render());
+    }
+    Ok(())
+}
+
+fn list() {
+    println!("built-in scenarios (scenario quick <name>, full scale in scenarios/<name>.json):");
+    for name in Scenario::builtin_names() {
+        let scenario = Scenario::builtin(name).expect("listed names resolve");
+        println!(
+            "  {name:<10} {:<15} {}",
+            scenario.workload.kind(),
+            Scenario::builtin_description(name).expect("listed names are described"),
+        );
+    }
+}
+
+fn export(dir: &str) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for name in Scenario::builtin_names() {
+        let scenario = Scenario::builtin(name).expect("listed names resolve");
+        let path = format!("{dir}/{name}.json");
+        fs::write(&path, format!("{}\n", scenario.to_json()))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn parse_outcome(path: &str) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let outcome = ScenarioOutcome::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "outcome {:?}: {} workload, {} cell(s)",
+        outcome.scenario,
+        outcome.workload.kind(),
+        outcome.cells.len()
+    );
+    Ok(())
+}

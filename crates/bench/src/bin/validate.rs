@@ -30,7 +30,7 @@ fn main() -> Result<(), String> {
     // of the crawled 2013-era network (trickled INVs, heterogeneous
     // verifiers, badly-connected minority) — see NetConfig::measured_client
     // and DESIGN.md §2.
-    base.protocol = Protocol::Bitcoin;
+    base.protocol = Protocol::Bitcoin.into();
     let n = base.net.num_nodes;
     base.net = bcbpt_net::NetConfig::measured_client();
     base.net.num_nodes = n;

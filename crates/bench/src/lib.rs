@@ -2,12 +2,14 @@
 //!
 //! This crate carries no library code of its own; it hosts:
 //!
-//! * **Figure binaries** (`src/bin/`): one per paper artefact —
-//!   `fig3`, `fig4` (the paper's figures), `validate` (§V.A simulator
-//!   validation), `sweep` (extended threshold sweep), `overhead`
-//!   (§IV.A future-work overhead evaluation), `attacks` (§V.C future-work
-//!   eclipse/partition evaluation). Each accepts `--paper` for the
-//!   full-scale 5000-node configuration.
+//! * **The `scenario` driver** (`src/bin/scenario.rs`): the one experiment
+//!   binary. Every paper figure and extension experiment is a declarative
+//!   JSON file under `scenarios/` at the workspace root — `scenario run
+//!   scenarios/fig3.json` regenerates Fig. 3, `scenario quick <name>`
+//!   runs a CI-scale built-in, `scenario list`/`export` enumerate them.
+//! * **Support binaries**: `validate` (§V.A simulator validation against
+//!   the reference delay shape), `degree` (§V.C delay-variance-vs-degree
+//!   claim), `perf` (performance baseline snapshots).
 //! * **Criterion benches** (`benches/`): engine/event-queue throughput,
 //!   network flooding, cluster-formation cost per protocol, and timed
 //!   wrappers around the figure regenerations.

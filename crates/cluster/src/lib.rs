@@ -17,7 +17,10 @@
 //!   of [`Protocol`]).
 //!
 //! Supporting pieces: [`RttEstimator`] (repeated ping sampling with
-//! variance, §IV.A) and [`ClusterRegistry`] (membership bookkeeping).
+//! variance, §IV.A), [`ClusterRegistry`] (membership bookkeeping), and the
+//! open protocol directory — [`ProtocolSpec`] names a protocol as data
+//! (`"bcbpt(dt=25ms)"`) and [`ProtocolRegistry`] resolves it, so
+//! downstream crates can register custom policies scenario files can name.
 //!
 //! # Examples
 //!
@@ -43,11 +46,13 @@
 mod bcbpt;
 mod lbc;
 mod protocol;
+mod protocols;
 mod registry;
 mod rtt;
 
 pub use bcbpt::{BcbptConfig, BcbptPolicy};
 pub use lbc::{LbcConfig, LbcPolicy};
 pub use protocol::Protocol;
+pub use protocols::{PolicyFactory, ProtocolRegistry, ProtocolSpec};
 pub use registry::ClusterRegistry;
 pub use rtt::{RttEstimator, RttEstimatorConfig};

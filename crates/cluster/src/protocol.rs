@@ -27,6 +27,49 @@ impl Protocol {
         Protocol::Bcbpt { threshold_ms: 25.0 }
     }
 
+    /// Parses a protocol label back into the built-in protocol it names —
+    /// the inverse of [`label`](Self::label).
+    ///
+    /// Accepted forms: `"bitcoin"`, `"lbc"`, `"bcbpt"` (paper default
+    /// threshold) and `"bcbpt(dt=<ms>ms)"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of why the label does not name a built-in
+    /// protocol.
+    pub fn parse(label: &str) -> Result<Self, String> {
+        let label = label.trim();
+        match label {
+            "bitcoin" => return Ok(Protocol::Bitcoin),
+            "lbc" => return Ok(Protocol::Lbc),
+            "bcbpt" => return Ok(Protocol::bcbpt_paper()),
+            _ => {}
+        }
+        if let Some(args) = label
+            .strip_prefix("bcbpt(")
+            .and_then(|rest| rest.strip_suffix(')'))
+        {
+            let value = args
+                .trim()
+                .strip_prefix("dt=")
+                .and_then(|v| v.strip_suffix("ms"))
+                .ok_or_else(|| format!("bcbpt arguments must look like dt=<ms>ms, got {args:?}"))?;
+            let threshold_ms: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid bcbpt threshold {value:?}"))?;
+            if !threshold_ms.is_finite() || threshold_ms <= 0.0 {
+                return Err(format!(
+                    "bcbpt threshold must be positive and finite, got {threshold_ms}"
+                ));
+            }
+            return Ok(Protocol::Bcbpt { threshold_ms });
+        }
+        Err(format!(
+            "unknown protocol label {label:?} (expected bitcoin, lbc, bcbpt or bcbpt(dt=<ms>ms))"
+        ))
+    }
+
     /// Instantiates the corresponding [`NeighborPolicy`].
     pub fn build_policy(&self) -> Box<dyn NeighborPolicy> {
         match *self {
@@ -51,6 +94,14 @@ impl Protocol {
 impl fmt::Display for Protocol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.label())
+    }
+}
+
+impl core::str::FromStr for Protocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Protocol::parse(s)
     }
 }
 
@@ -89,5 +140,50 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: Protocol = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn parse_inverts_label_for_all_builtins() {
+        for p in [
+            Protocol::Bitcoin,
+            Protocol::Lbc,
+            Protocol::bcbpt_paper(),
+            Protocol::Bcbpt { threshold_ms: 30.0 },
+            Protocol::Bcbpt { threshold_ms: 12.5 },
+            Protocol::Bcbpt {
+                threshold_ms: 100.0,
+            },
+        ] {
+            assert_eq!(Protocol::parse(&p.label()).unwrap(), p, "{p}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_shorthand_and_whitespace() {
+        assert_eq!(Protocol::parse("bcbpt").unwrap(), Protocol::bcbpt_paper());
+        assert_eq!(
+            Protocol::parse(" bcbpt( dt=40ms ) ").unwrap(),
+            Protocol::Bcbpt { threshold_ms: 40.0 }
+        );
+        assert_eq!(
+            "bitcoin".parse::<Protocol>().unwrap(),
+            Protocol::Bitcoin,
+            "FromStr delegates to parse"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_labels() {
+        for bad in [
+            "btc",
+            "bcbpt(dt=25)",
+            "bcbpt(25ms)",
+            "bcbpt(dt=-3ms)",
+            "bcbpt(dt=nanms)",
+            "bcbpt(dt=infms)",
+            "",
+        ] {
+            assert!(Protocol::parse(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 }

@@ -1,0 +1,288 @@
+//! String-keyed protocol directory: the open end of the protocol API.
+//!
+//! [`Protocol`] is the *closed* set of protocols the paper compares; the
+//! declarative scenario API needs an *open* one, where a scenario file
+//! names its protocol as data (`"bcbpt(dt=25ms)"`) and downstream crates
+//! can plug in custom [`NeighborPolicy`] implementations without touching
+//! this crate. [`ProtocolSpec`] is that name; [`ProtocolRegistry`] maps a
+//! spec's family to a policy factory.
+
+use crate::protocol::Protocol;
+use bcbpt_net::NeighborPolicy;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A protocol named as data: the string form experiments, scenario files
+/// and campaign reports all share.
+///
+/// The grammar is `family` or `family(args)` — e.g. `"bitcoin"`, `"lbc"`,
+/// `"bcbpt(dt=25ms)"`, or any custom family a downstream crate registers.
+/// The spec itself carries no behaviour; a [`ProtocolRegistry`] resolves it
+/// into a [`NeighborPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_cluster::{Protocol, ProtocolRegistry, ProtocolSpec};
+///
+/// let spec = ProtocolSpec::from(Protocol::bcbpt_paper());
+/// assert_eq!(spec.as_str(), "bcbpt(dt=25ms)");
+/// assert_eq!(spec.family(), "bcbpt");
+/// let policy = ProtocolRegistry::builtins().build(&spec)?;
+/// assert_eq!(policy.name(), "bcbpt");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProtocolSpec(String);
+
+impl ProtocolSpec {
+    /// Creates a spec from any label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ProtocolSpec(label.into())
+    }
+
+    /// The full label, e.g. `"bcbpt(dt=25ms)"`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The family the registry dispatches on: everything before the first
+    /// `(`, trimmed — `"bcbpt"` for `"bcbpt(dt=25ms)"`.
+    pub fn family(&self) -> &str {
+        self.0.split('(').next().unwrap_or("").trim()
+    }
+
+    /// The built-in [`Protocol`] this spec names, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for labels outside the built-in set.
+    pub fn as_builtin(&self) -> Result<Protocol, String> {
+        Protocol::parse(&self.0)
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<Protocol> for ProtocolSpec {
+    fn from(p: Protocol) -> Self {
+        ProtocolSpec(p.label())
+    }
+}
+
+impl From<&Protocol> for ProtocolSpec {
+    fn from(p: &Protocol) -> Self {
+        ProtocolSpec(p.label())
+    }
+}
+
+impl From<&str> for ProtocolSpec {
+    fn from(label: &str) -> Self {
+        ProtocolSpec(label.to_string())
+    }
+}
+
+impl From<String> for ProtocolSpec {
+    fn from(label: String) -> Self {
+        ProtocolSpec(label)
+    }
+}
+
+/// A policy factory: receives the full spec (family + arguments) and
+/// instantiates the policy, or explains why the arguments are invalid.
+pub type PolicyFactory =
+    Box<dyn Fn(&ProtocolSpec) -> Result<Box<dyn NeighborPolicy>, String> + Send + Sync>;
+
+/// Maps protocol families to [`NeighborPolicy`] factories.
+///
+/// The built-in registry covers the paper's three protocols; downstream
+/// crates extend it with [`register`](Self::register) so scenario files can
+/// name custom policies without this crate knowing about them.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
+/// use bcbpt_net::RandomPolicy;
+///
+/// let mut registry = ProtocolRegistry::builtins();
+/// registry.register("myproto", |_spec| Ok(Box::new(RandomPolicy::new())));
+/// assert!(registry.build(&ProtocolSpec::new("myproto")).is_ok());
+/// assert!(registry.build(&ProtocolSpec::new("unknown")).is_err());
+/// ```
+pub struct ProtocolRegistry {
+    factories: BTreeMap<String, PolicyFactory>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ProtocolRegistry {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// A registry preloaded with the paper's protocols: `bitcoin`, `lbc`
+    /// and `bcbpt` (thresholds parsed from the spec arguments).
+    pub fn builtins() -> Self {
+        let mut registry = ProtocolRegistry::new();
+        for family in ["bitcoin", "lbc", "bcbpt"] {
+            registry.register(family, |spec: &ProtocolSpec| {
+                Ok(spec.as_builtin()?.build_policy())
+            });
+        }
+        registry
+    }
+
+    /// Registers (or replaces) the factory for `family`.
+    ///
+    /// The factory receives the *full* spec, so parameterised families can
+    /// parse their own argument syntax.
+    pub fn register<F>(&mut self, family: impl Into<String>, factory: F)
+    where
+        F: Fn(&ProtocolSpec) -> Result<Box<dyn NeighborPolicy>, String> + Send + Sync + 'static,
+    {
+        self.factories.insert(family.into(), Box::new(factory));
+    }
+
+    /// Whether `family` is registered.
+    pub fn contains(&self, family: &str) -> bool {
+        self.factories.contains_key(family)
+    }
+
+    /// Registered families, sorted.
+    pub fn families(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+
+    /// Resolves a spec into a policy instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the known families when the spec's family is
+    /// unregistered, or the factory's error when its arguments are invalid.
+    pub fn build(&self, spec: &ProtocolSpec) -> Result<Box<dyn NeighborPolicy>, String> {
+        let family = spec.family();
+        let factory = self.factories.get(family).ok_or_else(|| {
+            format!(
+                "unknown protocol family {:?} in spec {:?} (registered: {})",
+                family,
+                spec.as_str(),
+                self.families().collect::<Vec<_>>().join(", ")
+            )
+        })?;
+        factory(spec)
+    }
+}
+
+impl Default for ProtocolRegistry {
+    fn default() -> Self {
+        Self::builtins()
+    }
+}
+
+impl fmt::Debug for ProtocolRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtocolRegistry")
+            .field("families", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcbpt_net::RandomPolicy;
+
+    #[test]
+    fn spec_exposes_family_and_label() {
+        let spec = ProtocolSpec::new("bcbpt(dt=25ms)");
+        assert_eq!(spec.family(), "bcbpt");
+        assert_eq!(spec.as_str(), "bcbpt(dt=25ms)");
+        assert_eq!(spec.to_string(), "bcbpt(dt=25ms)");
+        assert_eq!(ProtocolSpec::new("bitcoin").family(), "bitcoin");
+    }
+
+    #[test]
+    fn spec_round_trips_through_builtin_protocols() {
+        for p in [
+            Protocol::Bitcoin,
+            Protocol::Lbc,
+            Protocol::bcbpt_paper(),
+            Protocol::Bcbpt { threshold_ms: 50.0 },
+        ] {
+            let spec = ProtocolSpec::from(p);
+            assert_eq!(spec.as_builtin().unwrap(), p);
+            assert_eq!(spec.as_str(), p.label());
+        }
+    }
+
+    #[test]
+    fn spec_serde_is_transparent() {
+        let spec = ProtocolSpec::new("bcbpt(dt=25ms)");
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(json, "\"bcbpt(dt=25ms)\"", "a spec serializes as a string");
+        let back: ProtocolSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn builtins_build_every_paper_protocol() {
+        let registry = ProtocolRegistry::builtins();
+        assert_eq!(
+            registry.families().collect::<Vec<_>>(),
+            vec!["bcbpt", "bitcoin", "lbc"]
+        );
+        for (label, name) in [
+            ("bitcoin", "bitcoin"),
+            ("lbc", "lbc"),
+            ("bcbpt", "bcbpt"),
+            ("bcbpt(dt=40ms)", "bcbpt"),
+        ] {
+            let policy = registry.build(&ProtocolSpec::new(label)).unwrap();
+            assert_eq!(policy.name(), name, "{label}");
+        }
+    }
+
+    #[test]
+    fn unknown_family_errors_and_names_the_known_set() {
+        let registry = ProtocolRegistry::builtins();
+        let err = registry
+            .build(&ProtocolSpec::new("gossipsub(k=3)"))
+            .unwrap_err();
+        assert!(err.contains("gossipsub"), "{err}");
+        assert!(err.contains("bitcoin"), "error lists known families: {err}");
+        assert!(!ProtocolRegistry::new().contains("bitcoin"));
+    }
+
+    #[test]
+    fn bad_arguments_surface_the_factory_error() {
+        let registry = ProtocolRegistry::builtins();
+        let err = registry
+            .build(&ProtocolSpec::new("bcbpt(dt=-5ms)"))
+            .unwrap_err();
+        assert!(err.contains("threshold"), "{err}");
+    }
+
+    #[test]
+    fn custom_policy_registration_smoke() {
+        let mut registry = ProtocolRegistry::builtins();
+        registry.register("uniform", |spec: &ProtocolSpec| {
+            if spec.as_str() != "uniform" {
+                return Err(format!("uniform takes no arguments, got {spec}"));
+            }
+            Ok(Box::new(RandomPolicy::new()))
+        });
+        assert!(registry.contains("uniform"));
+        let policy = registry.build(&ProtocolSpec::new("uniform")).unwrap();
+        assert_eq!(policy.name(), "bitcoin", "RandomPolicy reports bitcoin");
+        assert!(registry.build(&ProtocolSpec::new("uniform(x=1)")).is_err());
+        // Built-ins still resolve after the extension.
+        assert!(registry.build(&ProtocolSpec::new("lbc")).is_ok());
+    }
+}

@@ -7,7 +7,7 @@
 //! eclipse attacks." This module implements both evaluations.
 
 use crate::experiment::ExperimentConfig;
-use bcbpt_cluster::Protocol;
+use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
 use bcbpt_net::{Network, NodeId};
 use bcbpt_stats::StatTable;
 use serde::{Deserialize, Serialize};
@@ -43,7 +43,32 @@ pub struct EclipseReport {
 /// Panics when `adversary_fraction` is outside `(0, 1)` or `victims == 0`.
 pub fn eclipse_exposure(
     base: &ExperimentConfig,
-    protocol: Protocol,
+    protocol: impl Into<ProtocolSpec>,
+    adversary_fraction: f64,
+    victims: usize,
+) -> Result<EclipseReport, String> {
+    eclipse_exposure_in(
+        &ProtocolRegistry::builtins(),
+        base,
+        protocol,
+        adversary_fraction,
+        victims,
+    )
+}
+
+/// [`eclipse_exposure`] with the protocol resolved against `registry`.
+///
+/// # Errors
+///
+/// Propagates protocol-resolution and network-construction errors.
+///
+/// # Panics
+///
+/// Panics when `adversary_fraction` is outside `(0, 1)` or `victims == 0`.
+pub fn eclipse_exposure_in(
+    registry: &ProtocolRegistry,
+    base: &ExperimentConfig,
+    protocol: impl Into<ProtocolSpec>,
     adversary_fraction: f64,
     victims: usize,
 ) -> Result<EclipseReport, String> {
@@ -53,7 +78,7 @@ pub fn eclipse_exposure(
     );
     assert!(victims > 0, "need at least one victim");
     let cfg = base.with_protocol(protocol);
-    let mut net = Network::build(cfg.net.clone(), protocol.build_policy(), cfg.seed)?;
+    let mut net = Network::build(cfg.net.clone(), registry.build(&cfg.protocol)?, cfg.seed)?;
     net.warmup_ms(cfg.warmup_ms);
 
     let n = net.num_nodes();
@@ -86,7 +111,7 @@ pub fn eclipse_exposure(
         return Err("no victim had connections".to_string());
     }
     Ok(EclipseReport {
-        protocol: protocol.label(),
+        protocol: cfg.protocol.to_string(),
         adversary_fraction,
         mean_malicious_peer_share: shares.iter().sum::<f64>() / shares.len() as f64,
         max_malicious_peer_share: shares.iter().cloned().fold(0.0, f64::max),
@@ -99,9 +124,9 @@ pub fn eclipse_exposure(
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn eclipse_table(
+pub fn eclipse_table<P: Clone + Into<ProtocolSpec>>(
     base: &ExperimentConfig,
-    protocols: &[Protocol],
+    protocols: &[P],
     adversary_fraction: f64,
     victims: usize,
 ) -> Result<StatTable, String> {
@@ -112,8 +137,8 @@ pub fn eclipse_table(
         ),
         &["mean_bad_share", "max_bad_share", "victims"],
     );
-    for &p in protocols {
-        let r = eclipse_exposure(base, p, adversary_fraction, victims)?;
+    for p in protocols {
+        let r = eclipse_exposure(base, p.clone(), adversary_fraction, victims)?;
         table.push_row(
             r.protocol,
             vec![
@@ -154,10 +179,23 @@ pub struct PartitionReport {
 /// Propagates network-construction errors.
 pub fn partition_resilience(
     base: &ExperimentConfig,
-    protocol: Protocol,
+    protocol: impl Into<ProtocolSpec>,
+) -> Result<PartitionReport, String> {
+    partition_resilience_in(&ProtocolRegistry::builtins(), base, protocol)
+}
+
+/// [`partition_resilience`] with the protocol resolved against `registry`.
+///
+/// # Errors
+///
+/// Propagates protocol-resolution and network-construction errors.
+pub fn partition_resilience_in(
+    registry: &ProtocolRegistry,
+    base: &ExperimentConfig,
+    protocol: impl Into<ProtocolSpec>,
 ) -> Result<PartitionReport, String> {
     let cfg = base.with_protocol(protocol);
-    let mut net = Network::build(cfg.net.clone(), protocol.build_policy(), cfg.seed)?;
+    let mut net = Network::build(cfg.net.clone(), registry.build(&cfg.protocol)?, cfg.seed)?;
     net.warmup_ms(cfg.warmup_ms);
     let total_edges = net.links().edge_count();
     let inter: Vec<(NodeId, NodeId)> = net
@@ -181,7 +219,7 @@ pub fn partition_resilience(
         .find(|&node| net.is_online(node))
         .ok_or_else(|| "no online node".to_string())?;
     Ok(PartitionReport {
-        protocol: protocol.label(),
+        protocol: cfg.protocol.to_string(),
         cut_edges: inter.len(),
         total_edges,
         reachable_after_cut: net.reachable_fraction(start),
@@ -193,16 +231,16 @@ pub fn partition_resilience(
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn partition_table(
+pub fn partition_table<P: Clone + Into<ProtocolSpec>>(
     base: &ExperimentConfig,
-    protocols: &[Protocol],
+    protocols: &[P],
 ) -> Result<StatTable, String> {
     let mut table = StatTable::new(
         "Partition attack: cut all inter-cluster links",
         &["cut_edges", "total_edges", "reachable_after"],
     );
-    for &p in protocols {
-        let r = partition_resilience(base, p)?;
+    for p in protocols {
+        let r = partition_resilience(base, p.clone())?;
         table.push_row(
             r.protocol,
             vec![
@@ -218,6 +256,7 @@ pub fn partition_table(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bcbpt_cluster::Protocol;
 
     fn tiny() -> ExperimentConfig {
         let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);

@@ -7,7 +7,7 @@
 //! measuring node's degree and reports per-degree-bucket delay variance.
 
 use crate::experiment::{CampaignResult, ExperimentConfig};
-use bcbpt_cluster::Protocol;
+use bcbpt_cluster::ProtocolSpec;
 use bcbpt_stats::{StatTable, Summary};
 use serde::{Deserialize, Serialize};
 
@@ -64,17 +64,17 @@ pub fn degree_variance(campaign: &CampaignResult, bucket_width: usize) -> Degree
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn degree_variance_table(
+pub fn degree_variance_table<P: Clone + Into<ProtocolSpec>>(
     base: &ExperimentConfig,
-    protocols: &[Protocol],
+    protocols: &[P],
     bucket_width: usize,
 ) -> Result<StatTable, String> {
     let mut table = StatTable::new(
         "Delay variance vs measuring-node connection count (slope of variance over degree)",
         &["slope", "buckets", "min_var", "max_var"],
     );
-    for &p in protocols {
-        let campaign = base.with_protocol(p).run()?;
+    for p in protocols {
+        let campaign = base.with_protocol(p.clone()).run()?;
         let dv = degree_variance(&campaign, bucket_width);
         let min_var = dv
             .buckets

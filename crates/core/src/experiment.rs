@@ -6,7 +6,7 @@
 //! "the latency is determined by an average of approximately 1000 runs".
 //! [`ExperimentConfig::run`] reproduces that loop.
 
-use bcbpt_cluster::Protocol;
+use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
 use bcbpt_net::{MessageStats, NetConfig, Network, NodeId, TxWatch};
 use bcbpt_sim::RngHub;
 use bcbpt_stats::{bootstrap_ci, BuildEcdfError, ConfidenceInterval, Ecdf, Summary};
@@ -51,25 +51,33 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// All `Δt(m,n)` samples pooled across runs.
-    pub fn all_deltas_ms(&self) -> Vec<f64> {
-        self.runs
-            .iter()
-            .flat_map(|r| r.deltas_ms.iter().copied())
-            .collect()
+    /// The `Δt(m,n)` samples of all runs, borrowed — no per-sample clone.
+    pub fn deltas_ms(&self) -> impl Iterator<Item = f64> + '_ {
+        self.runs.iter().flat_map(|r| r.deltas_ms.iter().copied())
     }
 
-    /// All network-wide arrival delays pooled across runs.
-    pub fn all_arrivals_ms(&self) -> Vec<f64> {
+    /// The network-wide arrival delays of all runs, borrowed.
+    pub fn arrivals_ms(&self) -> impl Iterator<Item = f64> + '_ {
         self.runs
             .iter()
             .flat_map(|r| r.arrival_delays_ms.iter().copied())
-            .collect()
+    }
+
+    /// All `Δt(m,n)` samples pooled across runs into one vector (use
+    /// [`deltas_ms`](Self::deltas_ms) unless a slice is required).
+    pub fn all_deltas_ms(&self) -> Vec<f64> {
+        self.deltas_ms().collect()
+    }
+
+    /// All network-wide arrival delays pooled across runs into one vector
+    /// (use [`arrivals_ms`](Self::arrivals_ms) unless a slice is required).
+    pub fn all_arrivals_ms(&self) -> Vec<f64> {
+        self.arrivals_ms().collect()
     }
 
     /// Streaming summary of the pooled deltas.
     pub fn delta_summary(&self) -> Summary {
-        self.all_deltas_ms().into_iter().collect()
+        self.deltas_ms().collect()
     }
 
     /// ECDF of the pooled deltas.
@@ -78,7 +86,7 @@ impl CampaignResult {
     ///
     /// Returns [`BuildEcdfError::Empty`] if no run produced any delta.
     pub fn delta_ecdf(&self) -> Result<Ecdf, BuildEcdfError> {
-        Ecdf::from_samples(self.all_deltas_ms())
+        Ecdf::from_samples(self.deltas_ms())
     }
 
     /// ECDF of the pooled network-wide arrival delays.
@@ -87,7 +95,7 @@ impl CampaignResult {
     ///
     /// Returns [`BuildEcdfError::Empty`] if no run recorded arrivals.
     pub fn arrival_ecdf(&self) -> Result<Ecdf, BuildEcdfError> {
-        Ecdf::from_samples(self.all_arrivals_ms())
+        Ecdf::from_samples(self.arrivals_ms())
     }
 
     /// Bootstrap confidence interval on the mean of the pooled deltas
@@ -152,8 +160,10 @@ type RunOutcome = Option<(RunResult, MessageStats)>;
 pub struct ExperimentConfig {
     /// Network configuration.
     pub net: NetConfig,
-    /// The protocol under test.
-    pub protocol: Protocol,
+    /// The protocol under test, named as data (e.g. `"bcbpt(dt=25ms)"`).
+    /// Resolved against a [`ProtocolRegistry`] when the campaign runs, so
+    /// custom registered policies work anywhere a built-in does.
+    pub protocol: ProtocolSpec,
     /// Cluster-formation warmup before measurements start, ms.
     pub warmup_ms: f64,
     /// Measurement window per run, ms (the tx must flood the network).
@@ -168,12 +178,12 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// A CI-scale configuration: small network, few runs. Finishes in
     /// seconds even in debug builds.
-    pub fn quick(protocol: Protocol) -> Self {
+    pub fn quick(protocol: impl Into<ProtocolSpec>) -> Self {
         let mut net = NetConfig::test_scale();
         net.num_nodes = 150;
         ExperimentConfig {
             net,
-            protocol,
+            protocol: protocol.into(),
             warmup_ms: 3_000.0,
             window_ms: 20_000.0,
             runs: 10,
@@ -183,10 +193,10 @@ impl ExperimentConfig {
 
     /// The paper's experiment scale: 5000 nodes, ~1000 runs (§V.B). Run in
     /// release mode only.
-    pub fn paper(protocol: Protocol) -> Self {
+    pub fn paper(protocol: impl Into<ProtocolSpec>) -> Self {
         ExperimentConfig {
             net: NetConfig::paper_scale(),
-            protocol,
+            protocol: protocol.into(),
             warmup_ms: 30_000.0,
             window_ms: 60_000.0,
             runs: 1000,
@@ -197,9 +207,9 @@ impl ExperimentConfig {
     /// Returns a copy with a different protocol but identical environment —
     /// the paired-comparison knob for Fig. 3/Fig. 4.
     #[must_use]
-    pub fn with_protocol(&self, protocol: Protocol) -> Self {
+    pub fn with_protocol(&self, protocol: impl Into<ProtocolSpec>) -> Self {
         ExperimentConfig {
-            protocol,
+            protocol: protocol.into(),
             ..self.clone()
         }
     }
@@ -222,9 +232,10 @@ impl ExperimentConfig {
     ///
     /// # Errors
     ///
-    /// Propagates network-construction errors (invalid configuration).
+    /// Propagates network-construction errors (invalid configuration) and
+    /// protocol-resolution errors (unknown protocol spec).
     pub fn run(&self) -> Result<CampaignResult, String> {
-        self.run_with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        self.run_in(&ProtocolRegistry::builtins())
     }
 
     /// Runs the campaign strictly on the calling thread. Reference
@@ -247,7 +258,35 @@ impl ExperimentConfig {
     ///
     /// Propagates network-construction errors (invalid configuration).
     pub fn run_with_threads(&self, threads: usize) -> Result<CampaignResult, String> {
-        let mut base = Network::build(self.net.clone(), self.protocol.build_policy(), self.seed)?;
+        self.run_in_with_threads(&ProtocolRegistry::builtins(), threads)
+    }
+
+    /// Runs the campaign with the protocol resolved against `registry`
+    /// instead of the built-in set — the entry point for custom registered
+    /// policies. Uses one worker thread per available core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol-resolution and network-construction errors.
+    pub fn run_in(&self, registry: &ProtocolRegistry) -> Result<CampaignResult, String> {
+        self.run_in_with_threads(
+            registry,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        )
+    }
+
+    /// [`run_in`](Self::run_in) with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol-resolution and network-construction errors.
+    pub fn run_in_with_threads(
+        &self,
+        registry: &ProtocolRegistry,
+        threads: usize,
+    ) -> Result<CampaignResult, String> {
+        let policy = registry.build(&self.protocol)?;
+        let mut base = Network::build(self.net.clone(), policy, self.seed)?;
         base.warmup_ms(self.warmup_ms);
         let warmup_traffic = base.stats().clone();
 
@@ -297,7 +336,7 @@ impl ExperimentConfig {
 
         let cluster_sizes = cluster_sizes(&base);
         Ok(CampaignResult {
-            protocol: self.protocol.label(),
+            protocol: self.protocol.to_string(),
             runs,
             traffic,
             warmup_traffic,
@@ -361,6 +400,7 @@ pub fn cluster_sizes(net: &Network) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bcbpt_cluster::Protocol;
 
     fn tiny(protocol: Protocol) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::quick(protocol);
@@ -445,7 +485,27 @@ mod tests {
         let other = base.with_protocol(Protocol::Lbc);
         assert_eq!(base.seed, other.seed);
         assert_eq!(base.net, other.net);
-        assert_eq!(other.protocol, Protocol::Lbc);
+        assert_eq!(other.protocol, ProtocolSpec::from(Protocol::Lbc));
+    }
+
+    #[test]
+    fn custom_registered_policy_runs_a_campaign() {
+        // The open end of the protocol API: a spec outside the built-in
+        // set resolves through a caller-extended registry and produces a
+        // normal campaign.
+        let mut registry = ProtocolRegistry::builtins();
+        registry.register("uniform", |_spec| {
+            Ok(Box::new(bcbpt_net::RandomPolicy::new()))
+        });
+        let cfg = tiny(Protocol::Bitcoin).with_protocol("uniform");
+        assert!(cfg.run().is_err(), "builtin registry rejects the spec");
+        let result = cfg.run_in(&registry).unwrap();
+        assert_eq!(result.protocol, "uniform");
+        assert!(!result.runs.is_empty());
+        // RandomPolicy is exactly what "bitcoin" resolves to, so the
+        // campaign numbers must match the built-in run.
+        let bitcoin = tiny(Protocol::Bitcoin).run().unwrap();
+        assert_eq!(result.all_deltas_ms(), bitcoin.all_deltas_ms());
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //!   structure statistics.
 
 use crate::experiment::{CampaignResult, ExperimentConfig};
+use crate::scenario::{Scenario, Sweep, Workload};
 use bcbpt_cluster::Protocol;
-use bcbpt_stats::{Figure, Series, StatTable};
+use bcbpt_stats::{Figure, StatTable};
 use serde::{Deserialize, Serialize};
 
 /// A regenerated figure: the plotted CDFs, a numeric summary table, and the
@@ -31,41 +32,45 @@ impl FigureBundle {
     }
 }
 
-/// Number of points on each rendered CDF curve.
-const CURVE_POINTS: usize = 40;
-
+/// Runs one tx-flood scenario sweep and projects it into a
+/// [`FigureBundle`] with the figure's caption — the declarative scenario
+/// API doing the work the hand-wired per-figure loops used to.
 fn run_protocols(
     base: &ExperimentConfig,
     protocols: &[Protocol],
     caption: &str,
 ) -> Result<FigureBundle, String> {
-    let mut figure = Figure::new(caption, "delta_t_ms", "cdf");
+    let scenario = Scenario::from_experiment(caption, base, Workload::TxFlood)
+        .with_sweep(Sweep::over_protocols(protocols.iter().copied()));
+    let outcome = scenario.run()?;
+    let mut figure = outcome
+        .figure()
+        .unwrap_or_else(|| Figure::new("", "delta_t_ms", "cdf"));
+    figure.caption = caption.to_string();
     let mut table = StatTable::new(
         format!("{caption} — summary of Δt(m,n) in ms"),
         &["mean", "variance", "median", "p90", "max", "samples"],
     );
-    let mut campaigns = Vec::with_capacity(protocols.len());
-    for protocol in protocols {
-        let campaign = base.with_protocol(*protocol).run()?;
+    let mut campaigns = Vec::with_capacity(outcome.cells.len());
+    for cell in outcome.cells {
+        let campaign = match cell.report {
+            crate::scenario::CellReport::Campaign { campaign } => campaign,
+            _ => unreachable!("tx-flood cells carry campaigns"),
+        };
         let label = campaign.protocol.clone();
         match campaign.delta_ecdf() {
-            Ok(ecdf) => {
-                figure.push_series(Series::new(label.clone(), ecdf.curve(CURVE_POINTS)));
-                table.push_row(
-                    label,
-                    vec![
-                        ecdf.mean(),
-                        ecdf.sample_variance(),
-                        ecdf.median(),
-                        ecdf.quantile(0.9),
-                        ecdf.max(),
-                        ecdf.len() as f64,
-                    ],
-                );
-            }
-            Err(_) => {
-                table.push_row(label, vec![f64::NAN; 6]);
-            }
+            Ok(ecdf) => table.push_row(
+                label,
+                vec![
+                    ecdf.mean(),
+                    ecdf.sample_variance(),
+                    ecdf.median(),
+                    ecdf.quantile(0.9),
+                    ecdf.max(),
+                    ecdf.len() as f64,
+                ],
+            ),
+            Err(_) => table.push_row(label, vec![f64::NAN; 6]),
         }
         campaigns.push(campaign);
     }
@@ -139,10 +144,11 @@ pub fn threshold_sweep(
             "max_cluster",
         ],
     );
-    for &dt in thresholds_ms {
-        let campaign = base
-            .with_protocol(Protocol::Bcbpt { threshold_ms: dt })
-            .run()?;
+    let scenario = Scenario::from_experiment("threshold_sweep", base, Workload::TxFlood)
+        .with_sweep(Sweep::over_thresholds_ms(thresholds_ms.iter().copied()));
+    let outcome = scenario.run()?;
+    for (&dt, cell) in thresholds_ms.iter().zip(&outcome.cells) {
+        let campaign = cell.campaign().expect("tx-flood cells carry campaigns");
         let (mean, variance, p90) = match campaign.delta_ecdf() {
             Ok(e) => (e.mean(), e.sample_variance(), e.quantile(0.9)),
             Err(_) => (f64::NAN, f64::NAN, f64::NAN),

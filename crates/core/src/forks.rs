@@ -7,7 +7,7 @@
 //! relay protocol and compare stale-block rates and ledger consistency.
 
 use crate::experiment::ExperimentConfig;
-use bcbpt_cluster::Protocol;
+use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
 use bcbpt_net::Network;
 use bcbpt_stats::StatTable;
 use serde::{Deserialize, Serialize};
@@ -42,20 +42,46 @@ pub struct ForkReport {
 /// Panics when `block_interval_ms` or `duration_ms` is not positive.
 pub fn fork_experiment(
     base: &ExperimentConfig,
-    protocol: Protocol,
+    protocol: impl Into<ProtocolSpec>,
+    block_interval_ms: f64,
+    duration_ms: f64,
+) -> Result<ForkReport, String> {
+    fork_experiment_in(
+        &ProtocolRegistry::builtins(),
+        base,
+        protocol,
+        block_interval_ms,
+        duration_ms,
+    )
+}
+
+/// [`fork_experiment`] with the protocol resolved against `registry`, so
+/// custom registered policies can be measured too.
+///
+/// # Errors
+///
+/// Propagates protocol-resolution and network-construction errors.
+///
+/// # Panics
+///
+/// Panics when `block_interval_ms` or `duration_ms` is not positive.
+pub fn fork_experiment_in(
+    registry: &ProtocolRegistry,
+    base: &ExperimentConfig,
+    protocol: impl Into<ProtocolSpec>,
     block_interval_ms: f64,
     duration_ms: f64,
 ) -> Result<ForkReport, String> {
     assert!(block_interval_ms > 0.0, "block interval must be positive");
     assert!(duration_ms > 0.0, "duration must be positive");
     let cfg = base.with_protocol(protocol);
-    let mut net = Network::build(cfg.net.clone(), protocol.build_policy(), cfg.seed)?;
+    let mut net = Network::build(cfg.net.clone(), registry.build(&cfg.protocol)?, cfg.seed)?;
     net.warmup_ms(cfg.warmup_ms);
     net.enable_mining(block_interval_ms);
     net.run_for_ms(duration_ms);
     let ledger = net.ledger();
     Ok(ForkReport {
-        protocol: protocol.label(),
+        protocol: cfg.protocol.to_string(),
         mined: ledger.mined_count(),
         stale: ledger.stale_count(),
         stale_rate: ledger.stale_rate(),
@@ -68,9 +94,9 @@ pub fn fork_experiment(
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn fork_table(
+pub fn fork_table<P: Clone + Into<ProtocolSpec>>(
     base: &ExperimentConfig,
-    protocols: &[Protocol],
+    protocols: &[P],
     block_interval_ms: f64,
     duration_ms: f64,
 ) -> Result<StatTable, String> {
@@ -78,8 +104,8 @@ pub fn fork_table(
         format!("Fork rate under proof-of-work (blocks every {block_interval_ms} ms on average)"),
         &["mined", "stale", "stale_rate", "tip_agreement"],
     );
-    for &p in protocols {
-        let r = fork_experiment(base, p, block_interval_ms, duration_ms)?;
+    for p in protocols {
+        let r = fork_experiment(base, p.clone(), block_interval_ms, duration_ms)?;
         table.push_row(
             r.protocol,
             vec![
@@ -96,6 +122,7 @@ pub fn fork_table(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bcbpt_cluster::Protocol;
 
     fn tiny() -> ExperimentConfig {
         let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);

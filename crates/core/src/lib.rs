@@ -4,6 +4,9 @@
 //! Approach to Enhance Propagation Delay on the Bitcoin Peer-to-Peer
 //! Network* (ICDCS 2017):
 //!
+//! * [`Scenario`]/[`ScenarioOutcome`] — the declarative experiment API:
+//!   campaigns as serializable data (workload + protocol spec + sweep),
+//!   run by the single `scenario` driver binary.
 //! * [`ExperimentConfig`]/[`CampaignResult`] — the measuring-node
 //!   methodology (Fig. 2, Eq. 5), repeated over many runs (§V.B).
 //! * [`fig3`]/[`fig4`] — the paper's two result figures.
@@ -44,17 +47,21 @@ mod experiment;
 mod figures;
 mod forks;
 mod overhead;
+mod scenario;
 mod validation;
 
 pub use attacks::{
-    eclipse_exposure, eclipse_table, partition_resilience, partition_table, EclipseReport,
-    PartitionReport,
+    eclipse_exposure, eclipse_exposure_in, eclipse_table, partition_resilience,
+    partition_resilience_in, partition_table, EclipseReport, PartitionReport,
 };
 pub use degree::{degree_variance, degree_variance_table, DegreeVariance};
 pub use experiment::{cluster_sizes, CampaignResult, ExperimentConfig, RunResult};
 pub use figures::{fig3, fig4, threshold_sweep, FigureBundle};
-pub use forks::{fork_experiment, fork_table, ForkReport};
-pub use overhead::overhead_table;
+pub use forks::{fork_experiment, fork_experiment_in, fork_table, ForkReport};
+pub use overhead::{overhead_table, OverheadReport};
+pub use scenario::{
+    CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Sweep, Workload,
+};
 pub use validation::{
     reference_samples, validate_delays, ValidationReport, KS_ACCEPT, REFERENCE_SIGMA,
 };

@@ -7,10 +7,76 @@
 //! into probing (PING/PONG), cluster control (JOIN/CLUSTERLIST/handshakes)
 //! and useful relay traffic (INV/GETDATA/TX).
 
-use crate::experiment::ExperimentConfig;
-use bcbpt_cluster::Protocol;
+use crate::experiment::{CampaignResult, ExperimentConfig};
+use bcbpt_cluster::ProtocolSpec;
 use bcbpt_net::MessageKind;
 use bcbpt_stats::StatTable;
+use serde::{Deserialize, Serialize};
+
+/// One protocol's message/byte budget, normalised per node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Protocol label.
+    pub protocol: String,
+    /// PING/PONG probe messages per node.
+    pub probe_per_node: f64,
+    /// Cluster-control (JOIN/CLUSTERLIST) + handshake messages per node.
+    pub control_per_node: f64,
+    /// Address-gossip (GETADDR/ADDR) messages per node.
+    pub gossip_per_node: f64,
+    /// Useful relay (INV/GETDATA/TX/block) messages per node.
+    pub relay_per_node: f64,
+    /// Probe share of all traffic.
+    pub probe_share: f64,
+    /// Total bytes moved per node.
+    pub bytes_per_node: f64,
+}
+
+impl OverheadReport {
+    /// Breaks a campaign's total traffic into the overhead budget.
+    pub fn from_campaign(campaign: &CampaignResult) -> Self {
+        let n = campaign.num_nodes as f64;
+        let t = &campaign.traffic;
+        let probe = t.probe_messages() as f64;
+        let control = t.cluster_control_messages() as f64
+            + t.count(MessageKind::Version) as f64
+            + t.count(MessageKind::Verack) as f64;
+        let gossip = (t.count(MessageKind::GetAddr) + t.count(MessageKind::Addr)) as f64;
+        let relay = t.relay_messages() as f64;
+        let total = t.total_messages() as f64;
+        OverheadReport {
+            protocol: campaign.protocol.clone(),
+            probe_per_node: probe / n,
+            control_per_node: control / n,
+            gossip_per_node: gossip / n,
+            relay_per_node: relay / n,
+            probe_share: if total > 0.0 { probe / total } else { 0.0 },
+            bytes_per_node: t.total_bytes() as f64 / n,
+        }
+    }
+
+    /// The table row this report contributes to [`overhead_table`].
+    pub fn row(&self) -> Vec<f64> {
+        vec![
+            self.probe_per_node,
+            self.control_per_node,
+            self.gossip_per_node,
+            self.relay_per_node,
+            self.probe_share,
+            self.bytes_per_node,
+        ]
+    }
+}
+
+/// The column headers of [`overhead_table`] rows.
+pub(crate) const OVERHEAD_COLUMNS: [&str; 6] = [
+    "probe/node",
+    "control/node",
+    "gossip/node",
+    "relay/node",
+    "probe_share",
+    "bytes/node",
+];
 
 /// Per-protocol overhead comparison.
 ///
@@ -21,43 +87,18 @@ use bcbpt_stats::StatTable;
 /// # Errors
 ///
 /// Propagates campaign configuration errors.
-pub fn overhead_table(
+pub fn overhead_table<P: Clone + Into<ProtocolSpec>>(
     base: &ExperimentConfig,
-    protocols: &[Protocol],
+    protocols: &[P],
 ) -> Result<StatTable, String> {
     let mut table = StatTable::new(
         "Measurement & control overhead per node (messages over the campaign)",
-        &[
-            "probe/node",
-            "control/node",
-            "gossip/node",
-            "relay/node",
-            "probe_share",
-            "bytes/node",
-        ],
+        &OVERHEAD_COLUMNS,
     );
     for protocol in protocols {
-        let campaign = base.with_protocol(*protocol).run()?;
-        let n = campaign.num_nodes as f64;
-        let t = &campaign.traffic;
-        let probe = t.probe_messages() as f64;
-        let control = t.cluster_control_messages() as f64
-            + t.count(MessageKind::Version) as f64
-            + t.count(MessageKind::Verack) as f64;
-        let gossip = (t.count(MessageKind::GetAddr) + t.count(MessageKind::Addr)) as f64;
-        let relay = t.relay_messages() as f64;
-        let total = t.total_messages() as f64;
-        table.push_row(
-            campaign.protocol.clone(),
-            vec![
-                probe / n,
-                control / n,
-                gossip / n,
-                relay / n,
-                if total > 0.0 { probe / total } else { 0.0 },
-                t.total_bytes() as f64 / n,
-            ],
-        );
+        let campaign = base.with_protocol(protocol.clone()).run()?;
+        let report = OverheadReport::from_campaign(&campaign);
+        table.push_row(campaign.protocol.clone(), report.row());
     }
     Ok(table)
 }
@@ -65,6 +106,7 @@ pub fn overhead_table(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bcbpt_cluster::Protocol;
 
     fn tiny() -> ExperimentConfig {
         let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);

@@ -11,6 +11,11 @@ use serde::{Deserialize, Serialize};
 
 /// Lognormal session-length model.
 ///
+/// Serializes like a plain struct, except that the infinite durations of
+/// [`disabled`](Self::disabled) churn map to JSON `null` and back — so a
+/// scenario file can say `"median_session_ms": null` for "no churn" and a
+/// disabled model survives a JSON round trip intact.
+///
 /// # Examples
 ///
 /// ```
@@ -22,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// let session_ms = model.sample_session_ms(&mut rng);
 /// assert!(session_ms > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnModel {
     /// Median session length in milliseconds.
     pub median_session_ms: f64,
@@ -93,6 +98,43 @@ impl ChurnModel {
 impl Default for ChurnModel {
     fn default() -> Self {
         Self::measured_like()
+    }
+}
+
+impl Serialize for ChurnModel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "median_session_ms".to_string(),
+                self.median_session_ms.to_value(),
+            ),
+            ("session_sigma".to_string(), self.session_sigma.to_value()),
+            (
+                "mean_offline_ms".to_string(),
+                self.mean_offline_ms.to_value(),
+            ),
+        ])
+    }
+}
+
+/// Reads a duration field where JSON `null` means "infinite / disabled".
+fn duration_or_infinite(v: &serde::Value) -> Result<f64, serde::Error> {
+    match v {
+        serde::Value::Null => Ok(f64::INFINITY),
+        other => f64::from_value(other),
+    }
+}
+
+impl Deserialize for ChurnModel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for ChurnModel"))?;
+        Ok(ChurnModel {
+            median_session_ms: duration_or_infinite(serde::map_get(m, "median_session_ms"))?,
+            session_sigma: f64::from_value(serde::map_get(m, "session_sigma"))?,
+            mean_offline_ms: duration_or_infinite(serde::map_get(m, "mean_offline_ms"))?,
+        })
     }
 }
 
@@ -220,5 +262,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn arrival_validates_mean() {
         ArrivalProcess::with_mean_ms(0.0);
+    }
+
+    #[test]
+    fn churn_value_round_trips_including_disabled() {
+        for model in [ChurnModel::measured_like(), ChurnModel::disabled()] {
+            let back = ChurnModel::from_value(&model.to_value()).unwrap();
+            assert_eq!(back, model);
+        }
+    }
+
+    #[test]
+    fn null_durations_mean_disabled() {
+        // JSON renders infinities as null; parsing must take them back to
+        // infinity, and a human can write null for "off" directly.
+        let v = serde::Value::Map(vec![
+            ("median_session_ms".to_string(), serde::Value::Null),
+            ("session_sigma".to_string(), serde::Value::F64(0.0)),
+            ("mean_offline_ms".to_string(), serde::Value::Null),
+        ]);
+        let model = ChurnModel::from_value(&v).unwrap();
+        assert_eq!(model, ChurnModel::disabled());
+        assert!(model.is_disabled());
     }
 }

@@ -507,7 +507,10 @@ impl Network {
         f(&mut view)
     }
 
-    #[doc(hidden)]
+    /// Test-only alias of [`with_view`](Self::with_view), compiled only for
+    /// this crate's own tests or under the `testing` feature so it stays
+    /// out of the release API.
+    #[cfg(any(test, feature = "testing"))]
     pub fn with_view_for_tests<R, F: FnOnce(&mut NetView<'_>) -> R>(&mut self, f: F) -> R {
         self.with_view(f)
     }

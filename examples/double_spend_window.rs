@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nReading the numbers: time-to-coverage is a *global* flood metric and\n\
          flooding always takes the fastest of many paths, so the medians sit\n\
          close together across protocols. The clustering win the paper reports\n\
-         is in the per-connection announcement deltas (run the fig3 binary) —\n\
+         is in the per-connection announcement deltas (run `scenario run scenarios/fig3.json`) —\n\
          i.e. how quickly and uniformly *your own* peers confirm having seen\n\
          the payment, which is what a watching merchant actually observes."
     );

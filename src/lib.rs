@@ -15,8 +15,8 @@
 //! | [`geo`] | `bcbpt-geo` | world model, Eq. 2–4 distance utility, latency & churn |
 //! | [`stats`] | `bcbpt-stats` | summaries, ECDFs, KS distance, figures |
 //! | [`net`] | `bcbpt-net` | Bitcoin P2P substrate and network fabric |
-//! | [`cluster`] | `bcbpt-cluster` | BCBPT, LBC, protocol selection |
-//! | [`experiments`] | `bcbpt-core` | campaigns, Fig. 3/Fig. 4, validation, overhead, attacks |
+//! | [`cluster`] | `bcbpt-cluster` | BCBPT, LBC, protocol selection and the protocol registry |
+//! | [`experiments`] | `bcbpt-core` | declarative scenarios, campaigns, Fig. 3/Fig. 4, validation, overhead, attacks |
 //!
 //! The most common types are at the top level.
 //!
@@ -82,10 +82,13 @@ pub mod experiments {
     pub use bcbpt_core::*;
 }
 
-pub use bcbpt_cluster::{BcbptConfig, BcbptPolicy, LbcConfig, LbcPolicy, Protocol};
+pub use bcbpt_cluster::{
+    BcbptConfig, BcbptPolicy, LbcConfig, LbcPolicy, Protocol, ProtocolRegistry, ProtocolSpec,
+};
 pub use bcbpt_core::{
     degree_variance_table, eclipse_table, fig3, fig4, fork_table, overhead_table, partition_table,
-    threshold_sweep, validate_delays, CampaignResult, ExperimentConfig, FigureBundle,
+    threshold_sweep, validate_delays, CampaignResult, ExperimentConfig, FigureBundle, Scenario,
+    ScenarioOutcome, Sweep, Workload,
 };
 pub use bcbpt_geo::{ChurnModel, DistanceParams, GeoPoint, LatencyConfig};
 pub use bcbpt_net::{NetConfig, Network, NodeId, Transaction, TxId, TxWatch};

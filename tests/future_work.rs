@@ -95,7 +95,7 @@ fn measured_client_config_passes_shape_validation() {
     cfg.net.num_nodes = n;
     cfg.runs = 6;
     cfg.window_ms = 45_000.0;
-    cfg.protocol = Protocol::Bitcoin;
+    cfg.protocol = Protocol::Bitcoin.into();
     let campaign = cfg.run().unwrap();
     let report = validate_delays(&campaign.all_arrivals_ms()).unwrap();
     assert!(

@@ -1,0 +1,81 @@
+//! Golden-file coverage for the checked-in `scenarios/` directory: every
+//! built-in scenario has a file, every file is exactly the serialized
+//! built-in (pinning the JSON schema), and every file validates.
+
+use bcbpt::{Scenario, ScenarioOutcome, Workload};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+#[test]
+fn every_builtin_has_a_pinned_scenario_file() {
+    for name in Scenario::builtin_names() {
+        let path = scenarios_dir().join(format!("{name}.json"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{}: {e} (run `scenario export scenarios`)", path.display())
+        });
+        let builtin = Scenario::builtin(name).expect("builtin resolves");
+        assert_eq!(
+            text,
+            format!("{}\n", builtin.to_json()),
+            "{name}.json drifted from Scenario::builtin({name:?}); \
+             regenerate with `scenario export scenarios`"
+        );
+        let parsed = Scenario::from_json(&text).expect("checked-in scenario parses");
+        assert_eq!(parsed, builtin, "{name}.json round-trips to the builtin");
+        parsed.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn no_stray_files_in_the_scenarios_directory() {
+    let mut found: Vec<String> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ exists")
+        .map(|entry| entry.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = Scenario::builtin_names()
+        .iter()
+        .map(|n| format!("{n}.json"))
+        .collect();
+    expected.sort();
+    assert_eq!(found, expected, "scenarios/ and builtins must stay in sync");
+}
+
+#[test]
+fn scenario_schema_spot_checks() {
+    // Pin the externally-visible schema decisions a reader of a scenario
+    // file relies on: protocols are plain strings, workloads are tagged by
+    // variant name, disabled churn is null.
+    let fig3 = std::fs::read_to_string(scenarios_dir().join("fig3.json")).unwrap();
+    assert!(fig3.contains("\"protocol\": \"bitcoin\""));
+    assert!(fig3.contains("\"bcbpt(dt=25ms)\""));
+    assert!(fig3.contains("\"workload\": \"TxFlood\""));
+    assert!(fig3.contains("\"median_session_ms\": null"));
+    let forks = std::fs::read_to_string(scenarios_dir().join("forks.json")).unwrap();
+    assert!(forks.contains("\"Mining\""));
+    assert!(forks.contains("\"block_interval_ms\""));
+    let churn = std::fs::read_to_string(scenarios_dir().join("churn.json")).unwrap();
+    assert!(churn.contains("\"ChurnBurst\""));
+}
+
+#[test]
+fn quick_scaled_builtins_run_and_outcomes_round_trip() {
+    // One representative per workload family, shrunk further so this stays
+    // integration-test sized; `scenario quick` covers the full set in CI.
+    for name in ["forks", "partition"] {
+        let mut scenario = Scenario::builtin(name).unwrap().quick_scaled();
+        scenario.net.num_nodes = 80;
+        if let Workload::Mining { duration_ms, .. } = &mut scenario.workload {
+            *duration_ms = 20_000.0;
+        }
+        scenario.sweep = None; // single cell is enough here
+        let outcome = scenario.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(outcome.cells.len(), 1);
+        let back = ScenarioOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(back, outcome, "{name} outcome survives a JSON round trip");
+        assert!(!back.render().is_empty());
+    }
+}
