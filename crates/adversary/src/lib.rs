@@ -1,0 +1,501 @@
+//! # bcbpt-adversary — behavioural adversaries against proximity clustering
+//!
+//! The paper's security discussion (§V.C) worries that clustering by
+//! measured ping time hands an attacker a new lever: *proximity can be
+//! forged*. This crate supplies the in-loop attackers that pull that lever,
+//! as implementations of the fabric's [`Adversary`] hook
+//! (`bcbpt_net::Adversary`):
+//!
+//! * [`AdversaryStrategy::PingSpoof`] — attacker nodes answer RTT probes
+//!   with a forged scale factor, so every honest measurement through
+//!   [`NetView::measure_rtt_ms`] sees them as near. Against BCBPT this
+//!   infiltrates clusters (the estimator, the JOIN ranking and the
+//!   maintenance loop all consume the spoofed values); against LBC and
+//!   vanilla Bitcoin, which never consult measured RTT, it is inert — the
+//!   asymmetry the adversarial scenarios quantify.
+//! * [`AdversaryStrategy::DelayRelay`] — attacker nodes hold every relay
+//!   message (INV/GETDATA/TX and their block twins) they forward by a
+//!   configurable lag, slowing propagation through every path that crosses
+//!   them.
+//! * [`AdversaryStrategy::Withhold`] — attacker nodes blackhole a
+//!   configured fraction of the relay messages they should forward,
+//!   deterministically off the fabric's dedicated adversary stream.
+//!
+//! [`AdversaryForce`] binds a strategy to a deterministically chosen set of
+//! attacker nodes; `bcbpt-core` runs it through whole measuring campaigns
+//! and reports cluster infiltration, propagation slowdown and withheld
+//! deliveries per protocol.
+//!
+//! # Examples
+//!
+//! Ping-spoofing attackers infiltrating a BCBPT-clustered network:
+//!
+//! ```
+//! use bcbpt_adversary::{AdversaryForce, AdversaryStrategy};
+//! use bcbpt_net::{NetConfig, Network, RandomPolicy};
+//!
+//! let mut config = NetConfig::test_scale();
+//! config.num_nodes = 40;
+//! let force = AdversaryForce::new(
+//!     AdversaryStrategy::PingSpoof { spoof_factor: 0.05 },
+//!     config.num_nodes,
+//!     4,
+//! )?;
+//! let mut net = Network::build(config, Box::new(RandomPolicy::new()), 7)?;
+//! net.set_adversary(Box::new(force));
+//! net.warmup_ms(1_000.0);
+//! assert!(net.is_attacker(bcbpt_net::NodeId::from_index(0)));
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! [`NetView::measure_rtt_ms`]: bcbpt_net::NetView::measure_rtt_ms
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bcbpt_net::{Adversary, Message, NodeId, TapVerdict};
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// What the attacker-controlled nodes do, named as data — the serializable
+/// form scenario files carry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdversaryStrategy {
+    /// Forge proximity: every RTT measurement an honest node takes towards
+    /// an attacker comes back scaled by `spoof_factor` (e.g. `0.05` makes
+    /// a 200 ms peer look like a 10 ms one), so proximity-driven neighbour
+    /// selection adopts attackers as "close".
+    PingSpoof {
+        /// Multiplier applied to the true measured RTT; must be positive
+        /// and finite. Values below 1 forge nearness.
+        spoof_factor: f64,
+    },
+    /// Hold every relay message (tx and block INV/GETDATA/payload) an
+    /// attacker forwards by a fixed sender-side lag.
+    DelayRelay {
+        /// Added sender-side delay in milliseconds; must be non-negative
+        /// and finite.
+        delay_ms: f64,
+    },
+    /// Blackhole a fraction of the relay messages attackers should
+    /// forward.
+    Withhold {
+        /// Probability of withholding each relay message, in `(0, 1]`.
+        drop_fraction: f64,
+    },
+}
+
+impl AdversaryStrategy {
+    /// Short family label used by reports (`"pingspoof"`, `"delayrelay"`,
+    /// `"withhold"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdversaryStrategy::PingSpoof { .. } => "pingspoof",
+            AdversaryStrategy::DelayRelay { .. } => "delayrelay",
+            AdversaryStrategy::Withhold { .. } => "withhold",
+        }
+    }
+
+    /// Full label with the strategy's parameter, e.g.
+    /// `"pingspoof(x0.05)"`, `"delayrelay(+200ms)"`, `"withhold(p=0.5)"`.
+    pub fn label(&self) -> String {
+        match *self {
+            AdversaryStrategy::PingSpoof { spoof_factor } => format!("pingspoof(x{spoof_factor})"),
+            AdversaryStrategy::DelayRelay { delay_ms } => format!("delayrelay(+{delay_ms}ms)"),
+            AdversaryStrategy::Withhold { drop_fraction } => format!("withhold(p={drop_fraction})"),
+        }
+    }
+
+    /// Validates the strategy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            AdversaryStrategy::PingSpoof { spoof_factor } => {
+                if !spoof_factor.is_finite() || spoof_factor <= 0.0 {
+                    return Err(format!(
+                        "spoof_factor must be positive and finite, got {spoof_factor}"
+                    ));
+                }
+                Ok(())
+            }
+            AdversaryStrategy::DelayRelay { delay_ms } => {
+                if !delay_ms.is_finite() || delay_ms < 0.0 {
+                    return Err(format!(
+                        "delay_ms must be non-negative and finite, got {delay_ms}"
+                    ));
+                }
+                Ok(())
+            }
+            AdversaryStrategy::Withhold { drop_fraction } => {
+                if !(drop_fraction > 0.0 && drop_fraction <= 1.0) {
+                    return Err(format!(
+                        "drop_fraction must be in (0, 1], got {drop_fraction}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Whether `msg` belongs to the tx/block relay exchange the delay and
+/// withhold strategies target (probes, discovery and handshakes pass
+/// untouched — an attacker that drops pings would expose itself).
+pub fn is_relay_message(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::Inv { .. }
+            | Message::InvOne { .. }
+            | Message::GetData { .. }
+            | Message::GetDataOne { .. }
+            | Message::TxData { .. }
+            | Message::BlockInv { .. }
+            | Message::BlockInvOne { .. }
+            | Message::GetBlocks { .. }
+            | Message::GetBlocksOne { .. }
+            | Message::BlockData { .. }
+    )
+}
+
+/// The deterministic attacker placement: `count` node ids spread evenly
+/// across the id space (ids are placement-random, so this is an unbiased
+/// sample that every layer — runner, report, tests — can reproduce without
+/// coordination).
+///
+/// # Panics
+///
+/// Panics when `count > num_nodes`.
+pub fn attacker_ids(num_nodes: usize, count: usize) -> Vec<NodeId> {
+    assert!(count <= num_nodes, "more attackers than nodes");
+    (0..count)
+        .map(|i| NodeId::from_index(((i * num_nodes) / count.max(1)) as u32))
+        .collect()
+}
+
+/// A strategy bound to a concrete set of attacker-controlled nodes — the
+/// [`Adversary`] implementation the fabric drives.
+#[derive(Debug, Clone)]
+pub struct AdversaryForce {
+    /// `None` for an inert force: nodes are marked attacker-controlled but
+    /// never act (the paired-baseline primitive).
+    strategy: Option<AdversaryStrategy>,
+    /// `mask[i]` ⇔ node `i` is attacker-controlled.
+    mask: Vec<bool>,
+    attackers: usize,
+}
+
+impl AdversaryForce {
+    /// Binds `strategy` to `attackers` nodes of an `num_nodes`-node
+    /// network, placed by [`attacker_ids`]. `attackers` may be zero: the
+    /// resulting force is inert and leaves a simulation byte-identical to
+    /// one without any adversary (the determinism contract).
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid strategy parameters and `attackers >= num_nodes`
+    /// (at least one honest node must remain).
+    pub fn new(
+        strategy: AdversaryStrategy,
+        num_nodes: usize,
+        attackers: usize,
+    ) -> Result<Self, String> {
+        strategy.validate()?;
+        Self::build(Some(strategy), num_nodes, attackers)
+    }
+
+    /// A force whose nodes are marked attacker-controlled but never act:
+    /// the tap always delivers, measurements come back untouched, and the
+    /// adversary stream is never drawn. Experiments use it as the *paired
+    /// clean baseline* — same honest origin pool, same mask to measure
+    /// placement luck against — with the no-op encoded structurally
+    /// instead of through a degenerate strategy parameter.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `attackers >= num_nodes`.
+    pub fn inert(num_nodes: usize, attackers: usize) -> Result<Self, String> {
+        Self::build(None, num_nodes, attackers)
+    }
+
+    fn build(
+        strategy: Option<AdversaryStrategy>,
+        num_nodes: usize,
+        attackers: usize,
+    ) -> Result<Self, String> {
+        if attackers >= num_nodes {
+            return Err(format!(
+                "attackers ({attackers}) must be fewer than nodes ({num_nodes})"
+            ));
+        }
+        let mut mask = vec![false; num_nodes];
+        for id in attacker_ids(num_nodes, attackers) {
+            mask[id.index()] = true;
+        }
+        Ok(AdversaryForce {
+            strategy,
+            mask,
+            attackers,
+        })
+    }
+
+    /// The strategy in force (`None` for an inert force).
+    pub fn strategy(&self) -> Option<&AdversaryStrategy> {
+        self.strategy.as_ref()
+    }
+
+    /// Number of attacker-controlled nodes.
+    pub fn attacker_count(&self) -> usize {
+        self.attackers
+    }
+
+    fn controls(&self, node: NodeId) -> bool {
+        self.mask.get(node.index()).copied().unwrap_or(false)
+    }
+}
+
+impl Adversary for AdversaryForce {
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+
+    fn is_attacker(&self, node: NodeId) -> bool {
+        self.controls(node)
+    }
+
+    fn on_send(
+        &mut self,
+        from: NodeId,
+        _to: NodeId,
+        msg: &Message,
+        rng: &mut ChaCha12Rng,
+    ) -> TapVerdict {
+        if !self.controls(from) {
+            return TapVerdict::Deliver;
+        }
+        match self.strategy {
+            None | Some(AdversaryStrategy::PingSpoof { .. }) => TapVerdict::Deliver,
+            Some(AdversaryStrategy::DelayRelay { delay_ms }) => {
+                if delay_ms > 0.0 && is_relay_message(msg) {
+                    TapVerdict::Delay(delay_ms)
+                } else {
+                    TapVerdict::Deliver
+                }
+            }
+            Some(AdversaryStrategy::Withhold { drop_fraction }) => {
+                if is_relay_message(msg) && rng.gen::<f64>() < drop_fraction {
+                    TapVerdict::Withhold
+                } else {
+                    TapVerdict::Deliver
+                }
+            }
+        }
+    }
+
+    fn rewrite_rtt_ms(&mut self, observer: NodeId, target: NodeId, measured_ms: f64) -> f64 {
+        if let Some(AdversaryStrategy::PingSpoof { spoof_factor }) = self.strategy {
+            // The attacker forges its own probe answers, so the rewrite
+            // fires whenever exactly one endpoint is attacker-controlled
+            // (attacker-to-attacker measurements have nothing to hide from).
+            if self.controls(observer) != self.controls(target) {
+                return measured_ms * spoof_factor;
+            }
+        }
+        measured_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcbpt_sim::RngHub;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn every_strategy() -> Vec<AdversaryStrategy> {
+        vec![
+            AdversaryStrategy::PingSpoof { spoof_factor: 0.05 },
+            AdversaryStrategy::DelayRelay { delay_ms: 250.0 },
+            AdversaryStrategy::Withhold { drop_fraction: 0.5 },
+        ]
+    }
+
+    #[test]
+    fn strategy_serde_round_trips_every_variant() {
+        for strategy in every_strategy() {
+            let json = serde_json::to_string(&strategy).unwrap();
+            let back: AdversaryStrategy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, strategy, "{json}");
+        }
+    }
+
+    #[test]
+    fn labels_and_kinds_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for strategy in every_strategy() {
+            assert!(strategy.label().contains(strategy.kind()));
+            assert!(seen.insert(strategy.kind()));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        for bad in [
+            AdversaryStrategy::PingSpoof { spoof_factor: 0.0 },
+            AdversaryStrategy::PingSpoof { spoof_factor: -0.5 },
+            AdversaryStrategy::PingSpoof {
+                spoof_factor: f64::NAN,
+            },
+            AdversaryStrategy::DelayRelay { delay_ms: -1.0 },
+            AdversaryStrategy::DelayRelay {
+                delay_ms: f64::INFINITY,
+            },
+            AdversaryStrategy::Withhold { drop_fraction: 0.0 },
+            AdversaryStrategy::Withhold { drop_fraction: 1.5 },
+            AdversaryStrategy::Withhold {
+                drop_fraction: f64::NAN,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+        for good in every_strategy() {
+            good.validate().unwrap();
+        }
+        AdversaryStrategy::DelayRelay { delay_ms: 0.0 }
+            .validate()
+            .expect("zero delay is a valid no-op");
+    }
+
+    #[test]
+    fn attacker_ids_are_distinct_and_spread() {
+        let ids = attacker_ids(100, 10);
+        assert_eq!(ids.len(), 10);
+        let set: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 10, "no duplicates");
+        assert_eq!(ids[0], n(0));
+        assert_eq!(ids[9], n(90));
+        assert!(attacker_ids(50, 0).is_empty());
+    }
+
+    #[test]
+    fn force_rejects_too_many_attackers() {
+        let strategy = AdversaryStrategy::PingSpoof { spoof_factor: 0.1 };
+        assert!(AdversaryForce::new(strategy, 10, 10).is_err());
+        assert!(AdversaryForce::new(strategy, 10, 9).is_ok());
+        let err = AdversaryForce::new(AdversaryStrategy::Withhold { drop_fraction: 2.0 }, 10, 1)
+            .unwrap_err();
+        assert!(err.contains("drop_fraction"), "{err}");
+    }
+
+    #[test]
+    fn pingspoof_rewrites_only_mixed_pairs() {
+        let mut force =
+            AdversaryForce::new(AdversaryStrategy::PingSpoof { spoof_factor: 0.1 }, 10, 2).unwrap();
+        // attacker_ids(10, 2) = {0, 5}.
+        assert!(force.is_attacker(n(0)) && force.is_attacker(n(5)));
+        assert_eq!(force.attacker_count(), 2);
+        assert_eq!(force.rewrite_rtt_ms(n(1), n(0), 200.0), 20.0);
+        assert_eq!(force.rewrite_rtt_ms(n(0), n(1), 200.0), 20.0);
+        assert_eq!(force.rewrite_rtt_ms(n(1), n(2), 200.0), 200.0, "honest");
+        assert_eq!(
+            force.rewrite_rtt_ms(n(0), n(5), 200.0),
+            200.0,
+            "attacker pair"
+        );
+    }
+
+    #[test]
+    fn delay_holds_relay_messages_only() {
+        let mut force =
+            AdversaryForce::new(AdversaryStrategy::DelayRelay { delay_ms: 300.0 }, 10, 1).unwrap();
+        let mut rng = RngHub::new(1).stream("adversary");
+        let inv = Message::InvOne {
+            txid: bcbpt_net::TxId::from_raw(1),
+        };
+        assert_eq!(
+            force.on_send(n(0), n(1), &inv, &mut rng),
+            TapVerdict::Delay(300.0)
+        );
+        assert_eq!(
+            force.on_send(n(1), n(0), &inv, &mut rng),
+            TapVerdict::Deliver,
+            "honest senders are untouched"
+        );
+        assert_eq!(
+            force.on_send(n(0), n(1), &Message::Ping { nonce: 1 }, &mut rng),
+            TapVerdict::Deliver,
+            "probes pass so the attacker stays covert"
+        );
+        assert_eq!(
+            force.rewrite_rtt_ms(n(1), n(0), 50.0),
+            50.0,
+            "delayrelay does not forge proximity"
+        );
+    }
+
+    #[test]
+    fn withhold_draws_randomness_only_for_attacker_relays() {
+        let mut force =
+            AdversaryForce::new(AdversaryStrategy::Withhold { drop_fraction: 1.0 }, 10, 1).unwrap();
+        let mut rng = RngHub::new(2).stream("adversary");
+        let mut ref_rng = RngHub::new(2).stream("adversary");
+        let inv = Message::InvOne {
+            txid: bcbpt_net::TxId::from_raw(7),
+        };
+        // Honest sender: no draw, stream stays aligned with the reference.
+        assert_eq!(
+            force.on_send(n(3), n(0), &inv, &mut rng),
+            TapVerdict::Deliver
+        );
+        assert_eq!(rng.gen::<u64>(), ref_rng.gen::<u64>());
+        // Attacker relay at p=1: always withheld.
+        assert_eq!(
+            force.on_send(n(0), n(3), &inv, &mut rng),
+            TapVerdict::Withhold
+        );
+    }
+
+    #[test]
+    fn inert_force_marks_nodes_but_never_acts() {
+        let mut force = AdversaryForce::inert(10, 3).unwrap();
+        assert!(force.strategy().is_none());
+        assert_eq!(force.attacker_count(), 3);
+        assert!(force.is_attacker(n(0)), "mask is populated");
+        let mut rng = RngHub::new(5).stream("adversary");
+        let mut ref_rng = RngHub::new(5).stream("adversary");
+        let inv = Message::InvOne {
+            txid: bcbpt_net::TxId::from_raw(9),
+        };
+        for from in 0..10u32 {
+            assert_eq!(
+                force.on_send(n(from), n((from + 1) % 10), &inv, &mut rng),
+                TapVerdict::Deliver
+            );
+        }
+        assert_eq!(
+            rng.gen::<u64>(),
+            ref_rng.gen::<u64>(),
+            "inert force never draws from the adversary stream"
+        );
+        assert_eq!(force.rewrite_rtt_ms(n(4), n(0), 123.0), 123.0);
+        assert!(AdversaryForce::inert(10, 10).is_err());
+    }
+
+    #[test]
+    fn relay_message_classification() {
+        assert!(is_relay_message(&Message::TxData {
+            tx: bcbpt_net::Transaction::new(bcbpt_net::TxId::from_raw(1), 250),
+        }));
+        assert!(is_relay_message(&Message::GetDataOne {
+            txid: bcbpt_net::TxId::from_raw(1)
+        }));
+        assert!(!is_relay_message(&Message::Ping { nonce: 0 }));
+        assert!(!is_relay_message(&Message::Addr { nodes: vec![] }));
+        assert!(!is_relay_message(&Message::Join));
+    }
+}

@@ -103,6 +103,22 @@ fn execute(scenario: &Scenario, json: bool) -> Result<(), String> {
     } else {
         println!("{}", outcome.render());
     }
+    // Degenerate cells (run-time failures, sample-free campaigns) are
+    // recorded in the outcome so surviving cells still print, but the
+    // driver must not report success for them.
+    let failed: Vec<String> = outcome
+        .cell_errors()
+        .into_iter()
+        .map(|(label, error)| format!("{label}: {error}"))
+        .collect();
+    if !failed.is_empty() {
+        return Err(format!(
+            "{} of {} cell(s) degenerate — {}",
+            failed.len(),
+            outcome.cells.len(),
+            failed.join("; ")
+        ));
+    }
     Ok(())
 }
 
@@ -110,9 +126,14 @@ fn list() {
     println!("built-in scenarios (scenario quick <name>, full scale in scenarios/<name>.json):");
     for name in Scenario::builtin_names() {
         let scenario = Scenario::builtin(name).expect("listed names resolve");
+        let axes = scenario
+            .sweep
+            .as_ref()
+            .map_or_else(|| "single cell".to_string(), |sweep| sweep.describe());
         println!(
-            "  {name:<10} {:<15} {}",
+            "  {name:<10} {:<15} {:<14} {}",
             scenario.workload.kind(),
+            axes,
             Scenario::builtin_description(name).expect("listed names are described"),
         );
     }

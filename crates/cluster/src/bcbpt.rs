@@ -115,6 +115,14 @@ impl BcbptPolicy {
         &self.registry
     }
 
+    /// The RTT estimator — the attack surface a ping-spoofing adversary
+    /// targets. Experiments inspect its cached beliefs
+    /// ([`RttEstimator::cached_ms`]) against ground-truth RTT to quantify
+    /// how far proximity forgery poisoned neighbour selection.
+    pub fn estimator(&self) -> &RttEstimator {
+        &self.estimator
+    }
+
     fn ensure_sized(&mut self, n: usize) {
         if self.registry.num_nodes() < n {
             let mut grown = ClusterRegistry::new(n);
@@ -486,6 +494,71 @@ mod tests {
             }
         }
         assert!(clustered > 0);
+    }
+
+    #[test]
+    fn ping_spoofers_infiltrate_bcbpt_clusters() {
+        // The proximity-forgery attack end to end at the policy layer:
+        // attackers answering probes with forged nearness get adopted into
+        // honest clusters (and trigger merge cascades that collapse the
+        // cluster structure), far beyond their honest baseline.
+        let infiltration = |spoof: Option<f64>| {
+            let mut config = NetConfig::test_scale();
+            config.num_nodes = 80;
+            let policy = BcbptPolicy::new(BcbptConfig::paper());
+            let mut net = Network::build(config, Box::new(policy), 21).unwrap();
+            if let Some(spoof_factor) = spoof {
+                let force = bcbpt_adversary::AdversaryForce::new(
+                    bcbpt_adversary::AdversaryStrategy::PingSpoof { spoof_factor },
+                    80,
+                    8,
+                )
+                .unwrap();
+                net.set_adversary(Box::new(force));
+            }
+            net.warmup_ms(3_000.0);
+            let is_attacker = |node: NodeId| node.index().is_multiple_of(10); // attacker_ids(80, 8)
+            let mut attacker_clusters = std::collections::BTreeSet::new();
+            let mut all_clusters = std::collections::BTreeSet::new();
+            for i in 0..80u32 {
+                let node = NodeId::from_index(i);
+                if let Some(c) = net.cluster_of(node) {
+                    all_clusters.insert(c);
+                    if is_attacker(node) {
+                        attacker_clusters.insert(c);
+                    }
+                }
+            }
+            let mut infiltrated = 0usize;
+            let mut clustered = 0usize;
+            for i in 0..80u32 {
+                let node = NodeId::from_index(i);
+                if is_attacker(node) || !net.is_online(node) {
+                    continue;
+                }
+                if let Some(c) = net.cluster_of(node) {
+                    clustered += 1;
+                    if attacker_clusters.contains(&c) {
+                        infiltrated += 1;
+                    }
+                }
+            }
+            (
+                infiltrated as f64 / clustered.max(1) as f64,
+                all_clusters.len(),
+            )
+        };
+        let (clean, clean_clusters) = infiltration(None);
+        let (spoofed, spoofed_clusters) = infiltration(Some(0.02));
+        assert!(
+            spoofed > clean + 0.25 && spoofed > 0.8,
+            "spoofed infiltration {spoofed} must clearly exceed clean {clean}"
+        );
+        assert!(
+            spoofed_clusters * 4 < clean_clusters,
+            "forged proximity must collapse the cluster structure \
+             ({clean_clusters} clean vs {spoofed_clusters} spoofed clusters)"
+        );
     }
 
     #[test]

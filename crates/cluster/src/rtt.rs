@@ -106,6 +106,14 @@ impl RttEstimator {
         sample
     }
 
+    /// The cached estimate for a pair without triggering a measurement —
+    /// what the policy currently *believes* the RTT is. This is the value
+    /// a ping-spoofing adversary poisons, so security experiments inspect
+    /// it to compare belief against ground truth.
+    pub fn cached_ms(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.entries.get(&Self::key(a, b)).map(|e| e.summary.mean())
+    }
+
     /// Observed sample variance for a pair, if it has been measured more
     /// than once.
     pub fn variance_ms2(&self, a: NodeId, b: NodeId) -> Option<f64> {
@@ -260,6 +268,52 @@ mod tests {
                 let _ = est.estimate_ms(n(0), n(1), view);
             }
             assert_eq!(view.stats_for_tests().count(MessageKind::Ping), pings);
+        });
+    }
+
+    #[test]
+    fn cached_ms_reads_without_measuring() {
+        with_view(|view| {
+            let mut est = RttEstimator::new();
+            assert_eq!(est.cached_ms(n(0), n(1)), None, "unknown pair");
+            let rtt = est.estimate_ms(n(0), n(1), view);
+            let pings = view.stats_for_tests().count(MessageKind::Ping);
+            assert_eq!(est.cached_ms(n(0), n(1)), Some(rtt));
+            assert_eq!(est.cached_ms(n(1), n(0)), Some(rtt), "symmetric key");
+            assert_eq!(
+                view.stats_for_tests().count(MessageKind::Ping),
+                pings,
+                "reading the cache costs nothing"
+            );
+        });
+    }
+
+    #[test]
+    fn spoofed_measurements_poison_the_cache() {
+        // A ping-spoofing adversary sits between the estimator and the
+        // network: what the estimator caches is the forged value, not the
+        // ground truth — exactly the attack surface BCBPT exposes.
+        let mut config = NetConfig::test_scale();
+        config.num_nodes = 10;
+        let mut net = Network::build(config, Box::new(RandomPolicy::new()), 99).unwrap();
+        let truth = net.base_rtt_ms(n(0), n(1));
+        let force = bcbpt_adversary::AdversaryForce::new(
+            bcbpt_adversary::AdversaryStrategy::PingSpoof { spoof_factor: 0.01 },
+            10,
+            1, // attacker_ids(10, 1) = {0}
+        )
+        .unwrap();
+        net.set_adversary(Box::new(force));
+        net.with_view_for_tests(|view| {
+            let mut est = RttEstimator::new();
+            let believed = est.estimate_ms(n(1), n(0), view);
+            assert!(
+                believed < truth * 0.1,
+                "spoofed belief {believed} should be far below truth {truth}"
+            );
+            assert_eq!(est.cached_ms(n(1), n(0)), Some(believed));
+            let honest = est.estimate_ms(n(1), n(2), view);
+            assert!(honest > believed, "honest pairs are unaffected");
         });
     }
 

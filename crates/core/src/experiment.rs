@@ -7,7 +7,7 @@
 //! [`ExperimentConfig::run`] reproduces that loop.
 
 use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
-use bcbpt_net::{MessageStats, NetConfig, Network, NodeId, TxWatch};
+use bcbpt_net::{Adversary, MessageStats, NetConfig, Network, NodeId, TxWatch};
 use bcbpt_sim::RngHub;
 use bcbpt_stats::{bootstrap_ci, BuildEcdfError, ConfidenceInterval, Ecdf, Summary};
 use serde::{Deserialize, Serialize};
@@ -285,9 +285,33 @@ impl ExperimentConfig {
         registry: &ProtocolRegistry,
         threads: usize,
     ) -> Result<CampaignResult, String> {
+        self.run_campaign(registry, threads, None, None)
+    }
+
+    /// The full campaign loop, with the two hooks the adversarial
+    /// experiments need: an optional behavioural [`Adversary`] installed
+    /// *before* warmup (so attackers can game topology formation), and an
+    /// optional inspection of the warmed-up snapshot (for infiltration
+    /// metrics) before the measuring runs fan out.
+    ///
+    /// An adversary controlling zero nodes leaves the output byte-identical
+    /// to a plain run — the determinism contract `adversary::tests` pins.
+    pub(crate) fn run_campaign(
+        &self,
+        registry: &ProtocolRegistry,
+        threads: usize,
+        adversary: Option<Box<dyn Adversary>>,
+        inspect_warm: Option<&mut dyn FnMut(&Network)>,
+    ) -> Result<CampaignResult, String> {
         let policy = registry.build(&self.protocol)?;
         let mut base = Network::build(self.net.clone(), policy, self.seed)?;
+        if let Some(adversary) = adversary {
+            base.set_adversary(adversary);
+        }
         base.warmup_ms(self.warmup_ms);
+        if let Some(inspect) = inspect_warm {
+            inspect(&base);
+        }
         let warmup_traffic = base.stats().clone();
 
         let outcomes: Vec<RunOutcome> = if threads <= 1 || self.runs <= 1 {
@@ -372,11 +396,13 @@ impl ExperimentConfig {
     }
 }
 
-/// Picks a measuring node: online with at least one connection.
+/// Picks a measuring node: online with at least one connection, and honest
+/// (the paper's measuring node is the experimenter's own client, never an
+/// attacker).
 fn pick_origin(net: &mut Network) -> Option<NodeId> {
     for _ in 0..32 {
         let candidate = net.pick_online_node()?;
-        if net.links().degree(candidate) > 0 {
+        if net.links().degree(candidate) > 0 && !net.is_attacker(candidate) {
             return Some(candidate);
         }
     }

@@ -18,6 +18,9 @@
 //!   future work (§IV.A).
 //! * [`eclipse_table`]/[`partition_table`] — the security evaluations the
 //!   paper defers to future work (§V.C).
+//! * [`adversarial_campaign`]/[`AdversaryReport`] — behavioural attackers
+//!   (ping spoofing, relay delaying, withholding) run in-loop through whole
+//!   campaigns, vs a clean baseline.
 //! * [`fork_table`] — extension: proof-of-work on top of each relay
 //!   protocol, measuring the stale-block rate the paper's motivation ties
 //!   to double-spend risk (§I).
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod attacks;
 mod degree;
 mod experiment;
@@ -50,10 +54,17 @@ mod overhead;
 mod scenario;
 mod validation;
 
+pub use adversary::{
+    adversarial_campaign, adversarial_campaign_in, adversarial_campaign_in_with_threads,
+    AdversaryReport, ADVERSARY_COLUMNS,
+};
 pub use attacks::{
     eclipse_exposure, eclipse_exposure_in, eclipse_table, partition_resilience,
     partition_resilience_in, partition_table, EclipseReport, PartitionReport,
 };
+/// Re-exported so scenario authors can name attacker strategies without a
+/// direct `bcbpt-adversary` dependency.
+pub use bcbpt_adversary::AdversaryStrategy;
 pub use degree::{degree_variance, degree_variance_table, DegreeVariance};
 pub use experiment::{cluster_sizes, CampaignResult, ExperimentConfig, RunResult};
 pub use figures::{fig3, fig4, threshold_sweep, FigureBundle};

@@ -16,12 +16,14 @@
 //! [`Summary`]/[`Ecdf`] accessors and the table/figure renderers the old
 //! drivers printed.
 
+use crate::adversary::{adversarial_campaign_in, AdversaryReport, ADVERSARY_COLUMNS};
 use crate::attacks::{
     eclipse_exposure_in, partition_resilience_in, EclipseReport, PartitionReport,
 };
 use crate::experiment::{CampaignResult, ExperimentConfig};
 use crate::forks::{fork_experiment_in, ForkReport};
 use crate::overhead::{OverheadReport, OVERHEAD_COLUMNS};
+use bcbpt_adversary::AdversaryStrategy;
 use bcbpt_cluster::{Protocol, ProtocolRegistry, ProtocolSpec};
 use bcbpt_geo::ChurnModel;
 use bcbpt_net::NetConfig;
@@ -74,6 +76,17 @@ pub enum Workload {
         /// Mean offline gap before rejoin, ms.
         mean_offline_ms: f64,
     },
+    /// A behavioural adversary inside the loop: `attackers` nodes execute
+    /// `strategy` (ping spoofing, relay delaying or withholding) from
+    /// before warmup, and a full campaign measures what they achieve
+    /// against a clean baseline of the same cell.
+    Adversarial {
+        /// What the attacker-controlled nodes do.
+        strategy: AdversaryStrategy,
+        /// Number of attacker-controlled nodes (≥ 1; must leave at least
+        /// one honest node per cell).
+        attackers: usize,
+    },
 }
 
 impl Workload {
@@ -86,6 +99,7 @@ impl Workload {
             Workload::Eclipse { .. } => "eclipse",
             Workload::OverheadProbe => "overhead-probe",
             Workload::ChurnBurst { .. } => "churn-burst",
+            Workload::Adversarial { .. } => "adversarial",
         }
     }
 
@@ -94,7 +108,10 @@ impl Workload {
     pub fn is_campaign(&self) -> bool {
         matches!(
             self,
-            Workload::TxFlood | Workload::OverheadProbe | Workload::ChurnBurst { .. }
+            Workload::TxFlood
+                | Workload::OverheadProbe
+                | Workload::ChurnBurst { .. }
+                | Workload::Adversarial { .. }
         )
     }
 
@@ -148,6 +165,20 @@ impl Workload {
                 }
                 Ok(())
             }
+            Workload::Adversarial {
+                ref strategy,
+                attackers,
+            } => {
+                strategy.validate()?;
+                if attackers == 0 {
+                    return Err(
+                        "adversarial workload needs attackers >= 1 (a zero-attacker run \
+                         is just TxFlood)"
+                            .to_string(),
+                    );
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -191,6 +222,27 @@ impl Sweep {
         Sweep {
             num_nodes: num_nodes.into_iter().collect(),
             ..Sweep::default()
+        }
+    }
+
+    /// Human-readable summary of the active axes, e.g.
+    /// `"3 protocols"` or `"8 thresholds × 2 sizes"` (`"single cell"`
+    /// when every axis is empty) — what `scenario list` prints.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.protocols.is_empty() {
+            parts.push(format!("{} protocols", self.protocols.len()));
+        }
+        if !self.thresholds_ms.is_empty() {
+            parts.push(format!("{} thresholds", self.thresholds_ms.len()));
+        }
+        if !self.num_nodes.is_empty() {
+            parts.push(format!("{} sizes", self.num_nodes.len()));
+        }
+        if parts.is_empty() {
+            "single cell".to_string()
+        } else {
+            parts.join(" × ")
         }
     }
 }
@@ -350,6 +402,23 @@ impl Scenario {
             registry
                 .build(&cell.protocol)
                 .map_err(|e| format!("cell {:?}: {e}", cell.label))?;
+            // Population-relative workload constraints are per cell: a size
+            // sweep may shrink the network below the attacker/victim count.
+            match self.workload {
+                Workload::Adversarial { attackers, .. } if attackers >= cell.num_nodes => {
+                    return Err(format!(
+                        "cell {:?}: attackers ({attackers}) must be fewer than nodes ({})",
+                        cell.label, cell.num_nodes
+                    ));
+                }
+                Workload::Eclipse { victims, .. } if victims > cell.num_nodes => {
+                    return Err(format!(
+                        "cell {:?}: victims ({victims}) exceed nodes ({})",
+                        cell.label, cell.num_nodes
+                    ));
+                }
+                _ => {}
+            }
         }
         Ok(())
     }
@@ -438,42 +507,12 @@ impl Scenario {
         self.validate_in(registry)?;
         let mut cells = Vec::new();
         for cell in self.cells() {
-            let cfg = self.cell_config(&cell);
-            let report = match &self.workload {
-                Workload::TxFlood | Workload::ChurnBurst { .. } => CellReport::Campaign {
-                    campaign: cfg.run_in(registry)?,
-                },
-                Workload::OverheadProbe => CellReport::Overhead {
-                    report: OverheadReport::from_campaign(&cfg.run_in(registry)?),
-                },
-                Workload::Mining {
-                    block_interval_ms,
-                    duration_ms,
-                } => CellReport::Forks {
-                    report: fork_experiment_in(
-                        registry,
-                        &cfg,
-                        cell.protocol.clone(),
-                        *block_interval_ms,
-                        *duration_ms,
-                    )?,
-                },
-                Workload::Eclipse {
-                    adversary_fraction,
-                    victims,
-                } => CellReport::Eclipse {
-                    report: eclipse_exposure_in(
-                        registry,
-                        &cfg,
-                        cell.protocol.clone(),
-                        *adversary_fraction,
-                        *victims,
-                    )?,
-                },
-                Workload::Partition => CellReport::Partition {
-                    report: partition_resilience_in(registry, &cfg, cell.protocol.clone())?,
-                },
-            };
+            // A cell that fails at run time no longer aborts the sweep: the
+            // error is recorded in its outcome and surfaced by the
+            // renderers, so one bad cell cannot silently NaN a whole table.
+            let report = self
+                .run_cell(registry, &cell)
+                .unwrap_or_else(|error| CellReport::Failed { error });
             cells.push(CellOutcome {
                 label: cell.label,
                 protocol: cell.protocol.to_string(),
@@ -485,6 +524,56 @@ impl Scenario {
             scenario: self.name.clone(),
             workload: self.workload.clone(),
             cells,
+        })
+    }
+
+    /// Runs one expanded sweep cell.
+    fn run_cell(
+        &self,
+        registry: &ProtocolRegistry,
+        cell: &ScenarioCell,
+    ) -> Result<CellReport, String> {
+        let cfg = self.cell_config(cell);
+        Ok(match &self.workload {
+            Workload::TxFlood | Workload::ChurnBurst { .. } => CellReport::Campaign {
+                campaign: cfg.run_in(registry)?,
+            },
+            Workload::OverheadProbe => CellReport::Overhead {
+                report: OverheadReport::from_campaign(&cfg.run_in(registry)?),
+            },
+            Workload::Mining {
+                block_interval_ms,
+                duration_ms,
+            } => CellReport::Forks {
+                report: fork_experiment_in(
+                    registry,
+                    &cfg,
+                    cell.protocol.clone(),
+                    *block_interval_ms,
+                    *duration_ms,
+                )?,
+            },
+            Workload::Eclipse {
+                adversary_fraction,
+                victims,
+            } => CellReport::Eclipse {
+                report: eclipse_exposure_in(
+                    registry,
+                    &cfg,
+                    cell.protocol.clone(),
+                    *adversary_fraction,
+                    *victims,
+                )?,
+            },
+            Workload::Partition => CellReport::Partition {
+                report: partition_resilience_in(registry, &cfg, cell.protocol.clone())?,
+            },
+            Workload::Adversarial {
+                strategy,
+                attackers,
+            } => CellReport::Adversary {
+                report: adversarial_campaign_in(registry, &cfg, strategy, *attackers)?,
+            },
         })
     }
 }
@@ -517,6 +606,17 @@ pub enum CellReport {
         /// The partition report.
         report: PartitionReport,
     },
+    /// A behavioural-adversary campaign next to its clean baseline.
+    Adversary {
+        /// The adversary report.
+        report: AdversaryReport,
+    },
+    /// The cell failed at run time; the error is preserved so renderers can
+    /// surface it instead of NaN-padding a row.
+    Failed {
+        /// The run-time error.
+        error: String,
+    },
 }
 
 /// One sweep cell's labelled outcome.
@@ -533,10 +633,20 @@ pub struct CellOutcome {
 }
 
 impl CellOutcome {
-    /// The underlying campaign, when the workload produced one.
+    /// The underlying campaign, when the workload produced one (for
+    /// adversarial cells: the *attacked* campaign).
     pub fn campaign(&self) -> Option<&CampaignResult> {
         match &self.report {
             CellReport::Campaign { campaign } => Some(campaign),
+            CellReport::Adversary { report } => Some(&report.campaign),
+            _ => None,
+        }
+    }
+
+    /// The run-time error of a failed cell.
+    pub fn error(&self) -> Option<&str> {
+        match &self.report {
+            CellReport::Failed { error } => Some(error),
             _ => None,
         }
     }
@@ -602,13 +712,36 @@ impl ScenarioOutcome {
         .ok()
     }
 
+    /// Run-time problems per cell, in sweep order: hard cell failures
+    /// ([`CellReport::Failed`]) and campaign cells that produced no
+    /// `Δt(m,n)` samples. Renderers print these instead of NaN-padding
+    /// rows.
+    pub fn cell_errors(&self) -> Vec<(String, String)> {
+        self.cells
+            .iter()
+            .filter_map(|cell| match &cell.report {
+                CellReport::Failed { error } => Some((cell.label.clone(), error.clone())),
+                CellReport::Campaign { campaign } if campaign.delta_ecdf().is_err() => Some((
+                    cell.label.clone(),
+                    "campaign produced no Δt samples".to_string(),
+                )),
+                CellReport::Adversary { report } if !report.slowdown.is_finite() => Some((
+                    cell.label.clone(),
+                    "adversarial campaign recorded no arrival samples".to_string(),
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// The workload family's summary table — the same columns the old
-    /// per-figure drivers printed.
+    /// per-figure drivers printed. Failed cells contribute no row; their
+    /// errors are in [`cell_errors`](Self::cell_errors) and appended by
+    /// [`render`](Self::render).
     pub fn table(&self) -> StatTable {
         let title = format!("{} — {}", self.scenario, self.workload.kind());
-        match self.cells.first().map(|c| &c.report) {
-            None => StatTable::new(title, &[]),
-            Some(CellReport::Campaign { .. }) => {
+        match &self.workload {
+            Workload::TxFlood | Workload::ChurnBurst { .. } => {
                 let mut table = StatTable::new(
                     format!("{title} — Δt(m,n) in ms"),
                     &[
@@ -627,18 +760,19 @@ impl ScenarioOutcome {
                     let Some(campaign) = cell.campaign() else {
                         continue;
                     };
-                    let stats = match campaign.delta_ecdf() {
-                        Ok(e) => vec![
-                            e.mean(),
-                            e.sample_variance(),
-                            e.median(),
-                            e.quantile(0.9),
-                            e.max(),
-                            e.len() as f64,
-                        ],
-                        Err(_) => vec![f64::NAN; 6],
+                    // Sample-free campaigns are reported via cell_errors,
+                    // not as a NaN row.
+                    let Ok(e) = campaign.delta_ecdf() else {
+                        continue;
                     };
-                    let mut row = stats;
+                    let mut row = vec![
+                        e.mean(),
+                        e.sample_variance(),
+                        e.median(),
+                        e.quantile(0.9),
+                        e.max(),
+                        e.len() as f64,
+                    ];
                     row.push(campaign.mean_coverage());
                     row.push(campaign.cluster_sizes.len() as f64);
                     row.push(campaign.cluster_sizes.first().copied().unwrap_or(0) as f64);
@@ -646,7 +780,7 @@ impl ScenarioOutcome {
                 }
                 table
             }
-            Some(CellReport::Overhead { .. }) => {
+            Workload::OverheadProbe => {
                 let mut table = StatTable::new(
                     format!("{title} — messages per node over the campaign"),
                     &OVERHEAD_COLUMNS,
@@ -658,7 +792,7 @@ impl ScenarioOutcome {
                 }
                 table
             }
-            Some(CellReport::Forks { .. }) => {
+            Workload::Mining { .. } => {
                 let mut table = StatTable::new(
                     format!("{title} — proof-of-work forks"),
                     &["mined", "stale", "stale_rate", "tip_agreement"],
@@ -678,7 +812,7 @@ impl ScenarioOutcome {
                 }
                 table
             }
-            Some(CellReport::Eclipse { .. }) => {
+            Workload::Eclipse { .. } => {
                 let mut table = StatTable::new(
                     format!("{title} — adversary concentrated near the victim"),
                     &["adv_fraction", "mean_bad_share", "max_bad_share", "victims"],
@@ -698,7 +832,7 @@ impl ScenarioOutcome {
                 }
                 table
             }
-            Some(CellReport::Partition { .. }) => {
+            Workload::Partition => {
                 let mut table = StatTable::new(
                     format!("{title} — cut all inter-cluster links"),
                     &["cut_edges", "total_edges", "reachable_after"],
@@ -713,6 +847,25 @@ impl ScenarioOutcome {
                                 report.reachable_after_cut,
                             ],
                         );
+                    }
+                }
+                table
+            }
+            Workload::Adversarial { strategy, .. } => {
+                let mut table = StatTable::new(
+                    format!(
+                        "{title} — {} attackers in the loop, vs clean baseline",
+                        strategy.label()
+                    ),
+                    &ADVERSARY_COLUMNS,
+                );
+                for cell in &self.cells {
+                    if let CellReport::Adversary { report } = &cell.report {
+                        // Arrival-free cells go through cell_errors, not as
+                        // a NaN row.
+                        if report.slowdown.is_finite() {
+                            table.push_row(cell.label.clone(), report.row());
+                        }
                     }
                 }
                 table
@@ -737,12 +890,17 @@ impl ScenarioOutcome {
     }
 
     /// Renders the outcome as plain text: the CDF figure (when the
-    /// workload yields delay samples) followed by the summary table.
+    /// workload yields delay samples), the summary table, and one line per
+    /// failed/sample-free cell.
     pub fn render(&self) -> String {
-        match self.figure() {
+        let mut out = match self.figure() {
             Some(figure) => format!("{}\n{}", figure.render_columns(), self.table().render()),
             None => self.table().render(),
+        };
+        for (label, error) in self.cell_errors() {
+            out.push_str(&format!("! cell {label}: {error}\n"));
         }
+        out
     }
 }
 
@@ -789,6 +947,8 @@ impl Scenario {
             "partition",
             "overhead",
             "churn",
+            "pingspoof",
+            "withhold",
         ]
     }
 
@@ -803,6 +963,8 @@ impl Scenario {
             "partition" => "§V.C future work: partition resilience per protocol",
             "overhead" => "§IV.A future work: probe/control/relay budget per protocol",
             "churn" => "Extension: tx-flood campaign under burst churn",
+            "pingspoof" => "§V.C behavioural: attackers forge RTT probes to infiltrate clusters",
+            "withhold" => "§V.C behavioural: attackers blackhole half the relays they owe",
             _ => return None,
         })
     }
@@ -865,6 +1027,25 @@ impl Scenario {
                 };
                 s.with_sweep(Sweep::over_protocols(paper_protocols()))
             }
+            "pingspoof" => {
+                // 10% of the population forges proximity from before
+                // cluster formation; the table answers the paper's §V.C
+                // question per protocol: how infiltrable, at what cost.
+                let mut s = demo_environment(300, 10);
+                s.workload = Workload::Adversarial {
+                    strategy: AdversaryStrategy::PingSpoof { spoof_factor: 0.05 },
+                    attackers: 30,
+                };
+                s.with_sweep(Sweep::over_protocols(paper_protocols()))
+            }
+            "withhold" => {
+                let mut s = demo_environment(300, 10);
+                s.workload = Workload::Adversarial {
+                    strategy: AdversaryStrategy::Withhold { drop_fraction: 0.5 },
+                    attackers: 30,
+                };
+                s.with_sweep(Sweep::over_protocols(paper_protocols()))
+            }
             _ => return None,
         };
         Some(Scenario {
@@ -884,6 +1065,10 @@ impl Scenario {
         s.window_ms = s.window_ms.min(15_000.0);
         if let Workload::Mining { duration_ms, .. } = &mut s.workload {
             *duration_ms = duration_ms.min(60_000.0);
+        }
+        if let Workload::Adversarial { attackers, .. } = &mut s.workload {
+            // Keep the attacker fraction meaningful at the shrunk scale.
+            *attackers = (*attackers).min(s.net.num_nodes / 10).max(1);
         }
         if let Some(sweep) = &mut s.sweep {
             sweep.thresholds_ms.truncate(4);
@@ -927,6 +1112,18 @@ mod tests {
                 median_session_ms: 30_000.0,
                 session_sigma: 1.1,
                 mean_offline_ms: 10_000.0,
+            },
+            Workload::Adversarial {
+                strategy: AdversaryStrategy::PingSpoof { spoof_factor: 0.05 },
+                attackers: 6,
+            },
+            Workload::Adversarial {
+                strategy: AdversaryStrategy::DelayRelay { delay_ms: 250.0 },
+                attackers: 6,
+            },
+            Workload::Adversarial {
+                strategy: AdversaryStrategy::Withhold { drop_fraction: 0.5 },
+                attackers: 6,
             },
         ]
     }
@@ -1041,6 +1238,62 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_degenerate_adversarial_parameters() {
+        let zero_attackers = tiny(Workload::Adversarial {
+            strategy: AdversaryStrategy::PingSpoof { spoof_factor: 0.05 },
+            attackers: 0,
+        });
+        assert!(zero_attackers.validate().unwrap_err().contains("attackers"));
+
+        for (strategy, needle) in [
+            (
+                AdversaryStrategy::PingSpoof { spoof_factor: 0.0 },
+                "spoof_factor",
+            ),
+            (
+                AdversaryStrategy::PingSpoof {
+                    spoof_factor: f64::NAN,
+                },
+                "spoof_factor",
+            ),
+            (AdversaryStrategy::DelayRelay { delay_ms: -5.0 }, "delay_ms"),
+            (
+                AdversaryStrategy::Withhold { drop_fraction: 1.5 },
+                "drop_fraction",
+            ),
+        ] {
+            let bad = tiny(Workload::Adversarial {
+                strategy,
+                attackers: 5,
+            });
+            assert!(
+                bad.validate().unwrap_err().contains(needle),
+                "{strategy:?} must be rejected via {needle}"
+            );
+        }
+
+        // Population-relative checks are per cell.
+        let too_many = tiny(Workload::Adversarial {
+            strategy: AdversaryStrategy::Withhold { drop_fraction: 0.5 },
+            attackers: 60,
+        });
+        assert!(too_many.validate().unwrap_err().contains("fewer than"));
+        let too_many_victims = tiny(Workload::Eclipse {
+            adversary_fraction: 0.1,
+            victims: 61,
+        });
+        assert!(too_many_victims.validate().unwrap_err().contains("victims"));
+        let nan_fraction = tiny(Workload::Eclipse {
+            adversary_fraction: f64::NAN,
+            victims: 3,
+        });
+        assert!(nan_fraction
+            .validate()
+            .unwrap_err()
+            .contains("adversary_fraction"));
+    }
+
+    #[test]
     fn tx_flood_scenario_matches_direct_campaigns() {
         // The declarative path must reproduce the hand-wired path
         // byte-for-byte: same seed, same cells, same campaigns.
@@ -1142,6 +1395,136 @@ mod tests {
         let campaign = outcome.cells[0].campaign().unwrap();
         assert!(!campaign.runs.is_empty());
         assert!(campaign.mean_coverage() > 0.5, "network must not collapse");
+    }
+
+    #[test]
+    fn adversarial_scenario_runs_and_matches_direct_reports() {
+        let mut scenario = tiny(Workload::Adversarial {
+            strategy: AdversaryStrategy::Withhold { drop_fraction: 0.6 },
+            attackers: 8,
+        })
+        .with_sweep(Sweep::over_protocols([
+            Protocol::Bitcoin,
+            Protocol::bcbpt_paper(),
+        ]));
+        scenario.runs = 2;
+        let outcome = scenario.run().unwrap();
+        assert_eq!(outcome.cells.len(), 2);
+        for cell in &outcome.cells {
+            let CellReport::Adversary { report } = &cell.report else {
+                panic!("adversarial workload produces adversary reports");
+            };
+            assert_eq!(report.attackers, 8);
+            assert!(report.withheld_messages > 0);
+            assert!(cell.campaign().is_some(), "attacked campaign is exposed");
+        }
+        // The declarative path reproduces the direct runner byte-for-byte.
+        let cfg = scenario.cell_config(&scenario.cells()[0]);
+        let direct = crate::adversary::adversarial_campaign(
+            &cfg,
+            &AdversaryStrategy::Withhold { drop_fraction: 0.6 },
+            8,
+        )
+        .unwrap();
+        assert_eq!(
+            outcome.cells[0].report,
+            CellReport::Adversary { report: direct }
+        );
+        let text = outcome.render();
+        assert!(text.contains("slowdown"), "{text}");
+        assert!(text.contains("withhold(p=0.6)"), "{text}");
+        assert!(outcome.figure().is_some(), "attacked Δt CDFs are plotted");
+    }
+
+    #[test]
+    fn failed_cells_surface_errors_instead_of_nan() {
+        // A registry whose factory succeeds while the scenario validates
+        // and then breaks: the failing cell must be recorded, not abort the
+        // sweep or NaN-pad the table.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let builds = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&builds);
+        let mut registry = ProtocolRegistry::builtins();
+        registry.register("flaky", move |_spec| {
+            // validate_in builds each cell once (call 0); the run builds
+            // again (call 1) and explodes.
+            if counter.fetch_add(1, Ordering::SeqCst) == 0 {
+                Ok(Box::new(bcbpt_net::RandomPolicy::new()))
+            } else {
+                Err("flaky exploded at run time".to_string())
+            }
+        });
+        let mut scenario = tiny(Workload::TxFlood);
+        scenario.runs = 2;
+        scenario.protocol = ProtocolSpec::new("flaky");
+        let outcome = scenario.run_in(&registry).unwrap();
+        assert_eq!(outcome.cells.len(), 1);
+        assert_eq!(outcome.cells[0].error(), Some("flaky exploded at run time"));
+        let errors = outcome.cell_errors();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, "flaky");
+        let text = outcome.render();
+        assert!(
+            text.contains("! cell flaky: flaky exploded at run time"),
+            "{text}"
+        );
+        assert!(!text.contains("NaN"), "no NaN padding: {text}");
+        assert!(outcome.table().is_empty(), "failed cells have no row");
+        // The failed outcome still serde round-trips.
+        let back = ScenarioOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(back, outcome);
+    }
+
+    #[test]
+    fn arrival_free_adversarial_cells_surface_errors_instead_of_nan() {
+        // runs = 0 means no measuring runs, hence no arrival samples and a
+        // non-finite slowdown: the renderers must report that, not NaN-pad.
+        let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+        cfg.net.num_nodes = 40;
+        cfg.warmup_ms = 500.0;
+        cfg.runs = 0;
+        let strategy = AdversaryStrategy::DelayRelay { delay_ms: 10.0 };
+        let report = crate::adversary::adversarial_campaign(&cfg, &strategy, 4).unwrap();
+        assert!(!report.slowdown.is_finite());
+        let outcome = ScenarioOutcome {
+            scenario: "arrival-free".to_string(),
+            workload: Workload::Adversarial {
+                strategy,
+                attackers: 4,
+            },
+            cells: vec![CellOutcome {
+                label: "bitcoin".to_string(),
+                protocol: "bitcoin".to_string(),
+                num_nodes: 40,
+                report: CellReport::Adversary { report },
+            }],
+        };
+        let errors = outcome.cell_errors();
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].1.contains("no arrival samples"));
+        assert!(outcome.table().is_empty(), "no NaN row for the dead cell");
+        let text = outcome.render();
+        assert!(text.contains("no arrival samples"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn sweep_describe_names_the_axes() {
+        assert_eq!(Sweep::default().describe(), "single cell");
+        assert_eq!(
+            Sweep::over_protocols(paper_protocols()).describe(),
+            "3 protocols"
+        );
+        assert_eq!(
+            Sweep {
+                protocols: vec![],
+                thresholds_ms: vec![10.0, 20.0],
+                num_nodes: vec![100, 200, 400],
+            }
+            .describe(),
+            "2 thresholds × 3 sizes"
+        );
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! In-loop adversarial behaviour: the fabric's attack extension point.
+//!
+//! The structural attack analyses (eclipse exposure, partition cuts) freeze
+//! the topology and inspect it; an [`Adversary`] instead *acts* inside the
+//! event loop. The fabric consults the installed adversary at two points:
+//!
+//! * **the send path** — every message a node puts on the wire passes
+//!   through [`Adversary::on_send`], which can let it through, hold it back
+//!   by an extra sender-side delay, or withhold (blackhole) it entirely;
+//! * **the RTT measurement path** — every averaged PING/PONG measurement a
+//!   policy takes through [`NetView::measure_rtt_ms`] passes through
+//!   [`Adversary::rewrite_rtt_ms`], which can forge the value an attacker
+//!   endpoint reports (the proximity-forgery attack against ping-time
+//!   clustering).
+//!
+//! Determinism is part of the contract: strategies draw randomness only
+//! from the dedicated `"adversary"` stream handed to `on_send`, and only
+//! when an attacker-controlled node is involved. An installed adversary
+//! that controls **zero** nodes therefore leaves every byte of the
+//! simulation unchanged — the property the campaign-level determinism tests
+//! pin down.
+//!
+//! Concrete strategies (ping spoofing, relay delaying, withholding) live in
+//! the `bcbpt-adversary` crate; this module only defines the hook the
+//! [`Network`](crate::Network) drives.
+//!
+//! [`NetView::measure_rtt_ms`]: crate::NetView::measure_rtt_ms
+
+use crate::ids::NodeId;
+use crate::msg::Message;
+use rand_chacha::ChaCha12Rng;
+
+/// The adversary's decision about one outbound message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TapVerdict {
+    /// Put the message on the wire normally.
+    Deliver,
+    /// Put the message on the wire after an extra sender-side delay (ms).
+    Delay(f64),
+    /// Never send it; the fabric accounts it as withheld traffic.
+    Withhold,
+}
+
+/// A behavioural adversary driven by the sim event loop.
+///
+/// Implementations mark a subset of nodes as attacker-controlled
+/// ([`is_attacker`](Self::is_attacker)) and manipulate protocol behaviour
+/// on their behalf. Like [`NeighborPolicy`](crate::NeighborPolicy),
+/// adversaries are `Send + Sync` and cloneable so the parallel campaign
+/// runner can snapshot a warmed-up network (adversary state included) per
+/// measuring run.
+pub trait Adversary: core::fmt::Debug + Send + Sync {
+    /// Clones the adversary (with its full state) into a fresh box.
+    fn clone_box(&self) -> Box<dyn Adversary>;
+
+    /// Whether `node` is attacker-controlled.
+    fn is_attacker(&self, node: NodeId) -> bool;
+
+    /// Verdict for a message `from` is about to put on the wire to `to`.
+    ///
+    /// `rng` is the fabric's dedicated adversary stream; draw from it only
+    /// when the decision actually needs randomness (i.e. an attacker is
+    /// acting), so that an idle adversary perturbs nothing.
+    fn on_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &Message,
+        rng: &mut ChaCha12Rng,
+    ) -> TapVerdict;
+
+    /// Rewrites one averaged RTT measurement `observer` took towards
+    /// `target` (ms). Honest pairs must come back unchanged.
+    fn rewrite_rtt_ms(&mut self, observer: NodeId, target: NodeId, measured_ms: f64) -> f64;
+}
+
+impl Clone for Box<dyn Adversary> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial adversary that withholds everything one node sends.
+    #[derive(Debug, Clone)]
+    struct Mute(NodeId);
+
+    impl Adversary for Mute {
+        fn clone_box(&self) -> Box<dyn Adversary> {
+            Box::new(self.clone())
+        }
+        fn is_attacker(&self, node: NodeId) -> bool {
+            node == self.0
+        }
+        fn on_send(
+            &mut self,
+            from: NodeId,
+            _to: NodeId,
+            _msg: &Message,
+            _rng: &mut ChaCha12Rng,
+        ) -> TapVerdict {
+            if from == self.0 {
+                TapVerdict::Withhold
+            } else {
+                TapVerdict::Deliver
+            }
+        }
+        fn rewrite_rtt_ms(&mut self, _o: NodeId, _t: NodeId, measured_ms: f64) -> f64 {
+            measured_ms
+        }
+    }
+
+    #[test]
+    fn boxed_adversary_clones() {
+        let adv: Box<dyn Adversary> = Box::new(Mute(NodeId::from_index(3)));
+        let copy = adv.clone();
+        assert!(copy.is_attacker(NodeId::from_index(3)));
+        assert!(!copy.is_attacker(NodeId::from_index(4)));
+    }
+
+    #[test]
+    fn verdicts_compare() {
+        assert_eq!(TapVerdict::Deliver, TapVerdict::Deliver);
+        assert_ne!(TapVerdict::Deliver, TapVerdict::Withhold);
+        assert_eq!(TapVerdict::Delay(5.0), TapVerdict::Delay(5.0));
+    }
+}

@@ -91,6 +91,7 @@ mod tests {
             stats: &mut stats,
             rng: &mut rng,
             config: &config,
+            adversary: None,
         };
         f(&mut view);
     }

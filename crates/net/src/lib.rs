@@ -16,6 +16,9 @@
 //!   LBC and BCBPT live in `bcbpt-cluster`.
 //! * [`MessageStats`] — per-kind traffic accounting feeding the overhead
 //!   experiment.
+//! * [`Adversary`] — the in-loop attack hook: a tap on the send path
+//!   (delay/withhold) plus RTT forgery on the measurement path. Concrete
+//!   strategies live in `bcbpt-adversary`.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod block;
 mod config;
 mod dns;
@@ -53,6 +57,7 @@ mod stats;
 mod tx;
 mod watch;
 
+pub use adversary::{Adversary, TapVerdict};
 pub use block::{Block, BlockId, BlockLedger, ChainState};
 pub use config::NetConfig;
 pub use dns::{geo_ranked_candidates, random_candidates};

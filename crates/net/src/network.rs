@@ -7,6 +7,7 @@
 //! leave churn from session-length models, periodic discovery ticks
 //! (§V.B: every 100 ms), and the measuring-node instrumentation (Fig. 2).
 
+use crate::adversary::{Adversary, TapVerdict};
 use crate::block::{BlockId, BlockLedger, ChainState};
 use crate::config::NetConfig;
 use crate::ids::{NodeId, TxId};
@@ -169,6 +170,9 @@ pub struct Network {
     mining_rng: ChaCha12Rng,
     /// Mean block inter-arrival in ms; 0 = mining disabled.
     mining_interval_ms: f64,
+    /// In-loop behavioural adversary, if one is installed.
+    adversary: Option<Box<dyn Adversary>>,
+    adversary_rng: ChaCha12Rng,
     /// Reused fan-out buffer: every relay hop collects the peers to
     /// announce to, and this scratch space keeps that collection
     /// allocation-free on the hot path.
@@ -244,6 +248,8 @@ impl Network {
             ledger: BlockLedger::new(),
             mining_rng: hub.stream("mining"),
             mining_interval_ms: 0.0,
+            adversary: None,
+            adversary_rng: hub.stream("adversary"),
             scratch_nodes: Vec::new(),
             config,
         };
@@ -383,6 +389,30 @@ impl Network {
         self.churn_rng = hub.stream("churn");
         self.inject_rng = hub.stream("inject");
         self.mining_rng = hub.stream("mining");
+        self.adversary_rng = hub.stream("adversary");
+    }
+
+    /// Installs a behavioural adversary (replacing any previous one). Its
+    /// strategies act from this moment on — install before
+    /// [`warmup_ms`](Self::warmup_ms) to let an attacker game topology
+    /// formation.
+    pub fn set_adversary(&mut self, adversary: Box<dyn Adversary>) {
+        self.adversary = Some(adversary);
+    }
+
+    /// Removes and returns the installed adversary, if any.
+    pub fn take_adversary(&mut self) -> Option<Box<dyn Adversary>> {
+        self.adversary.take()
+    }
+
+    /// The installed adversary, if any.
+    pub fn adversary(&self) -> Option<&dyn Adversary> {
+        self.adversary.as_deref()
+    }
+
+    /// Whether `node` is controlled by the installed adversary.
+    pub fn is_attacker(&self, node: NodeId) -> bool {
+        self.adversary.as_ref().is_some_and(|a| a.is_attacker(node))
     }
 
     /// Events processed so far.
@@ -503,6 +533,7 @@ impl Network {
             stats: &mut self.stats,
             rng: &mut self.policy_rng,
             config: &self.config,
+            adversary: self.adversary.as_deref_mut(),
         };
         f(&mut view)
     }
@@ -529,6 +560,7 @@ impl Network {
             stats: &mut self.stats,
             rng: &mut self.policy_rng,
             config: &self.config,
+            adversary: self.adversary.as_deref_mut(),
         };
         self.policy.bootstrap(node, &mut view)
     }
@@ -543,6 +575,7 @@ impl Network {
             stats: &mut self.stats,
             rng: &mut self.policy_rng,
             config: &self.config,
+            adversary: self.adversary.as_deref_mut(),
         };
         self.policy.on_discovery(node, discovered, &mut view)
     }
@@ -557,6 +590,7 @@ impl Network {
             stats: &mut self.stats,
             rng: &mut self.policy_rng,
             config: &self.config,
+            adversary: self.adversary.as_deref_mut(),
         };
         self.policy.on_leave(node, &mut view);
     }
@@ -620,7 +654,20 @@ impl Network {
 
     /// [`send`](Self::send) with an additional sender-side delay (used for
     /// INV trickling).
-    fn send_with_extra_delay(&mut self, from: NodeId, to: NodeId, msg: Message, extra_ms: f64) {
+    fn send_with_extra_delay(&mut self, from: NodeId, to: NodeId, msg: Message, mut extra_ms: f64) {
+        // Adversary tap: an attacker-controlled sender may hold the message
+        // back or withhold it entirely. Withheld messages never reach the
+        // wire; they are accounted separately in the traffic statistics.
+        if let Some(adversary) = &mut self.adversary {
+            match adversary.on_send(from, to, &msg, &mut self.adversary_rng) {
+                TapVerdict::Deliver => {}
+                TapVerdict::Delay(lag_ms) => extra_ms += lag_ms,
+                TapVerdict::Withhold => {
+                    self.stats.record_withheld(&msg);
+                    return;
+                }
+            }
+        }
         self.stats.record(&msg);
         let ma = &self.meta[from.index()];
         let mb = &self.meta[to.index()];
@@ -1431,6 +1478,114 @@ mod tests {
     fn mining_validates_interval() {
         let mut net = build(10, 24);
         net.enable_mining(0.0);
+    }
+
+    /// Test adversary: node 0 delays all its INV announcements, node 1
+    /// withholds everything it would send.
+    #[derive(Debug, Clone)]
+    struct DelayAndMute;
+
+    impl crate::adversary::Adversary for DelayAndMute {
+        fn clone_box(&self) -> Box<dyn crate::adversary::Adversary> {
+            Box::new(self.clone())
+        }
+        fn is_attacker(&self, node: NodeId) -> bool {
+            node.index() < 2
+        }
+        fn on_send(
+            &mut self,
+            from: NodeId,
+            _to: NodeId,
+            msg: &Message,
+            _rng: &mut ChaCha12Rng,
+        ) -> crate::adversary::TapVerdict {
+            match from.index() {
+                0 if matches!(msg, Message::InvOne { .. }) => {
+                    crate::adversary::TapVerdict::Delay(500.0)
+                }
+                1 => crate::adversary::TapVerdict::Withhold,
+                _ => crate::adversary::TapVerdict::Deliver,
+            }
+        }
+        fn rewrite_rtt_ms(&mut self, _o: NodeId, _t: NodeId, measured_ms: f64) -> f64 {
+            measured_ms
+        }
+    }
+
+    #[test]
+    fn adversary_tap_withholds_and_accounts() {
+        let run = |with_adversary: bool| {
+            let mut net = build(30, 31);
+            if with_adversary {
+                net.set_adversary(Box::new(DelayAndMute));
+            }
+            let origin = NodeId::from_index(2);
+            net.inject_watched_tx(origin, None).unwrap();
+            net.run_for_ms(30_000.0);
+            net
+        };
+        let clean = run(false);
+        let tapped = run(true);
+        assert!(tapped.is_attacker(NodeId::from_index(0)));
+        assert!(!tapped.is_attacker(NodeId::from_index(5)));
+        assert_eq!(clean.stats().withheld_messages(), 0);
+        assert!(
+            tapped.stats().withheld_messages() > 0,
+            "the muted node must have withheld traffic"
+        );
+        // The tx still floods (the network routes around two attackers).
+        assert!(tapped.watch().unwrap().reached_count() >= 27);
+    }
+
+    #[test]
+    fn installed_idle_adversary_changes_nothing() {
+        /// An adversary that controls nobody and touches nothing.
+        #[derive(Debug, Clone)]
+        struct Idle;
+        impl crate::adversary::Adversary for Idle {
+            fn clone_box(&self) -> Box<dyn crate::adversary::Adversary> {
+                Box::new(Idle)
+            }
+            fn is_attacker(&self, _node: NodeId) -> bool {
+                false
+            }
+            fn on_send(
+                &mut self,
+                _f: NodeId,
+                _t: NodeId,
+                _m: &Message,
+                _rng: &mut ChaCha12Rng,
+            ) -> crate::adversary::TapVerdict {
+                crate::adversary::TapVerdict::Deliver
+            }
+            fn rewrite_rtt_ms(&mut self, _o: NodeId, _t: NodeId, measured_ms: f64) -> f64 {
+                measured_ms
+            }
+        }
+        let run = |idle: bool| {
+            let mut net = build(30, 32);
+            if idle {
+                net.set_adversary(Box::new(Idle));
+            }
+            net.inject_watched_tx(NodeId::from_index(0), None).unwrap();
+            net.run_for_ms(30_000.0);
+            (
+                net.take_watch().unwrap().deltas_ms(),
+                net.stats().total_messages(),
+            )
+        };
+        assert_eq!(run(false), run(true), "an idle adversary is a no-op");
+    }
+
+    #[test]
+    fn take_adversary_uninstalls() {
+        let mut net = build(10, 33);
+        assert!(net.adversary().is_none());
+        net.set_adversary(Box::new(DelayAndMute));
+        assert!(net.adversary().is_some());
+        assert!(net.take_adversary().is_some());
+        assert!(net.adversary().is_none());
+        assert!(!net.is_attacker(NodeId::from_index(0)));
     }
 
     #[test]

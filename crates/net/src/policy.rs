@@ -7,6 +7,7 @@
 //! [`NetView`] through which it can inspect geography, measure ping
 //! latencies (at an accounted message cost) and steer connections.
 
+use crate::adversary::Adversary;
 use crate::config::NetConfig;
 use crate::ids::NodeId;
 use crate::links::Links;
@@ -117,6 +118,7 @@ pub struct NetView<'a> {
     pub(crate) stats: &'a mut MessageStats,
     pub(crate) rng: &'a mut ChaCha12Rng,
     pub(crate) config: &'a NetConfig,
+    pub(crate) adversary: Option<&'a mut (dyn Adversary + 'static)>,
 }
 
 impl<'a> NetView<'a> {
@@ -164,6 +166,11 @@ impl<'a> NetView<'a> {
     /// Measures the RTT from `a` to `b` the way a real node would: send
     /// `config.ping_samples` pings, average the noisy round trips. Each
     /// sample costs one PING and one PONG, recorded in the traffic stats.
+    ///
+    /// The averaged measurement passes through the installed behavioural
+    /// adversary (if any): an attacker endpoint can forge the value its
+    /// probes report, which is how proximity spoofing reaches the
+    /// clustering protocols' RTT estimators.
     pub fn measure_rtt_ms(&mut self, a: NodeId, b: NodeId) -> f64 {
         let samples = self.config.ping_samples.max(1);
         let base_one_way = self.base_rtt_ms(a, b) / 2.0;
@@ -176,7 +183,11 @@ impl<'a> NetView<'a> {
             self.stats.record(&Message::Ping { nonce });
             self.stats.record(&Message::Pong { nonce });
         }
-        total / samples as f64
+        let measured = total / samples as f64;
+        match &mut self.adversary {
+            Some(adversary) => adversary.rewrite_rtt_ms(a, b, measured),
+            None => measured,
+        }
     }
 
     /// Records a control message the policy conceptually sent (e.g. the
@@ -299,6 +310,7 @@ mod tests {
             stats: &mut stats,
             rng: &mut rng,
             config: &config,
+            adversary: None,
         };
         f(&mut view);
     }

@@ -26,6 +26,9 @@ use std::collections::BTreeMap;
 pub struct MessageStats {
     counts: BTreeMap<MessageKind, u64>,
     bytes: BTreeMap<MessageKind, u64>,
+    /// Messages an in-loop adversary withheld (never put on the wire);
+    /// tracked apart from the sent counters above.
+    withheld: BTreeMap<MessageKind, u64>,
 }
 
 impl MessageStats {
@@ -39,6 +42,21 @@ impl MessageStats {
         let kind = msg.kind();
         *self.counts.entry(kind).or_insert(0) += 1;
         *self.bytes.entry(kind).or_insert(0) += msg.wire_size_bytes() as u64;
+    }
+
+    /// Records one message an adversary withheld instead of sending.
+    pub fn record_withheld(&mut self, msg: &Message) {
+        *self.withheld.entry(msg.kind()).or_insert(0) += 1;
+    }
+
+    /// Number of messages of `kind` an adversary withheld.
+    pub fn withheld_count(&self, kind: MessageKind) -> u64 {
+        self.withheld.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages withheld across kinds.
+    pub fn withheld_messages(&self) -> u64 {
+        self.withheld.values().sum()
     }
 
     /// Number of messages of `kind` recorded.
@@ -87,6 +105,9 @@ impl MessageStats {
         for (k, v) in &other.bytes {
             *self.bytes.entry(*k).or_insert(0) += v;
         }
+        for (k, v) in &other.withheld {
+            *self.withheld.entry(*k).or_insert(0) += v;
+        }
     }
 
     /// Difference `self - baseline`, saturating at zero — used to isolate
@@ -97,11 +118,17 @@ impl MessageStats {
         for kind in MessageKind::ALL {
             let c = self.count(kind).saturating_sub(baseline.count(kind));
             let b = self.bytes(kind).saturating_sub(baseline.bytes(kind));
+            let w = self
+                .withheld_count(kind)
+                .saturating_sub(baseline.withheld_count(kind));
             if c > 0 {
                 out.counts.insert(kind, c);
             }
             if b > 0 {
                 out.bytes.insert(kind, b);
+            }
+            if w > 0 {
+                out.withheld.insert(kind, w);
             }
         }
         out
@@ -194,6 +221,29 @@ mod tests {
         assert_eq!(phase.count(MessageKind::Ping), 1);
         assert_eq!(phase.count(MessageKind::Join), 1);
         assert_eq!(phase.total_messages(), 2);
+    }
+
+    #[test]
+    fn withheld_counters_track_merge_and_since() {
+        let mut s = MessageStats::new();
+        let inv = Message::Inv {
+            txids: vec![TxId::from_raw(1)],
+        };
+        s.record_withheld(&inv);
+        assert_eq!(s.withheld_count(MessageKind::Inv), 1);
+        assert_eq!(s.withheld_messages(), 1);
+        assert_eq!(s.count(MessageKind::Inv), 0, "withheld is not sent");
+        let baseline = s.clone();
+        s.record_withheld(&inv);
+        s.record_withheld(&Message::TxData {
+            tx: Transaction::new(TxId::from_raw(2), 100),
+        });
+        let phase = s.since(&baseline);
+        assert_eq!(phase.withheld_messages(), 2);
+        let mut merged = MessageStats::new();
+        merged.merge(&s);
+        merged.merge(&phase);
+        assert_eq!(merged.withheld_messages(), 5);
     }
 
     #[test]

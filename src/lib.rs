@@ -15,6 +15,7 @@
 //! | [`geo`] | `bcbpt-geo` | world model, Eq. 2–4 distance utility, latency & churn |
 //! | [`stats`] | `bcbpt-stats` | summaries, ECDFs, KS distance, figures |
 //! | [`net`] | `bcbpt-net` | Bitcoin P2P substrate and network fabric |
+//! | [`adversary`] | `bcbpt-adversary` | in-loop attacker strategies: ping spoofing, relay delaying, withholding |
 //! | [`cluster`] | `bcbpt-cluster` | BCBPT, LBC, protocol selection and the protocol registry |
 //! | [`experiments`] | `bcbpt-core` | declarative scenarios, campaigns, Fig. 3/Fig. 4, validation, overhead, attacks |
 //!
@@ -72,6 +73,11 @@ pub mod net {
     pub use bcbpt_net::*;
 }
 
+/// Behavioural adversary strategies (`bcbpt-adversary`).
+pub mod adversary {
+    pub use bcbpt_adversary::*;
+}
+
 /// Clustering protocols (`bcbpt-cluster`).
 pub mod cluster {
     pub use bcbpt_cluster::*;
@@ -82,13 +88,14 @@ pub mod experiments {
     pub use bcbpt_core::*;
 }
 
+pub use bcbpt_adversary::{AdversaryForce, AdversaryStrategy};
 pub use bcbpt_cluster::{
     BcbptConfig, BcbptPolicy, LbcConfig, LbcPolicy, Protocol, ProtocolRegistry, ProtocolSpec,
 };
 pub use bcbpt_core::{
-    degree_variance_table, eclipse_table, fig3, fig4, fork_table, overhead_table, partition_table,
-    threshold_sweep, validate_delays, CampaignResult, ExperimentConfig, FigureBundle, Scenario,
-    ScenarioOutcome, Sweep, Workload,
+    adversarial_campaign, degree_variance_table, eclipse_table, fig3, fig4, fork_table,
+    overhead_table, partition_table, threshold_sweep, validate_delays, AdversaryReport,
+    CampaignResult, ExperimentConfig, FigureBundle, Scenario, ScenarioOutcome, Sweep, Workload,
 };
 pub use bcbpt_geo::{ChurnModel, DistanceParams, GeoPoint, LatencyConfig};
 pub use bcbpt_net::{NetConfig, Network, NodeId, Transaction, TxId, TxWatch};

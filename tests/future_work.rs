@@ -1,9 +1,10 @@
 //! Integration: the experiments the paper declares as future work —
-//! overhead accounting (§IV.A) and the eclipse/partition evaluations
-//! (§V.C) — exercised through the public facade.
+//! overhead accounting (§IV.A) and the eclipse/partition/behavioural
+//! evaluations (§V.C) — exercised through the public facade.
 
 use bcbpt::{
-    eclipse_table, overhead_table, partition_table, validate_delays, ExperimentConfig, Protocol,
+    adversarial_campaign, eclipse_table, overhead_table, partition_table, validate_delays,
+    AdversaryStrategy, ExperimentConfig, Protocol,
 };
 
 fn base() -> ExperimentConfig {
@@ -82,6 +83,53 @@ fn partition_attack_only_hurts_clustered_overlays() {
     assert_eq!(bitcoin_reach, 1.0);
     assert!(bcbpt_cut > 0.0);
     assert!(bcbpt_reach < bitcoin_reach);
+}
+
+#[test]
+fn ping_spoofing_infiltrates_only_the_ping_time_protocol() {
+    // The headline asymmetry of the behavioural adversary subsystem:
+    // forged RTT probes infiltrate BCBPT's clusters, while LBC (geographic
+    // clusters) and vanilla Bitcoin (no proximity input) are immune to
+    // them — the paper's §V.C concern, answered quantitatively.
+    let strategy = AdversaryStrategy::PingSpoof { spoof_factor: 0.03 };
+    let mut cfg = base();
+    cfg.net.num_nodes = 100;
+    cfg.runs = 2;
+    let report = |protocol: Protocol| {
+        adversarial_campaign(&cfg.with_protocol(protocol), &strategy, 10).unwrap()
+    };
+    let bitcoin = report(Protocol::Bitcoin);
+    let lbc = report(Protocol::Lbc);
+    let bcbpt = report(Protocol::bcbpt_paper());
+    assert_eq!(bitcoin.cluster_infiltration, 0.0, "no clusters to enter");
+    assert_eq!(
+        bitcoin.infiltration_gain(),
+        0.0,
+        "random selection never consults RTT"
+    );
+    assert!(
+        lbc.infiltration_gain().abs() < 0.05,
+        "geographic clustering ignores forged pings, got gain {}",
+        lbc.infiltration_gain()
+    );
+    assert!(
+        bcbpt.infiltration_gain() > lbc.infiltration_gain() + 0.2,
+        "the spoof must buy real infiltration against bcbpt ({} over clean {}) \
+         but not lbc ({} over clean {})",
+        bcbpt.cluster_infiltration,
+        bcbpt.clean_cluster_infiltration,
+        lbc.cluster_infiltration,
+        lbc.clean_cluster_infiltration
+    );
+    assert!(
+        bcbpt.cluster_infiltration > 0.5,
+        "most honest bcbpt nodes should share a cluster with an attacker, got {}",
+        bcbpt.cluster_infiltration
+    );
+    // Spoofing only rewires the topology; nothing is dropped.
+    for r in [&bitcoin, &lbc, &bcbpt] {
+        assert_eq!(r.withheld_messages, 0);
+    }
 }
 
 #[test]

@@ -59,6 +59,16 @@ fn scenario_schema_spot_checks() {
     assert!(forks.contains("\"block_interval_ms\""));
     let churn = std::fs::read_to_string(scenarios_dir().join("churn.json")).unwrap();
     assert!(churn.contains("\"ChurnBurst\""));
+    // Adversarial workloads carry a nested strategy enum; pin both the
+    // workload tag and the strategy tags scenario authors rely on.
+    let pingspoof = std::fs::read_to_string(scenarios_dir().join("pingspoof.json")).unwrap();
+    assert!(pingspoof.contains("\"Adversarial\""));
+    assert!(pingspoof.contains("\"PingSpoof\""));
+    assert!(pingspoof.contains("\"spoof_factor\": 0.05"));
+    assert!(pingspoof.contains("\"attackers\": 30"));
+    let withhold = std::fs::read_to_string(scenarios_dir().join("withhold.json")).unwrap();
+    assert!(withhold.contains("\"Withhold\""));
+    assert!(withhold.contains("\"drop_fraction\": 0.5"));
 }
 
 #[test]
