@@ -1,32 +1,80 @@
-//! The one experiment driver: runs declarative scenario files.
+//! The one experiment driver: runs declarative scenario files through the
+//! streaming session API.
 //!
 //! Replaces the old per-figure binaries (`fig3`, `fig4`, `sweep`, `forks`,
 //! `attacks`, `overhead`): every experiment is a JSON [`Scenario`] under
-//! `scenarios/`, and this binary loads, validates and runs it.
+//! `scenarios/`, and this binary loads, validates and runs it — with live
+//! progress, a machine-readable JSONL event stream, and adaptive stopping
+//! on top of the [`bcbpt_core::ScenarioSession`] API.
 //!
 //! Usage:
 //!
 //! ```text
-//! scenario run <file.json>... [--json]   # run scenario files
-//! scenario quick <name> [--json]         # run a built-in at CI scale
-//! scenario list                          # list built-ins and their files
-//! scenario export <dir>                  # write built-ins as JSON files
-//! scenario parse <outcome.json>          # check an outcome file parses
-//! ```
+//! scenario run <file.json|name>... [options]   # run scenario files or built-ins
+//! scenario quick <name> [options]              # run a built-in at CI scale
+//! scenario list                                # list built-ins and their files
+//! scenario export <dir>                        # write built-ins as JSON files
+//! scenario parse <outcome.json>                # check an outcome file parses
+//! scenario events <events.jsonl>               # check a JSONL event stream
 //!
-//! `--json` prints the [`ScenarioOutcome`] as JSON instead of the rendered
-//! figure/table text, for machine consumption.
+//! options:
+//!   --quick             shrink to CI scale (implied by `quick`)
+//!   --json              print the ScenarioOutcome as JSON, not rendered text
+//!   --progress          live per-cell run counts on stderr
+//!   --jsonl <path>      write one serialized RunEvent per line to <path>
+//!   --stop-ci <w>       stop each cell once the Δt mean is known to ±w
+//!                       (relative, 95% CI) instead of burning all runs
+//!   --threads <n>       worker threads (output is identical for any value,
+//!                       except under a wall-clock stop rule)
+//! ```
 
-use bcbpt_core::{Scenario, ScenarioOutcome};
+use bcbpt_core::{RunEvent, Scenario, ScenarioOutcome, StopRule};
 use std::fs;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Flags shared by `run` and `quick`.
+#[derive(Default)]
+struct Options {
+    quick: bool,
+    json: bool,
+    progress: bool,
+    jsonl: Option<String>,
+    stop_ci: Option<f64>,
+    threads: Option<usize>,
+}
 
 fn main() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json = take_flag(&mut args, "--json");
+    let options = Options {
+        quick: take_flag(&mut args, "--quick"),
+        json: take_flag(&mut args, "--json"),
+        progress: take_flag(&mut args, "--progress"),
+        jsonl: take_value(&mut args, "--jsonl")?,
+        stop_ci: take_value(&mut args, "--stop-ci")?
+            .map(|w| {
+                w.parse::<f64>()
+                    .map_err(|e| format!("--stop-ci {w:?}: {e}"))
+            })
+            .transpose()?,
+        threads: take_value(&mut args, "--threads")?
+            .map(|n| {
+                n.parse::<usize>()
+                    .map_err(|e| format!("--threads {n:?}: {e}"))
+            })
+            .transpose()?,
+    };
     match args.split_first() {
-        Some((cmd, rest)) if cmd == "run" => run_files(rest, json),
+        Some((cmd, rest)) if cmd == "run" => run_all(rest, options),
         Some((cmd, rest)) if cmd == "quick" => match rest {
-            [name] => run_quick(name, json),
+            // run_all attaches the scenario name to any error.
+            [_name] => run_all(
+                rest,
+                Options {
+                    quick: true,
+                    ..options
+                },
+            ),
             _ => Err(usage("quick takes exactly one built-in scenario name")),
         },
         Some((cmd, rest)) if cmd == "list" && rest.is_empty() => {
@@ -41,6 +89,10 @@ fn main() -> Result<(), String> {
             [path] => parse_outcome(path),
             _ => Err(usage("parse takes exactly one outcome file")),
         },
+        Some((cmd, rest)) if cmd == "events" => match rest {
+            [path] => check_events(path),
+            _ => Err(usage("events takes exactly one JSONL file")),
+        },
         _ => Err(usage("missing or unknown subcommand")),
     }
 }
@@ -48,11 +100,13 @@ fn main() -> Result<(), String> {
 fn usage(problem: &str) -> String {
     format!(
         "{problem}\n\
-         usage: scenario run <file.json>... [--json]\n\
-         \x20      scenario quick <name> [--json]\n\
+         usage: scenario run <file.json|name>... [--quick] [--json] [--progress]\n\
+         \x20                [--jsonl <path>] [--stop-ci <rel_width>] [--threads <n>]\n\
+         \x20      scenario quick <name> [same options]\n\
          \x20      scenario list\n\
          \x20      scenario export <dir>\n\
-         \x20      scenario parse <outcome.json>"
+         \x20      scenario parse <outcome.json>\n\
+         \x20      scenario events <events.jsonl>"
     )
 }
 
@@ -62,43 +116,201 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     args.len() != before
 }
 
-fn run_files(paths: &[String], json: bool) -> Result<(), String> {
-    if paths.is_empty() {
-        return Err(usage("run needs at least one scenario file"));
+/// Removes `flag <value>` from `args`, returning the value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(usage(&format!("{flag} needs a value")));
     }
-    for path in paths {
-        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-        // Scenario::run validates; just attach the file to any error.
-        execute(&scenario, json).map_err(|e| format!("{path}: {e}"))?;
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+/// Loads a scenario from a file path, or resolves a built-in name.
+fn load(spec: &str) -> Result<Scenario, String> {
+    if std::path::Path::new(spec).is_file() {
+        let text = fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        return Scenario::from_json(&text).map_err(|e| format!("{spec}: {e}"));
+    }
+    Scenario::builtin(spec).ok_or_else(|| {
+        format!(
+            "{spec:?} is neither a scenario file nor a built-in name (known: {})",
+            Scenario::builtin_names().join(", ")
+        )
+    })
+}
+
+fn run_all(specs: &[String], options: Options) -> Result<(), String> {
+    if specs.is_empty() {
+        return Err(usage(
+            "run needs at least one scenario file or built-in name",
+        ));
+    }
+    let jsonl = options.jsonl.as_deref().map(JsonlSink::open).transpose()?;
+    for spec in specs {
+        let mut scenario = load(spec)?;
+        if options.quick {
+            scenario = scenario.quick_scaled();
+        }
+        execute(&scenario, &options, jsonl.clone()).map_err(|e| format!("{spec}: {e}"))?;
+        if let Some(error) = jsonl.as_ref().and_then(|sink| sink.take_error()) {
+            return Err(format!("--jsonl stream truncated: {error}"));
+        }
     }
     Ok(())
 }
 
-fn run_quick(name: &str, json: bool) -> Result<(), String> {
-    let scenario = Scenario::builtin(name)
-        .ok_or_else(|| {
-            format!(
-                "unknown built-in scenario {name:?} (known: {})",
-                Scenario::builtin_names().join(", ")
-            )
-        })?
-        .quick_scaled();
-    execute(&scenario, json)
+/// Live progress observer: one stderr line per cell, updated in place as
+/// runs fold.
+fn progress_observer() -> impl FnMut(&RunEvent) + Send {
+    move |event: &RunEvent| match event {
+        RunEvent::CellStarted {
+            label,
+            planned_runs,
+            ..
+        } => {
+            eprint!("  {label}: 0/{planned_runs} runs");
+        }
+        RunEvent::RunCompleted {
+            run_index,
+            run_stats,
+            ..
+        } => {
+            eprint!(
+                "\r  run {}: {} runs folded, {} samples, mean {:.2} ms (sd {:.2})      ",
+                run_index,
+                run_stats.measured_runs,
+                run_stats.pooled_samples,
+                run_stats.pooled_mean_ms,
+                run_stats.pooled_std_dev_ms,
+            );
+        }
+        RunEvent::CellCompleted {
+            report,
+            runs_used,
+            stopped_early,
+            ..
+        } => {
+            eprintln!(
+                "\r  {}: done after {runs_used} run(s){}                      ",
+                report.label,
+                if *stopped_early {
+                    " — stop rule fired early"
+                } else {
+                    ""
+                }
+            );
+        }
+        RunEvent::CellFailed { label, error, .. } => {
+            eprintln!("\r  {label}: FAILED — {error}");
+        }
+        RunEvent::ScenarioCompleted {
+            scenario,
+            cells,
+            failed_cells,
+        } => {
+            eprintln!("  {scenario}: {cells} cell(s), {failed_cells} failed");
+        }
+    }
 }
 
-fn execute(scenario: &Scenario, json: bool) -> Result<(), String> {
+/// The `--jsonl` sink, opened once per invocation so a multi-scenario
+/// `run` appends every scenario's events to one stream instead of
+/// truncating the file per scenario.
+struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<fs::File>>,
+    path: String,
+    /// First write/flush error. Observers run inside the campaign's fold
+    /// lock, so an I/O failure (disk full, dead filesystem) must not
+    /// panic there: the sink records it, stops writing, and the driver
+    /// turns it into a normal `Err` after the scenario.
+    error: Mutex<Option<String>>,
+}
+
+impl JsonlSink {
+    fn open(path: &str) -> Result<Arc<Self>, String> {
+        let file = fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        Ok(Arc::new(JsonlSink {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+            path: path.to_string(),
+            error: Mutex::new(None),
+        }))
+    }
+
+    fn record_error(&self, e: &std::io::Error) {
+        let mut slot = self.error.lock().expect("jsonl error lock");
+        if slot.is_none() {
+            *slot = Some(format!("{}: {e}", self.path));
+        }
+    }
+
+    /// The first write/flush error, if any (the stream is then truncated).
+    fn take_error(&self) -> Option<String> {
+        self.error.lock().expect("jsonl error lock").take()
+    }
+}
+
+/// JSONL observer: one serialized event per line, flushed at the end of
+/// each scenario.
+fn jsonl_observer(sink: Arc<JsonlSink>) -> impl FnMut(&RunEvent) + Send {
+    move |event: &RunEvent| {
+        if sink.error.lock().expect("jsonl error lock").is_some() {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("event serializes");
+        let mut writer = sink.writer.lock().expect("jsonl writer lock");
+        let result = writeln!(writer, "{line}").and_then(|()| {
+            if matches!(event, RunEvent::ScenarioCompleted { .. }) {
+                writer.flush()
+            } else {
+                Ok(())
+            }
+        });
+        drop(writer);
+        if let Err(e) = result {
+            sink.record_error(&e);
+        }
+    }
+}
+
+fn execute(
+    scenario: &Scenario,
+    options: &Options,
+    jsonl: Option<Arc<JsonlSink>>,
+) -> Result<(), String> {
+    let stop = match options.stop_ci {
+        Some(rel_width) => StopRule::CiHalfWidth {
+            level: 0.95,
+            rel_width,
+            min_runs: 2,
+        },
+        None => scenario.stop.unwrap_or_default(),
+    };
     eprintln!(
-        "scenario {}: {} workload, {} cell(s), {} nodes, {} runs, seed {:#x}",
+        "scenario {}: {} workload, {} cell(s), {} nodes, {} runs ({}), seed {:#x}",
         scenario.name,
         scenario.workload.kind(),
         scenario.cells().len(),
         scenario.net.num_nodes,
         scenario.runs,
+        stop.label(),
         scenario.seed,
     );
-    let outcome = scenario.run()?;
-    if json {
+    let mut session = scenario.session().with_stop_rule(stop);
+    if let Some(threads) = options.threads {
+        session = session.with_threads(threads);
+    }
+    if options.progress {
+        session = session.observe_fn(progress_observer());
+    }
+    if let Some(sink) = jsonl {
+        session = session.observe_fn(jsonl_observer(sink));
+    }
+    let outcome = session.block()?;
+    if options.json {
         println!("{}", outcome.to_json());
     } else {
         println!("{}", outcome.render());
@@ -161,4 +373,71 @@ fn parse_outcome(path: &str) -> Result<(), String> {
         outcome.cells.len()
     );
     Ok(())
+}
+
+/// Validates a `--jsonl` event stream: every line parses as a
+/// [`RunEvent`], every started cell is closed (completed or failed)
+/// before its scenario's `ScenarioCompleted`, and the stream ends with a
+/// `ScenarioCompleted` — the session's completion guarantee, checked per
+/// scenario segment so a truncated multi-scenario stream cannot pass on
+/// the strength of an earlier scenario's terminator.
+fn check_events(path: &str) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut open_cells: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut last: Option<RunEvent> = None;
+    let mut count = 0usize;
+    let mut scenarios = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |what: &str| format!("{path}:{}: {what}", lineno + 1);
+        let event: RunEvent = serde_json::from_str(line).map_err(|e| at(&format!("{e}")))?;
+        count += 1;
+        match &event {
+            RunEvent::CellStarted { cell, .. } => {
+                if !open_cells.insert(*cell) {
+                    return Err(at(&format!("cell {cell} started twice")));
+                }
+            }
+            RunEvent::RunCompleted { cell, .. } => {
+                if !open_cells.contains(cell) {
+                    return Err(at(&format!("run event for cell {cell} that never started")));
+                }
+            }
+            RunEvent::CellCompleted { cell, .. } | RunEvent::CellFailed { cell, .. } => {
+                if !open_cells.remove(cell) {
+                    return Err(at(&format!("cell {cell} closed without starting")));
+                }
+            }
+            RunEvent::ScenarioCompleted { .. } => {
+                if !open_cells.is_empty() {
+                    return Err(at(&format!(
+                        "scenario completed with {} cell(s) still open",
+                        open_cells.len()
+                    )));
+                }
+                scenarios += 1;
+            }
+        }
+        last = Some(event);
+    }
+    match last {
+        Some(RunEvent::ScenarioCompleted {
+            scenario,
+            cells,
+            failed_cells,
+        }) => {
+            println!(
+                "events {path}: {count} event(s), {scenarios} scenario(s), last {scenario:?} \
+                 completed ({cells} cell(s), {failed_cells} failed)"
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "{path}: stream ends with {:?}, not scenario_completed — the run was cut short",
+            other.kind()
+        )),
+        None => Err(format!("{path}: no events")),
+    }
 }

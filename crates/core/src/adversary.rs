@@ -246,11 +246,17 @@ pub fn adversarial_campaign_in_with_threads(
         threads,
         Some(Box::new(inert)),
         Some(&mut inspect_clean),
+        None,
     )?;
     let mut infiltration = WarmInfiltration::default();
     let mut inspect = |net: &Network| infiltration = WarmInfiltration::measure(net);
-    let attacked =
-        base.run_campaign(registry, threads, Some(Box::new(force)), Some(&mut inspect))?;
+    let attacked = base.run_campaign(
+        registry,
+        threads,
+        Some(Box::new(force)),
+        Some(&mut inspect),
+        None,
+    )?;
 
     let clean_mean_arrival_ms = mean_arrival_ms(&clean);
     let adversarial_mean_arrival_ms = mean_arrival_ms(&attacked);

@@ -9,7 +9,9 @@
 use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
 use bcbpt_net::{Adversary, MessageStats, NetConfig, Network, NodeId, TxWatch};
 use bcbpt_sim::RngHub;
-use bcbpt_stats::{bootstrap_ci, BuildEcdfError, ConfidenceInterval, Ecdf, Summary};
+use bcbpt_stats::{
+    bootstrap_ci, BuildEcdfError, ConfidenceInterval, Ecdf, StreamingSummary, Summary,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +80,29 @@ impl CampaignResult {
     /// Streaming summary of the pooled deltas.
     pub fn delta_summary(&self) -> Summary {
         self.deltas_ms().collect()
+    }
+
+    /// Per-run mean `Δt(m,n)` accumulator: one observation per run that
+    /// harvested at least one finite delta. Runs are the paper's
+    /// independent replicates ("an average of approximately 1000 runs",
+    /// §V.B) — samples *within* a run share one measuring origin and are
+    /// correlated, so run-level statistics are what confidence-driven
+    /// stop rules and honest uncertainty estimates consult.
+    pub fn run_mean_summary(&self) -> StreamingSummary {
+        let mut summary = StreamingSummary::new();
+        for run in &self.runs {
+            if let Some(mean) = run_mean_delta(run) {
+                summary.record(mean);
+            }
+        }
+        summary
+    }
+
+    /// Normal-approximation confidence interval on the per-run mean
+    /// delta — the statistic `StopRule::CiHalfWidth` watches. `None` with
+    /// fewer than two measuring runs.
+    pub fn run_mean_ci(&self, level: f64) -> Option<ConfidenceInterval> {
+        self.run_mean_summary().mean_ci(level)
     }
 
     /// ECDF of the pooled deltas.
@@ -154,6 +179,124 @@ impl CampaignResult {
 /// A completed measuring run (`None` = the run was skipped because its
 /// origin churned away) together with its measurement-window traffic.
 type RunOutcome = Option<(RunResult, MessageStats)>;
+
+/// Mean of a run's finite `Δt(m,n)` samples (`None` when the run
+/// harvested no finite delta) — the per-run replicate statistic. The one
+/// definition shared by the streaming fold and
+/// [`CampaignResult::run_mean_summary`], so the stop rule's checkpoints
+/// and post-hoc CIs can never diverge.
+fn run_mean_delta(run: &RunResult) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for &d in &run.deltas_ms {
+        if d.is_finite() {
+            sum += d;
+            count += 1;
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// One deterministic checkpoint of a streaming campaign: run `run_index`
+/// has just folded (in run-index order, under the fold lock), and these
+/// are the statistics accumulated over the folded prefix.
+pub(crate) struct RunCheckpoint<'a> {
+    /// The folded run's campaign-local index.
+    pub run_index: usize,
+    /// The folded run's harvest (`None` = the run was skipped because its
+    /// origin churned away).
+    pub result: Option<&'a RunResult>,
+    /// Pooled `Δt(m,n)` accumulator over the folded prefix.
+    pub deltas: &'a StreamingSummary,
+    /// Per-run mean `Δt(m,n)` accumulator over the folded prefix: one
+    /// observation per successful run that harvested deltas. Runs are the
+    /// paper's independent replicates ("an average of approximately 1000
+    /// runs", §V.B) — samples *within* a run share one measuring origin
+    /// and are correlated, so confidence-driven stop rules consult this,
+    /// not `deltas`.
+    pub run_means: &'a StreamingSummary,
+    /// Successful measuring runs folded so far (including this one).
+    pub measured_runs: usize,
+}
+
+/// In-order fold hook for streaming sessions: called once per run index
+/// (ascending, regardless of worker scheduling) with the checkpoint
+/// statistics. Returning `true` stops the campaign after this run — runs
+/// with a higher index are discarded even if already computed, so the
+/// decision (and the campaign output) depends only on the folded prefix
+/// and is byte-identical across thread counts.
+pub(crate) type RunControl<'a> = dyn FnMut(&RunCheckpoint<'_>) -> bool + Send + 'a;
+
+/// Fold state of a streaming campaign: runs complete in any order on the
+/// worker pool, park in `pending`, and fold strictly in run-index order.
+struct CampaignFold<'c, 'f> {
+    /// Next run index to fold.
+    next: usize,
+    /// Last run index included in the campaign (`usize::MAX` = no early
+    /// stop decided yet).
+    stop_at: usize,
+    /// Out-of-order completions waiting for their turn.
+    pending: BTreeMap<usize, RunOutcome>,
+    /// Folded successful runs, in index order.
+    runs: Vec<RunResult>,
+    /// Warmup traffic plus the folded runs' window traffic.
+    traffic: MessageStats,
+    /// Pooled `Δt(m,n)` accumulator over the folded runs.
+    deltas: StreamingSummary,
+    /// Per-run mean `Δt(m,n)` accumulator (one observation per successful
+    /// run with deltas).
+    run_means: StreamingSummary,
+    /// Successful measuring runs folded.
+    measured: usize,
+    /// Optional stop/observe hook, evaluated at every fold.
+    control: Option<&'c mut RunControl<'f>>,
+}
+
+impl CampaignFold<'_, '_> {
+    /// Parks `outcome` and folds every consecutively-ready run, evaluating
+    /// the control hook at each checkpoint. `stop_signal` mirrors
+    /// `stop_at` for lock-free worker checks.
+    fn absorb(&mut self, index: usize, outcome: RunOutcome, stop_signal: &AtomicUsize) {
+        if index > self.stop_at {
+            return;
+        }
+        self.pending.insert(index, outcome);
+        while self.next <= self.stop_at {
+            let Some(outcome) = self.pending.remove(&self.next) else {
+                break;
+            };
+            let run_index = self.next;
+            self.next += 1;
+            let result = match outcome {
+                Some((result, window_traffic)) => {
+                    self.traffic.merge(&window_traffic);
+                    self.deltas.extend(result.deltas_ms.iter().copied());
+                    if let Some(mean) = run_mean_delta(&result) {
+                        self.run_means.record(mean);
+                    }
+                    self.measured += 1;
+                    self.runs.push(result);
+                    self.runs.last()
+                }
+                None => None,
+            };
+            if let Some(control) = self.control.as_mut() {
+                let checkpoint = RunCheckpoint {
+                    run_index,
+                    result,
+                    deltas: &self.deltas,
+                    run_means: &self.run_means,
+                    measured_runs: self.measured,
+                };
+                if control(&checkpoint) {
+                    self.stop_at = run_index;
+                    stop_signal.store(run_index, Ordering::Relaxed);
+                    self.pending.clear();
+                }
+            }
+        }
+    }
+}
 
 /// Configuration of one campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -285,14 +428,16 @@ impl ExperimentConfig {
         registry: &ProtocolRegistry,
         threads: usize,
     ) -> Result<CampaignResult, String> {
-        self.run_campaign(registry, threads, None, None)
+        self.run_campaign(registry, threads, None, None, None)
     }
 
-    /// The full campaign loop, with the two hooks the adversarial
-    /// experiments need: an optional behavioural [`Adversary`] installed
-    /// *before* warmup (so attackers can game topology formation), and an
-    /// optional inspection of the warmed-up snapshot (for infiltration
-    /// metrics) before the measuring runs fan out.
+    /// The full campaign loop, with the hooks the adversarial experiments
+    /// and streaming sessions need: an optional behavioural [`Adversary`]
+    /// installed *before* warmup (so attackers can game topology
+    /// formation), an optional inspection of the warmed-up snapshot (for
+    /// infiltration metrics) before the measuring runs fan out, and an
+    /// optional [`RunControl`] hook evaluated at every run-index-ordered
+    /// fold checkpoint (for live observation and adaptive stopping).
     ///
     /// An adversary controlling zero nodes leaves the output byte-identical
     /// to a plain run — the determinism contract `adversary::tests` pins.
@@ -302,6 +447,7 @@ impl ExperimentConfig {
         threads: usize,
         adversary: Option<Box<dyn Adversary>>,
         inspect_warm: Option<&mut dyn FnMut(&Network)>,
+        control: Option<&mut RunControl<'_>>,
     ) -> Result<CampaignResult, String> {
         let policy = registry.build(&self.protocol)?;
         let mut base = Network::build(self.net.clone(), policy, self.seed)?;
@@ -314,55 +460,64 @@ impl ExperimentConfig {
         }
         let warmup_traffic = base.stats().clone();
 
-        let outcomes: Vec<RunOutcome> = if threads <= 1 || self.runs <= 1 {
-            (0..self.runs)
-                .map(|i| self.measure_one(&base, &warmup_traffic, i))
-                .collect()
+        // Runs complete in any scheduling order but *fold* strictly in
+        // run-index order: every statistic (and every stop decision the
+        // control hook makes) depends only on the folded prefix, so the
+        // output is byte-identical for every thread count.
+        let stop_signal = AtomicUsize::new(usize::MAX);
+        let fold = Mutex::new(CampaignFold {
+            next: 0,
+            stop_at: usize::MAX,
+            pending: BTreeMap::new(),
+            runs: Vec::with_capacity(self.runs),
+            traffic: warmup_traffic.clone(),
+            deltas: StreamingSummary::new(),
+            run_means: StreamingSummary::new(),
+            measured: 0,
+            control,
+        });
+        if threads <= 1 || self.runs <= 1 {
+            for i in 0..self.runs {
+                if i > stop_signal.load(Ordering::Relaxed) {
+                    break;
+                }
+                let outcome = self.measure_one(&base, &warmup_traffic, i);
+                fold.lock()
+                    .expect("fold lock")
+                    .absorb(i, outcome, &stop_signal);
+            }
         } else {
             // Work-stealing by atomic counter: each worker claims the next
-            // unstarted run index and writes into that run's dedicated
-            // slot, so merge order is run-index order regardless of
-            // scheduling.
+            // unstarted run index, simulates it, and parks the outcome in
+            // the fold, which drains consecutively-ready runs.
             let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<RunOutcome>>> =
-                (0..self.runs).map(|_| Mutex::new(None)).collect();
             let base_ref = &base;
             let warmup_ref = &warmup_traffic;
+            let fold_ref = &fold;
+            let stop_ref = &stop_signal;
             std::thread::scope(|scope| {
                 for _ in 0..threads.min(self.runs) {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= self.runs {
+                        if i >= self.runs || i > stop_ref.load(Ordering::Relaxed) {
                             break;
                         }
                         let outcome = self.measure_one(base_ref, warmup_ref, i);
-                        *slots[i].lock().expect("slot lock") = Some(outcome);
+                        fold_ref
+                            .lock()
+                            .expect("fold lock")
+                            .absorb(i, outcome, stop_ref);
                     });
                 }
             });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("slot lock")
-                        .expect("worker filled every claimed slot")
-                })
-                .collect()
-        };
-
-        let mut runs = Vec::with_capacity(self.runs);
-        let mut traffic = warmup_traffic.clone();
-        for outcome in outcomes.into_iter().flatten() {
-            let (result, window_traffic) = outcome;
-            traffic.merge(&window_traffic);
-            runs.push(result);
         }
+        let fold = fold.into_inner().expect("fold lock");
 
         let cluster_sizes = cluster_sizes(&base);
         Ok(CampaignResult {
             protocol: self.protocol.to_string(),
-            runs,
-            traffic,
+            runs: fold.runs,
+            traffic: fold.traffic,
             warmup_traffic,
             cluster_sizes,
             num_nodes: self.net.num_nodes,

@@ -7,6 +7,10 @@
 //! * [`Scenario`]/[`ScenarioOutcome`] — the declarative experiment API:
 //!   campaigns as serializable data (workload + protocol spec + sweep),
 //!   run by the single `scenario` driver binary.
+//! * [`ScenarioSession`]/[`RunEvent`]/[`StopRule`] — the streaming
+//!   execution API: typed events reach [`Observer`]s as runs fold, and
+//!   adaptive stop rules end a cell as soon as its confidence interval is
+//!   tight instead of burning the fixed `runs` budget.
 //! * [`ExperimentConfig`]/[`CampaignResult`] — the measuring-node
 //!   methodology (Fig. 2, Eq. 5), repeated over many runs (§V.B).
 //! * [`fig3`]/[`fig4`] — the paper's two result figures.
@@ -52,6 +56,7 @@ mod figures;
 mod forks;
 mod overhead;
 mod scenario;
+mod session;
 mod validation;
 
 pub use adversary::{
@@ -73,6 +78,7 @@ pub use overhead::{overhead_table, OverheadReport};
 pub use scenario::{
     CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Sweep, Workload,
 };
+pub use session::{ChannelObserver, Observer, RunEvent, RunStats, ScenarioSession, StopRule};
 pub use validation::{
     reference_samples, validate_delays, ValidationReport, KS_ACCEPT, REFERENCE_SIGMA,
 };

@@ -16,19 +16,21 @@
 //! [`Summary`]/[`Ecdf`] accessors and the table/figure renderers the old
 //! drivers printed.
 
-use crate::adversary::{adversarial_campaign_in, AdversaryReport, ADVERSARY_COLUMNS};
+use crate::adversary::{adversarial_campaign_in_with_threads, AdversaryReport, ADVERSARY_COLUMNS};
 use crate::attacks::{
     eclipse_exposure_in, partition_resilience_in, EclipseReport, PartitionReport,
 };
 use crate::experiment::{CampaignResult, ExperimentConfig};
 use crate::forks::{fork_experiment_in, ForkReport};
 use crate::overhead::{OverheadReport, OVERHEAD_COLUMNS};
+use crate::session::{ScenarioSession, StopRule};
 use bcbpt_adversary::AdversaryStrategy;
 use bcbpt_cluster::{Protocol, ProtocolRegistry, ProtocolSpec};
 use bcbpt_geo::ChurnModel;
 use bcbpt_net::NetConfig;
 use bcbpt_stats::{Ecdf, Figure, Series, StatTable, Summary};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Number of points on each rendered CDF curve.
 const CURVE_POINTS: usize = 40;
@@ -289,7 +291,13 @@ pub struct Scenario {
     pub workload: Workload,
     /// Optional sweep over protocol / threshold / size axes.
     pub sweep: Option<Sweep>,
-    /// Measuring runs per campaign cell (paper: ≈1000).
+    /// Optional adaptive run budget ([`StopRule`]); absent means
+    /// [`StopRule::FixedRuns`] — consume the whole `runs` budget, the
+    /// batch behaviour. Only streaming campaign workloads (tx-flood,
+    /// churn-burst, overhead-probe) may declare an adaptive rule.
+    pub stop: Option<StopRule>,
+    /// Measuring runs per campaign cell (paper: ≈1000). An adaptive
+    /// `stop` rule may end a cell earlier; this stays the hard ceiling.
     pub runs: usize,
     /// Cluster-formation warmup before measurement, ms.
     pub warmup_ms: f64,
@@ -312,6 +320,7 @@ impl Scenario {
             protocol: base.protocol.clone(),
             workload,
             sweep: None,
+            stop: None,
             runs: base.runs,
             warmup_ms: base.warmup_ms,
             window_ms: base.window_ms,
@@ -323,6 +332,13 @@ impl Scenario {
     #[must_use]
     pub fn with_sweep(mut self, sweep: Sweep) -> Self {
         self.sweep = Some(sweep);
+        self
+    }
+
+    /// Declares an adaptive run budget, builder-style.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopRule) -> Self {
+        self.stop = Some(stop);
         self
     }
 
@@ -377,6 +393,9 @@ impl Scenario {
                     self.window_ms
                 ));
             }
+        }
+        if let Some(stop) = &self.stop {
+            self.validate_stop_rule(stop)?;
         }
         if let Some(sweep) = &self.sweep {
             if !sweep.protocols.is_empty() && !sweep.thresholds_ms.is_empty() {
@@ -488,13 +507,47 @@ impl Scenario {
         }
     }
 
-    /// Runs the scenario against the built-in protocol set.
+    /// Checks that `stop` is internally valid and compatible with the
+    /// workload: only streaming campaign workloads can stop adaptively.
     ///
     /// # Errors
     ///
-    /// Propagates validation and per-cell experiment errors.
+    /// Returns a description of the first violated constraint.
+    pub fn validate_stop_rule(&self, stop: &StopRule) -> Result<(), String> {
+        stop.validate()?;
+        if stop.is_adaptive()
+            && !matches!(
+                self.workload,
+                Workload::TxFlood | Workload::ChurnBurst { .. } | Workload::OverheadProbe
+            )
+        {
+            return Err(format!(
+                "adaptive stop rule ({}) requires a streaming campaign workload \
+                 (tx-flood, churn-burst or overhead-probe), not {}",
+                stop.label(),
+                self.workload.kind()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Opens a streaming [`ScenarioSession`] over this scenario: attach
+    /// observers, pick a [`StopRule`], then
+    /// [`block`](ScenarioSession::block) for the outcome.
+    pub fn session(&self) -> ScenarioSession<'_> {
+        ScenarioSession::new(self)
+    }
+
+    /// Runs the scenario against the built-in protocol set — a thin
+    /// wrapper over [`session`](Self::session) with the scenario's
+    /// declared stop rule (default [`StopRule::FixedRuns`], which is
+    /// byte-identical to the batch reference [`run_batch`](Self::run_batch)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and configuration errors.
     pub fn run(&self) -> Result<ScenarioOutcome, String> {
-        self.run_in(&ProtocolRegistry::builtins())
+        self.session().block()
     }
 
     /// Runs the scenario with protocols resolved against `registry` —
@@ -502,44 +555,77 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Propagates validation and per-cell experiment errors.
+    /// Propagates validation and configuration errors.
     pub fn run_in(&self, registry: &ProtocolRegistry) -> Result<ScenarioOutcome, String> {
+        self.session().block_in(registry)
+    }
+
+    /// Reference batch implementation against the built-in protocol set:
+    /// every cell consumes its whole `runs` budget, no events stream, and
+    /// any declared `stop` rule is ignored. This is to [`run`](Self::run)
+    /// what `ExperimentConfig::run_serial` is to `run` — the determinism
+    /// baseline a `FixedRuns` session must reproduce byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and configuration errors.
+    pub fn run_batch(&self) -> Result<ScenarioOutcome, String> {
+        self.run_batch_in(&ProtocolRegistry::builtins())
+    }
+
+    /// [`run_batch`](Self::run_batch) with protocols resolved against
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and configuration errors.
+    pub fn run_batch_in(&self, registry: &ProtocolRegistry) -> Result<ScenarioOutcome, String> {
         self.validate_in(registry)?;
         let mut cells = Vec::new();
         for cell in self.cells() {
-            // A cell that fails at run time no longer aborts the sweep: the
+            // A cell that fails at run time does not abort the sweep: the
             // error is recorded in its outcome and surfaced by the
             // renderers, so one bad cell cannot silently NaN a whole table.
             let report = self
-                .run_cell(registry, &cell)
+                .run_cell_batch(registry, &cell, None)
                 .unwrap_or_else(|error| CellReport::Failed { error });
-            cells.push(CellOutcome {
-                label: cell.label,
-                protocol: cell.protocol.to_string(),
-                num_nodes: cell.num_nodes,
+            cells.push(CellOutcome::new(
+                cell.label,
+                cell.protocol.to_string(),
+                cell.num_nodes,
                 report,
-            });
+            ));
         }
-        Ok(ScenarioOutcome {
-            scenario: self.name.clone(),
-            workload: self.workload.clone(),
+        Ok(ScenarioOutcome::new(
+            self.name.clone(),
+            self.workload.clone(),
             cells,
-        })
+        ))
     }
 
-    /// Runs one expanded sweep cell.
-    fn run_cell(
+    /// Runs one expanded sweep cell to its full budget (the non-streaming
+    /// path; sessions use it for single-shot and paired workloads).
+    pub(crate) fn run_cell_batch(
         &self,
         registry: &ProtocolRegistry,
         cell: &ScenarioCell,
+        threads: Option<usize>,
     ) -> Result<CellReport, String> {
+        // Campaign-shaped workloads honour an explicit worker-thread count
+        // (output is thread-count invariant either way); the single-shot
+        // experiments (mining, eclipse, partition) are one simulation and
+        // have no pool to size.
+        let campaign_threads =
+            threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         let cfg = self.cell_config(cell);
         Ok(match &self.workload {
             Workload::TxFlood | Workload::ChurnBurst { .. } => CellReport::Campaign {
-                campaign: cfg.run_in(registry)?,
+                campaign: cfg.run_in_with_threads(registry, campaign_threads)?,
             },
             Workload::OverheadProbe => CellReport::Overhead {
-                report: OverheadReport::from_campaign(&cfg.run_in(registry)?),
+                report: OverheadReport::from_campaign(
+                    &cfg.run_in_with_threads(registry, campaign_threads)?,
+                ),
             },
             Workload::Mining {
                 block_interval_ms,
@@ -572,7 +658,13 @@ impl Scenario {
                 strategy,
                 attackers,
             } => CellReport::Adversary {
-                report: adversarial_campaign_in(registry, &cfg, strategy, *attackers)?,
+                report: adversarial_campaign_in_with_threads(
+                    registry,
+                    &cfg,
+                    strategy,
+                    *attackers,
+                    campaign_threads,
+                )?,
             },
         })
     }
@@ -619,8 +711,24 @@ pub enum CellReport {
     },
 }
 
+/// Lazily-computed pooled `Δt(m,n)` statistics, excluded from
+/// serialization and equality. Streaming sessions pre-populate it from
+/// their folded accumulators, so the accessors never re-collect; batch
+/// and deserialized outcomes fill it on first use.
+#[derive(Debug, Clone, Default)]
+struct StatsCache {
+    summary: OnceLock<Option<Summary>>,
+    ecdf: OnceLock<Option<Ecdf>>,
+}
+
 /// One sweep cell's labelled outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The pooled-statistics accessors ([`delta_summary`](Self::delta_summary),
+/// [`delta_ecdf`](Self::delta_ecdf)) are cached after first use. An
+/// outcome is a result record, not a builder — if you mutate `report`
+/// after calling an accessor, build a fresh outcome with
+/// [`CellOutcome::new`] instead of reusing the stale one.
+#[derive(Debug, Clone)]
 pub struct CellOutcome {
     /// Cell label (protocol label, plus `@n=…` on a size sweep).
     pub label: String,
@@ -630,9 +738,75 @@ pub struct CellOutcome {
     pub num_nodes: usize,
     /// The workload-specific report.
     pub report: CellReport,
+    /// Cached pooled statistics (not serialized, not compared).
+    cache: StatsCache,
+}
+
+impl PartialEq for CellOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.protocol == other.protocol
+            && self.num_nodes == other.num_nodes
+            && self.report == other.report
+    }
+}
+
+impl Serialize for CellOutcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("label".to_string(), self.label.to_value()),
+            ("protocol".to_string(), self.protocol.to_value()),
+            ("num_nodes".to_string(), self.num_nodes.to_value()),
+            ("report".to_string(), self.report.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CellOutcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for CellOutcome"))?;
+        Ok(CellOutcome::new(
+            Deserialize::from_value(serde::map_get(m, "label"))?,
+            Deserialize::from_value(serde::map_get(m, "protocol"))?,
+            Deserialize::from_value(serde::map_get(m, "num_nodes"))?,
+            Deserialize::from_value(serde::map_get(m, "report"))?,
+        ))
+    }
 }
 
 impl CellOutcome {
+    /// Builds a cell outcome with an empty stats cache.
+    pub fn new(label: String, protocol: String, num_nodes: usize, report: CellReport) -> Self {
+        CellOutcome {
+            label,
+            protocol,
+            num_nodes,
+            report,
+            cache: StatsCache::default(),
+        }
+    }
+
+    /// Builds a cell outcome whose pooled summary was already folded by a
+    /// streaming session (same sample order as the batch recompute, so
+    /// the cached value is bit-identical to a lazy one). Only seeded when
+    /// the report actually carries a campaign; the ECDF stays lazy — its
+    /// one-time sort is bounded by the cache anyway, and pre-building it
+    /// would hold a second copy of every sample alongside the campaign.
+    pub(crate) fn with_delta_cache(
+        label: String,
+        protocol: String,
+        num_nodes: usize,
+        report: CellReport,
+        summary: Summary,
+    ) -> Self {
+        let cell = CellOutcome::new(label, protocol, num_nodes, report);
+        if cell.campaign().is_some() {
+            let _ = cell.cache.summary.set(Some(summary));
+        }
+        cell
+    }
     /// The underlying campaign, when the workload produced one (for
     /// adversarial cells: the *attacked* campaign).
     pub fn campaign(&self) -> Option<&CampaignResult> {
@@ -652,21 +826,34 @@ impl CellOutcome {
     }
 
     /// Streaming summary of this cell's pooled `Δt(m,n)` samples.
+    /// Computed once (or folded live by the session) and cached.
     pub fn delta_summary(&self) -> Option<Summary> {
-        self.campaign().map(CampaignResult::delta_summary)
+        *self
+            .cache
+            .summary
+            .get_or_init(|| self.campaign().map(CampaignResult::delta_summary))
     }
 
     /// ECDF of this cell's pooled `Δt(m,n)` samples (`None` when the
-    /// workload has none, or no run produced a delta).
+    /// workload has none, or no run produced a delta). Computed once (or
+    /// folded live by the session) and cached.
     pub fn delta_ecdf(&self) -> Option<Ecdf> {
-        self.campaign().and_then(|c| c.delta_ecdf().ok())
+        self.cache
+            .ecdf
+            .get_or_init(|| self.campaign().and_then(|c| c.delta_ecdf().ok()))
+            .clone()
     }
 }
 
 /// The unified result of a scenario: what used to be four divergent return
 /// types (campaign results, fork stats, attack stats, overhead tables)
 /// behind one serializable report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Like [`CellOutcome`], the pooled-statistics accessors are cached
+/// after first use; treat an outcome as immutable once read, and build a
+/// fresh one ([`ScenarioOutcome::new`]) rather than mutating `cells`
+/// afterwards.
+#[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
     /// The scenario's name.
     pub scenario: String,
@@ -674,9 +861,51 @@ pub struct ScenarioOutcome {
     pub workload: Workload,
     /// Per-cell outcomes, in sweep order.
     pub cells: Vec<CellOutcome>,
+    /// Cached pooled statistics (not serialized, not compared).
+    cache: StatsCache,
+}
+
+impl PartialEq for ScenarioOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.scenario == other.scenario
+            && self.workload == other.workload
+            && self.cells == other.cells
+    }
+}
+
+impl Serialize for ScenarioOutcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ScenarioOutcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for ScenarioOutcome"))?;
+        Ok(ScenarioOutcome::new(
+            Deserialize::from_value(serde::map_get(m, "scenario"))?,
+            Deserialize::from_value(serde::map_get(m, "workload"))?,
+            Deserialize::from_value(serde::map_get(m, "cells"))?,
+        ))
+    }
 }
 
 impl ScenarioOutcome {
+    /// Builds an outcome with an empty stats cache.
+    pub fn new(scenario: String, workload: Workload, cells: Vec<CellOutcome>) -> Self {
+        ScenarioOutcome {
+            scenario,
+            workload,
+            cells,
+            cache: StatsCache::default(),
+        }
+    }
     /// Serializes the outcome as indented JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("outcome serializes")
@@ -692,24 +921,37 @@ impl ScenarioOutcome {
     }
 
     /// Summary of the `Δt(m,n)` samples pooled across every campaign cell.
+    /// Computed once and cached.
     pub fn delta_summary(&self) -> Summary {
-        self.cells
-            .iter()
-            .filter_map(CellOutcome::campaign)
-            .flat_map(CampaignResult::deltas_ms)
-            .collect()
+        self.cache
+            .summary
+            .get_or_init(|| {
+                Some(
+                    self.cells
+                        .iter()
+                        .filter_map(CellOutcome::campaign)
+                        .flat_map(CampaignResult::deltas_ms)
+                        .collect(),
+                )
+            })
+            .unwrap_or_default()
     }
 
     /// ECDF of the pooled `Δt(m,n)` samples across every campaign cell
-    /// (`None` when no cell carries deltas).
+    /// (`None` when no cell carries deltas). Computed once and cached.
     pub fn delta_ecdf(&self) -> Option<Ecdf> {
-        Ecdf::from_samples(
-            self.cells
-                .iter()
-                .filter_map(CellOutcome::campaign)
-                .flat_map(CampaignResult::deltas_ms),
-        )
-        .ok()
+        self.cache
+            .ecdf
+            .get_or_init(|| {
+                Ecdf::from_samples(
+                    self.cells
+                        .iter()
+                        .filter_map(CellOutcome::campaign)
+                        .flat_map(CampaignResult::deltas_ms),
+                )
+                .ok()
+            })
+            .clone()
     }
 
     /// Run-time problems per cell, in sweep order: hard cell failures
@@ -927,6 +1169,7 @@ fn demo_environment(num_nodes: usize, runs: usize) -> Scenario {
         protocol: ProtocolSpec::from(Protocol::Bitcoin),
         workload: Workload::TxFlood,
         sweep: None,
+        stop: None,
         runs,
         warmup_ms: 5_000.0,
         window_ms: 20_000.0,
@@ -984,9 +1227,18 @@ impl Scenario {
                     threshold_ms: 100.0,
                 },
             ])),
-            "sweep" => demo_environment(400, 25).with_sweep(Sweep::over_thresholds_ms([
-                10.0, 25.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0,
-            ])),
+            // The sweep declares an adaptive budget: each threshold cell
+            // stops as soon as its Δt mean is known to ±5 % (95 % CI)
+            // instead of always burning the full 25 runs.
+            "sweep" => demo_environment(400, 25)
+                .with_sweep(Sweep::over_thresholds_ms([
+                    10.0, 25.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0,
+                ]))
+                .with_stop(StopRule::CiHalfWidth {
+                    level: 0.95,
+                    rel_width: 0.05,
+                    min_runs: 8,
+                }),
             "forks" => {
                 let mut s = demo_environment(400, 0);
                 // Compact-block relay keeps block propagation latency-bound
@@ -1487,19 +1739,19 @@ mod tests {
         let strategy = AdversaryStrategy::DelayRelay { delay_ms: 10.0 };
         let report = crate::adversary::adversarial_campaign(&cfg, &strategy, 4).unwrap();
         assert!(!report.slowdown.is_finite());
-        let outcome = ScenarioOutcome {
-            scenario: "arrival-free".to_string(),
-            workload: Workload::Adversarial {
+        let outcome = ScenarioOutcome::new(
+            "arrival-free".to_string(),
+            Workload::Adversarial {
                 strategy,
                 attackers: 4,
             },
-            cells: vec![CellOutcome {
-                label: "bitcoin".to_string(),
-                protocol: "bitcoin".to_string(),
-                num_nodes: 40,
-                report: CellReport::Adversary { report },
-            }],
-        };
+            vec![CellOutcome::new(
+                "bitcoin".to_string(),
+                "bitcoin".to_string(),
+                40,
+                CellReport::Adversary { report },
+            )],
+        );
         let errors = outcome.cell_errors();
         assert_eq!(errors.len(), 1);
         assert!(errors[0].1.contains("no arrival samples"));
@@ -1534,6 +1786,63 @@ mod tests {
         let outcome = scenario.run().unwrap();
         let back = ScenarioOutcome::from_json(&outcome.to_json()).unwrap();
         assert_eq!(back, outcome);
+        // The stats cache is invisible to serialization: priming it must
+        // not change the JSON.
+        let json_before = outcome.to_json();
+        let _ = outcome.delta_summary();
+        let _ = outcome.delta_ecdf();
+        assert_eq!(outcome.to_json(), json_before);
+    }
+
+    #[test]
+    fn scenario_with_stop_rule_round_trips_and_validates() {
+        let rule = crate::session::StopRule::CiHalfWidth {
+            level: 0.9,
+            rel_width: 0.2,
+            min_runs: 4,
+        };
+        let scenario = tiny(Workload::TxFlood).with_stop(rule);
+        scenario.validate().unwrap();
+        let back = Scenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back, scenario);
+        assert_eq!(back.stop, Some(rule));
+        // A pre-stop-field scenario file (no "stop" key) still parses.
+        let legacy = tiny(Workload::TxFlood);
+        let json = legacy.to_json().replace("  \"stop\": null,\n", "");
+        assert!(!json.contains("stop"), "{json}");
+        let parsed = Scenario::from_json(&json).unwrap();
+        assert_eq!(parsed, legacy);
+        assert_eq!(parsed.stop, None);
+    }
+
+    #[test]
+    fn delta_accessors_are_cached_and_unchanged() {
+        // The repeated-work regression: the accessors fold once, return
+        // the same values on every call, and agree with a from-scratch
+        // re-collect over the raw runs.
+        let scenario = tiny(Workload::TxFlood).with_sweep(Sweep::over_protocols(paper_protocols()));
+        let outcome = scenario.run().unwrap();
+        let manual: Summary = outcome
+            .cells
+            .iter()
+            .filter_map(CellOutcome::campaign)
+            .flat_map(CampaignResult::deltas_ms)
+            .collect();
+        assert_eq!(outcome.delta_summary(), manual);
+        assert_eq!(outcome.delta_summary(), manual, "second call identical");
+        let pooled_ecdf = outcome.delta_ecdf().unwrap();
+        assert_eq!(pooled_ecdf.len() as u64, manual.count());
+        assert_eq!(outcome.delta_ecdf().unwrap(), pooled_ecdf);
+        for cell in &outcome.cells {
+            let summary = cell.delta_summary().unwrap();
+            assert_eq!(summary, cell.campaign().unwrap().delta_summary());
+            assert_eq!(cell.delta_summary().unwrap(), summary);
+            let ecdf = cell.delta_ecdf().unwrap();
+            assert_eq!(ecdf, cell.campaign().unwrap().delta_ecdf().unwrap());
+        }
+        // Cloned and deserialized outcomes recompute identically.
+        let back = ScenarioOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(back.delta_summary(), manual);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   regenerated figures and tables.
 //! * [`bootstrap_ci`] — percentile-bootstrap confidence intervals so
 //!   campaign summaries carry uncertainty.
+//! * [`StreamingSummary`]/[`EcdfBuilder`] — mergeable streaming
+//!   accumulators that fold per-run harvests incrementally (with a cheap
+//!   normal-approximation CI on the mean), powering live sessions and
+//!   adaptive stop rules.
 //!
 //! # Examples
 //!
@@ -34,11 +38,13 @@
 mod bootstrap;
 mod ecdf;
 mod histogram;
+mod streaming;
 mod summary;
 mod table;
 
 pub use bootstrap::{bootstrap_ci, BootstrapError, ConfidenceInterval};
 pub use ecdf::{BuildEcdfError, Ecdf};
 pub use histogram::{BuildHistogramError, Histogram, MergeMismatch};
+pub use streaming::{normal_quantile, EcdfBuilder, StreamingSummary};
 pub use summary::Summary;
 pub use table::{Figure, Series, StatTable};

@@ -1,0 +1,442 @@
+//! Mergeable streaming accumulators for live campaign statistics.
+//!
+//! The batch path collects every `Δt(m,n)` sample into a vector and
+//! recomputes summaries from scratch; a streaming session instead *folds*
+//! each run's harvest into two accumulators as the run completes:
+//!
+//! * [`StreamingSummary`] — Welford moments plus a normal-approximation
+//!   confidence interval on the mean, the quantity adaptive stop rules
+//!   watch. O(1) per sample, mergeable across parallel shards.
+//! * [`EcdfBuilder`] — retains the (unsorted) finite samples so the final
+//!   [`Ecdf`] is built with one sort at the end instead of a re-collect +
+//!   re-sort per query. Mergeable in sample order.
+//!
+//! Both fold in the same sample order as the batch path, so a streaming
+//! session's statistics are bit-identical to the post-hoc ones.
+
+use crate::bootstrap::ConfidenceInterval;
+use crate::ecdf::{BuildEcdfError, Ecdf};
+use crate::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// The standard normal quantile function (inverse CDF), `Φ⁻¹(p)`.
+///
+/// Peter Acklam's rational approximation (relative error < 1.15e-9 over
+/// the whole open interval) — accurate far beyond what a stopping rule
+/// needs, with no lookup tables.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_stats::normal_quantile;
+///
+/// assert_eq!(normal_quantile(0.5), 0.0);
+/// assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+/// assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `p` is outside the open interval `(0, 1)` or NaN.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal quantile needs p in (0, 1), got {p}"
+    );
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// A mergeable Welford accumulator with a confidence interval on the mean.
+///
+/// Wraps [`Summary`] (same moments, same fold order ⇒ bit-identical
+/// statistics) and adds the quantity adaptive stopping consults: a
+/// normal-approximation interval `mean ± z·sd/√n`, cheap enough to
+/// evaluate at every run-fold checkpoint where a bootstrap would not be.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_stats::StreamingSummary;
+///
+/// let mut s = StreamingSummary::new();
+/// s.extend((0..100).map(f64::from));
+/// let hw = s.mean_half_width(0.95);
+/// assert!(hw > 0.0);
+/// let ci = s.mean_ci(0.95).unwrap();
+/// assert!(ci.contains(s.mean()));
+/// assert!((ci.width() - 2.0 * hw).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamingSummary {
+    summary: Summary,
+}
+
+impl StreamingSummary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingSummary {
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one observation (non-finite values are ignored, as in
+    /// [`Summary`]).
+    pub fn record(&mut self, x: f64) {
+        self.summary.record(x);
+    }
+
+    /// Merges another accumulator (parallel Welford combine).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        self.summary.merge(&other.summary);
+    }
+
+    /// The accumulated moments as a plain [`Summary`].
+    pub fn summary(&self) -> Summary {
+        self.summary
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.summary.is_empty()
+    }
+
+    /// Running mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Running sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.summary.std_dev()
+    }
+
+    /// Half-width of the normal-approximation confidence interval on the
+    /// mean at `level`: `z·sd/√n`. `NaN` with fewer than two observations
+    /// (no variance estimate yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level` is outside `(0, 1)`.
+    pub fn mean_half_width(&self, level: f64) -> f64 {
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level {level} outside (0, 1)"
+        );
+        if self.summary.count() < 2 {
+            return f64::NAN;
+        }
+        let z = normal_quantile(0.5 + level / 2.0);
+        z * self.summary.std_dev() / (self.summary.count() as f64).sqrt()
+    }
+
+    /// The normal-approximation confidence interval on the mean, or `None`
+    /// with fewer than two observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level` is outside `(0, 1)`.
+    pub fn mean_ci(&self, level: f64) -> Option<ConfidenceInterval> {
+        let half = self.mean_half_width(level);
+        if !half.is_finite() {
+            return None;
+        }
+        let mean = self.summary.mean();
+        Some(ConfidenceInterval {
+            estimate: mean,
+            lo: mean - half,
+            hi: mean + half,
+            level,
+        })
+    }
+}
+
+impl Extend<f64> for StreamingSummary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.summary.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for StreamingSummary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        StreamingSummary {
+            summary: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A mergeable ECDF accumulator: retains finite samples in arrival order
+/// and sorts once when the [`Ecdf`] is materialised.
+///
+/// Folding run harvests into a builder and building at the end is
+/// bit-identical to `Ecdf::from_samples` over the concatenated stream —
+/// the invariant that lets streaming sessions reuse the batch fixtures.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_stats::{Ecdf, EcdfBuilder};
+///
+/// let mut left = EcdfBuilder::new();
+/// left.extend([3.0, 1.0]);
+/// let mut right = EcdfBuilder::new();
+/// right.extend([2.0, f64::NAN]);
+/// left.merge(&right);
+/// assert_eq!(left.len(), 3);
+/// let cdf = left.build().unwrap();
+/// assert_eq!(cdf.samples(), &[1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EcdfBuilder {
+    samples: Vec<f64>,
+}
+
+impl EcdfBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        EcdfBuilder {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with room for `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EcdfBuilder {
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Records one sample; non-finite values are dropped (matching
+    /// [`Ecdf::from_samples`]).
+    pub fn push(&mut self, x: f64) {
+        if x.is_finite() {
+            self.samples.push(x);
+        }
+    }
+
+    /// Appends another builder's samples after this one's.
+    pub fn merge(&mut self, other: &EcdfBuilder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of retained (finite) samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no finite sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The retained samples, in arrival order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Builds the ECDF without consuming the builder (clones the samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildEcdfError::Empty`] when no finite sample was recorded.
+    pub fn build(&self) -> Result<Ecdf, BuildEcdfError> {
+        Ecdf::from_samples(self.samples.iter().copied())
+    }
+
+    /// Builds the ECDF, consuming the builder (single sort, no clone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildEcdfError::Empty`] when no finite sample was recorded.
+    pub fn into_ecdf(self) -> Result<Ecdf, BuildEcdfError> {
+        Ecdf::from_samples(self.samples)
+    }
+}
+
+impl Extend<f64> for EcdfBuilder {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for EcdfBuilder {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut b = EcdfBuilder::new();
+        b.extend(iter);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        for (p, z) in [
+            (0.5, 0.0),
+            (0.8413447460685429, 1.0),
+            (0.975, 1.959963984540054),
+            (0.995, 2.5758293035489004),
+            (0.9999, 3.719016485455709),
+        ] {
+            assert!(
+                (normal_quantile(p) - z).abs() < 1e-6,
+                "Φ⁻¹({p}) = {} ≠ {z}",
+                normal_quantile(p)
+            );
+            assert!(
+                (normal_quantile(1.0 - p) + z).abs() < 1e-6,
+                "symmetry at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_quantile_is_monotone_in_the_tails() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let p = i as f64 / 1000.0;
+            let z = normal_quantile(p);
+            assert!(z > prev, "Φ⁻¹ must be strictly increasing at {p}");
+            prev = z;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn normal_quantile_rejects_endpoints() {
+        normal_quantile(1.0);
+    }
+
+    #[test]
+    fn streaming_summary_matches_plain_summary_bitwise() {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.61).sin() * 40.0 + 50.0)
+            .collect();
+        let plain: Summary = xs.iter().copied().collect();
+        let streaming: StreamingSummary = xs.iter().copied().collect();
+        assert_eq!(streaming.summary(), plain, "same fold order, same bits");
+        assert_eq!(streaming.count(), plain.count());
+        assert_eq!(streaming.mean(), plain.mean());
+    }
+
+    #[test]
+    fn half_width_shrinks_with_sample_count() {
+        let mut s = StreamingSummary::new();
+        s.extend((0..50).map(|i| (i % 10) as f64));
+        let early = s.mean_half_width(0.95);
+        s.extend((0..5000).map(|i| (i % 10) as f64));
+        let late = s.mean_half_width(0.95);
+        assert!(late < early / 5.0, "{late} vs {early}");
+    }
+
+    #[test]
+    fn half_width_needs_two_samples() {
+        let mut s = StreamingSummary::new();
+        assert!(s.mean_half_width(0.9).is_nan());
+        assert!(s.mean_ci(0.9).is_none());
+        s.record(1.0);
+        assert!(s.mean_half_width(0.9).is_nan());
+        s.record(2.0);
+        assert!(s.mean_half_width(0.9).is_finite());
+        let ci = s.mean_ci(0.9).unwrap();
+        assert_eq!(ci.estimate, 1.5);
+        assert!(ci.contains(1.5));
+    }
+
+    #[test]
+    fn streaming_summary_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..300).map(|i| (i as f64).sqrt()).collect();
+        let seq: StreamingSummary = xs.iter().copied().collect();
+        let mut merged: StreamingSummary = xs[..120].iter().copied().collect();
+        merged.merge(&xs[120..].iter().copied().collect());
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_builder_matches_batch_construction() {
+        let xs = [9.0, 2.0, f64::NAN, 5.0, 2.0, f64::INFINITY, 7.0];
+        let batch = Ecdf::from_samples(xs.iter().copied()).unwrap();
+        let built: EcdfBuilder = xs.iter().copied().collect();
+        assert_eq!(built.len(), 5);
+        assert_eq!(built.build().unwrap(), batch);
+        assert_eq!(built.into_ecdf().unwrap(), batch);
+    }
+
+    #[test]
+    fn ecdf_builder_merge_preserves_arrival_order() {
+        let mut a: EcdfBuilder = [3.0, 1.0].iter().copied().collect();
+        let b: EcdfBuilder = [2.0].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.samples(), &[3.0, 1.0, 2.0], "merge appends, not sorts");
+        assert_eq!(a.build().unwrap().samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_ecdf_builder_errors() {
+        let b = EcdfBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.build(), Err(BuildEcdfError::Empty));
+        assert_eq!(b.into_ecdf(), Err(BuildEcdfError::Empty));
+    }
+
+    #[test]
+    fn streaming_types_serde_round_trip() {
+        use serde::{Deserialize, Serialize};
+        let s: StreamingSummary = [1.0, 2.0, 3.0].iter().copied().collect();
+        let back = StreamingSummary::from_value(&s.to_value()).unwrap();
+        assert_eq!(back, s);
+        let b: EcdfBuilder = [4.0, 1.0].iter().copied().collect();
+        let back = EcdfBuilder::from_value(&b.to_value()).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -95,9 +95,10 @@ pub use bcbpt_cluster::{
 pub use bcbpt_core::{
     adversarial_campaign, degree_variance_table, eclipse_table, fig3, fig4, fork_table,
     overhead_table, partition_table, threshold_sweep, validate_delays, AdversaryReport,
-    CampaignResult, ExperimentConfig, FigureBundle, Scenario, ScenarioOutcome, Sweep, Workload,
+    CampaignResult, ExperimentConfig, FigureBundle, Observer, RunEvent, RunStats, Scenario,
+    ScenarioOutcome, ScenarioSession, StopRule, Sweep, Workload,
 };
 pub use bcbpt_geo::{ChurnModel, DistanceParams, GeoPoint, LatencyConfig};
 pub use bcbpt_net::{NetConfig, Network, NodeId, Transaction, TxId, TxWatch};
 pub use bcbpt_sim::{SimDuration, SimTime};
-pub use bcbpt_stats::{Ecdf, Summary};
+pub use bcbpt_stats::{Ecdf, EcdfBuilder, StreamingSummary, Summary};

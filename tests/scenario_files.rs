@@ -54,6 +54,13 @@ fn scenario_schema_spot_checks() {
     assert!(fig3.contains("\"bcbpt(dt=25ms)\""));
     assert!(fig3.contains("\"workload\": \"TxFlood\""));
     assert!(fig3.contains("\"median_session_ms\": null"));
+    // No adaptive budget declared = null (fixed runs); the sweep declares
+    // one, pinning the StopRule schema scenario authors rely on.
+    assert!(fig3.contains("\"stop\": null"));
+    let sweep = std::fs::read_to_string(scenarios_dir().join("sweep.json")).unwrap();
+    assert!(sweep.contains("\"CiHalfWidth\""));
+    assert!(sweep.contains("\"rel_width\": 0.05"));
+    assert!(sweep.contains("\"min_runs\": 8"));
     let forks = std::fs::read_to_string(scenarios_dir().join("forks.json")).unwrap();
     assert!(forks.contains("\"Mining\""));
     assert!(forks.contains("\"block_interval_ms\""));

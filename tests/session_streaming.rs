@@ -1,0 +1,206 @@
+//! Integration coverage for the streaming session API: `FixedRuns`
+//! sessions reproduce the batch reference byte-for-byte on every
+//! checked-in scenario, adaptive stopping is thread-count invariant, and
+//! a `CiHalfWidth` budget on the fig3 quick scenario saves a large share
+//! of the measuring runs without moving the reported mean outside the
+//! full-budget confidence interval.
+
+use bcbpt::{RunEvent, Scenario, StopRule, Workload};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+/// Shrinks a quick-scaled scenario further so the whole corpus stays
+/// integration-test sized in debug builds.
+fn shrink(scenario: &mut Scenario) {
+    scenario.net.num_nodes = scenario.net.num_nodes.min(70);
+    scenario.runs = scenario.runs.min(3);
+    scenario.warmup_ms = scenario.warmup_ms.min(1_000.0);
+    scenario.window_ms = scenario.window_ms.min(12_000.0);
+    if let Workload::Mining { duration_ms, .. } = &mut scenario.workload {
+        *duration_ms = duration_ms.min(15_000.0);
+    }
+    if let Workload::Adversarial { attackers, .. } = &mut scenario.workload {
+        *attackers = (*attackers).clamp(1, 6);
+    }
+    if let Workload::Eclipse { victims, .. } = &mut scenario.workload {
+        *victims = (*victims).min(5);
+    }
+    if let Some(sweep) = &mut scenario.sweep {
+        sweep.protocols.truncate(2);
+        sweep.thresholds_ms.truncate(2);
+        sweep.num_nodes.truncate(1);
+    }
+}
+
+#[test]
+fn fixed_runs_sessions_match_the_batch_reference_on_every_checked_in_scenario() {
+    for name in Scenario::builtin_names() {
+        let path = scenarios_dir().join(format!("{name}.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut scenario = Scenario::from_json(&text)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .quick_scaled();
+        shrink(&mut scenario);
+        let batch = scenario
+            .run_batch()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let session = scenario
+            .session()
+            .with_stop_rule(StopRule::FixedRuns)
+            .block()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            session, batch,
+            "{name}: FixedRuns session diverged from the batch reference"
+        );
+    }
+}
+
+#[test]
+fn ci_half_width_early_stop_is_identical_at_1_3_and_8_threads() {
+    let mut scenario = Scenario::builtin("fig3").unwrap().quick_scaled();
+    shrink(&mut scenario);
+    scenario.runs = 20;
+    let rule = StopRule::CiHalfWidth {
+        level: 0.95,
+        rel_width: 0.2,
+        min_runs: 3,
+    };
+    let reference = scenario
+        .session()
+        .with_stop_rule(rule)
+        .with_threads(1)
+        .block()
+        .unwrap();
+    let stopped_early = reference
+        .cells
+        .iter()
+        .any(|cell| cell.campaign().unwrap().runs.len() < 20);
+    assert!(
+        stopped_early,
+        "the rule must fire before the 20-run ceiling"
+    );
+    for threads in [3usize, 8] {
+        let pooled = scenario
+            .session()
+            .with_stop_rule(rule)
+            .with_threads(threads)
+            .block()
+            .unwrap();
+        assert_eq!(
+            pooled, reference,
+            "CiHalfWidth early stop diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn adaptive_fig3_quick_saves_runs_and_keeps_the_mean_inside_the_full_ci() {
+    // The acceptance experiment: the fig3 quick scenario with a full
+    // budget vs a CiHalfWidth { rel_width: 0.1 } session. The adaptive
+    // run must consume >= 30 % fewer measuring runs while each cell's
+    // reported mean stays inside the full-budget confidence interval.
+    //
+    // The interval is the run-level one (`CampaignResult::run_mean_ci`):
+    // runs are the paper's independent replicates, and it is the exact
+    // statistic the stop rule targets. The pooled per-sample bootstrap
+    // (`delta_mean_ci`) treats correlated within-run samples as i.i.d.
+    // and is too narrow to be a fair accuracy gate for *any* subsample.
+    let mut scenario = Scenario::builtin("fig3").unwrap().quick_scaled();
+    scenario.net.num_nodes = 80;
+    scenario.warmup_ms = 1_000.0;
+    scenario.window_ms = 5_000.0;
+    scenario.runs = 100;
+    let full = scenario.run_batch().unwrap();
+    let adaptive = scenario
+        .session()
+        .with_stop_rule(StopRule::CiHalfWidth {
+            level: 0.95,
+            rel_width: 0.1,
+            min_runs: 8,
+        })
+        .block()
+        .unwrap();
+
+    let runs_of = |outcome: &bcbpt::ScenarioOutcome| -> usize {
+        outcome
+            .cells
+            .iter()
+            .map(|cell| cell.campaign().unwrap().runs.len())
+            .sum()
+    };
+    let full_runs = runs_of(&full);
+    let adaptive_runs = runs_of(&adaptive);
+    for cell in &adaptive.cells {
+        eprintln!(
+            "cell {}: {} of {} runs",
+            cell.label,
+            cell.campaign().unwrap().runs.len(),
+            scenario.runs
+        );
+    }
+    assert!(
+        adaptive_runs as f64 <= 0.7 * full_runs as f64,
+        "adaptive stopping must save >= 30% of the measuring runs, \
+         used {adaptive_runs} of {full_runs}"
+    );
+
+    for (early, late) in adaptive.cells.iter().zip(&full.cells) {
+        let ci = late
+            .campaign()
+            .unwrap()
+            .run_mean_ci(0.95)
+            .expect("full-budget campaign has measuring runs");
+        let mean = early.delta_summary().unwrap().mean();
+        assert!(
+            ci.contains(mean),
+            "{}: early-stopped mean {mean} outside the full-budget CI [{}, {}]",
+            early.label,
+            ci.lo,
+            ci.hi
+        );
+        // The early-stopped campaign is a strict prefix of the full one.
+        let early_runs = &early.campaign().unwrap().runs;
+        assert_eq!(
+            &late.campaign().unwrap().runs[..early_runs.len()],
+            &early_runs[..],
+            "{}: stopping truncates, never changes, the run stream",
+            early.label
+        );
+    }
+}
+
+#[test]
+fn session_event_stream_reaches_observers_for_a_checked_in_scenario() {
+    let text = std::fs::read_to_string(scenarios_dir().join("fig3.json")).unwrap();
+    let mut scenario = Scenario::from_json(&text).unwrap().quick_scaled();
+    shrink(&mut scenario);
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let outcome = scenario
+        .session()
+        .observe_fn(move |event: &RunEvent| sink.lock().unwrap().push(event.clone()))
+        .block()
+        .unwrap();
+    let events = events.lock().unwrap();
+    assert_eq!(
+        events.iter().filter(|e| e.kind() == "cell_started").count(),
+        outcome.cells.len()
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.kind() == "run_completed")
+            .count(),
+        scenario.runs * outcome.cells.len(),
+        "FixedRuns folds every planned run"
+    );
+    assert_eq!(
+        events.last().map(RunEvent::kind),
+        Some("scenario_completed")
+    );
+}
