@@ -16,6 +16,9 @@
 //! scenario export <dir>                        # write built-ins as JSON files
 //! scenario parse <outcome.json>                # check an outcome file parses
 //! scenario events <events.jsonl>               # check a JSONL event stream
+//! scenario shard run <file.json|name> --shard i/N --out part-i.json
+//!                                              # execute one shard of a campaign
+//! scenario shard merge <part.json>...          # merge shard parts (in shard order)
 //!
 //! options:
 //!   --quick             shrink to CI scale (implied by `quick`)
@@ -26,14 +29,20 @@
 //!                       (relative, 95% CI) instead of burning all runs
 //!   --threads <n>       worker threads (output is identical for any value,
 //!                       except under a wall-clock stop rule)
+//!   --shard i/N         which shard of how many (shard run only)
+//!   --out <path>        where to write the shard part (shard run only)
 //! ```
 
-use bcbpt_core::{RunEvent, Scenario, ScenarioOutcome, StopRule};
+use bcbpt_cluster::ProtocolRegistry;
+use bcbpt_core::{
+    merge_shards, run_shard_in, CellShard, PartialOutcome, RunEvent, Scenario, ScenarioOutcome,
+    ShardSpec, StopRule,
+};
 use std::fs;
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};
 
-/// Flags shared by `run` and `quick`.
+/// Flags shared by `run`, `quick` and the `shard` subcommands.
 #[derive(Default)]
 struct Options {
     quick: bool,
@@ -42,6 +51,55 @@ struct Options {
     jsonl: Option<String>,
     stop_ci: Option<f64>,
     threads: Option<usize>,
+    shard: Option<String>,
+    out: Option<String>,
+}
+
+impl Options {
+    /// Fails when a flag that only another subcommand honours was given —
+    /// a silently ignored flag makes the driver do something expensively
+    /// different from what the operator asked for (e.g. `scenario run
+    /// --shard 0/2` without the `shard` word would run the whole
+    /// campaign).
+    fn reject_unused(&self, command: &str, unused: &[(&str, bool)]) -> Result<(), String> {
+        for (flag, given) in unused {
+            if *given {
+                return Err(usage(&format!(
+                    "{flag} does not apply to `scenario {command}`"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// `run`/`quick` must not swallow the sharding flags.
+    fn reject_shard_flags(&self, command: &str) -> Result<(), String> {
+        self.reject_unused(
+            command,
+            &[
+                ("--shard", self.shard.is_some()),
+                ("--out", self.out.is_some()),
+            ],
+        )
+    }
+
+    /// The inspection subcommands (`list`, `export`, `parse`, `events`)
+    /// take no flags at all.
+    fn reject_every_flag(&self, command: &str) -> Result<(), String> {
+        self.reject_unused(
+            command,
+            &[
+                ("--quick", self.quick),
+                ("--json", self.json),
+                ("--progress", self.progress),
+                ("--jsonl", self.jsonl.is_some()),
+                ("--stop-ci", self.stop_ci.is_some()),
+                ("--threads", self.threads.is_some()),
+                ("--shard", self.shard.is_some()),
+                ("--out", self.out.is_some()),
+            ],
+        )
+    }
 }
 
 fn main() -> Result<(), String> {
@@ -63,35 +121,65 @@ fn main() -> Result<(), String> {
                     .map_err(|e| format!("--threads {n:?}: {e}"))
             })
             .transpose()?,
+        shard: take_value(&mut args, "--shard")?,
+        out: take_value(&mut args, "--out")?,
     };
     match args.split_first() {
-        Some((cmd, rest)) if cmd == "run" => run_all(rest, options),
+        Some((cmd, rest)) if cmd == "run" => {
+            options.reject_shard_flags(cmd)?;
+            run_all(rest, options)
+        }
         Some((cmd, rest)) if cmd == "quick" => match rest {
             // run_all attaches the scenario name to any error.
-            [_name] => run_all(
-                rest,
-                Options {
-                    quick: true,
-                    ..options
-                },
-            ),
+            [_name] => {
+                options.reject_shard_flags(cmd)?;
+                run_all(
+                    rest,
+                    Options {
+                        quick: true,
+                        ..options
+                    },
+                )
+            }
             _ => Err(usage("quick takes exactly one built-in scenario name")),
         },
         Some((cmd, rest)) if cmd == "list" && rest.is_empty() => {
+            options.reject_every_flag(cmd)?;
             list();
             Ok(())
         }
-        Some((cmd, rest)) if cmd == "export" => match rest {
-            [dir] => export(dir),
-            _ => Err(usage("export takes exactly one target directory")),
-        },
-        Some((cmd, rest)) if cmd == "parse" => match rest {
-            [path] => parse_outcome(path),
-            _ => Err(usage("parse takes exactly one outcome file")),
-        },
-        Some((cmd, rest)) if cmd == "events" => match rest {
-            [path] => check_events(path),
-            _ => Err(usage("events takes exactly one JSONL file")),
+        Some((cmd, rest)) if cmd == "export" => {
+            options.reject_every_flag(cmd)?;
+            match rest {
+                [dir] => export(dir),
+                _ => Err(usage("export takes exactly one target directory")),
+            }
+        }
+        Some((cmd, rest)) if cmd == "parse" => {
+            options.reject_every_flag(cmd)?;
+            match rest {
+                [path] => parse_outcome(path),
+                _ => Err(usage("parse takes exactly one outcome file")),
+            }
+        }
+        Some((cmd, rest)) if cmd == "events" => {
+            options.reject_every_flag(cmd)?;
+            match rest {
+                [path] => check_events(path),
+                _ => Err(usage("events takes exactly one JSONL file")),
+            }
+        }
+        Some((cmd, rest)) if cmd == "shard" => match rest.split_first() {
+            Some((sub, rest)) if sub == "run" => match rest {
+                [spec] => shard_run(spec, &options),
+                _ => Err(usage(
+                    "shard run takes exactly one scenario file or built-in name",
+                )),
+            },
+            Some((sub, rest)) if sub == "merge" && !rest.is_empty() => shard_merge(rest, &options),
+            _ => Err(usage(
+                "shard takes `run <file|name> --shard i/N --out <path>` or `merge <part>...`",
+            )),
         },
         _ => Err(usage("missing or unknown subcommand")),
     }
@@ -106,7 +194,10 @@ fn usage(problem: &str) -> String {
          \x20      scenario list\n\
          \x20      scenario export <dir>\n\
          \x20      scenario parse <outcome.json>\n\
-         \x20      scenario events <events.jsonl>"
+         \x20      scenario events <events.jsonl>\n\
+         \x20      scenario shard run <file.json|name> --shard i/N --out part-i.json\n\
+         \x20                [--quick] [--threads <n>]\n\
+         \x20      scenario shard merge <part.json>... [--json]"
     )
 }
 
@@ -315,9 +406,13 @@ fn execute(
     } else {
         println!("{}", outcome.render());
     }
-    // Degenerate cells (run-time failures, sample-free campaigns) are
-    // recorded in the outcome so surviving cells still print, but the
-    // driver must not report success for them.
+    report_degenerate_cells(&outcome)
+}
+
+/// Degenerate cells (run-time failures, sample-free campaigns) are
+/// recorded in the outcome so surviving cells still print, but the
+/// driver must not report success for them.
+fn report_degenerate_cells(outcome: &ScenarioOutcome) -> Result<(), String> {
     let failed: Vec<String> = outcome
         .cell_errors()
         .into_iter()
@@ -332,6 +427,114 @@ fn execute(
         ));
     }
     Ok(())
+}
+
+/// `shard run <file|name> --shard i/N --out <path>`: execute one shard of
+/// a campaign and write its `PartialOutcome` as JSON.
+fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
+    let shard = options
+        .shard
+        .as_deref()
+        .ok_or_else(|| usage("shard run needs --shard i/N"))?;
+    let shard = ShardSpec::parse(shard)?;
+    let out = options
+        .out
+        .as_deref()
+        .ok_or_else(|| usage("shard run needs --out <part.json>"))?;
+    if options.stop_ci.is_some() {
+        return Err(usage(
+            "--stop-ci cannot combine with shard run (a shard never sees the folded \
+             prefix an adaptive stop rule needs)",
+        ));
+    }
+    options.reject_unused(
+        "shard run",
+        &[
+            ("--json", options.json),
+            ("--progress", options.progress),
+            ("--jsonl", options.jsonl.is_some()),
+        ],
+    )?;
+    let mut scenario = load(spec)?;
+    if options.quick {
+        scenario = scenario.quick_scaled();
+    }
+    let threads = options
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let part = run_shard_in(&scenario, shard, &ProtocolRegistry::builtins(), threads)
+        .map_err(|e| format!("{spec}: {e}"))?;
+    fs::write(out, format!("{}\n", part.to_json())).map_err(|e| format!("{out}: {e}"))?;
+    // Say what actually executed: for an indivisible workload the planned
+    // run range is meaningless — shard 0 ran every cell whole and other
+    // shards ran nothing.
+    let divisible = part
+        .cells
+        .iter()
+        .any(|c| matches!(c.part, CellShard::Campaign { .. }));
+    if divisible {
+        eprintln!(
+            "shard {shard} of {}: runs {}..{} ({} cell(s), {} run(s) used) -> {out}",
+            scenario.name,
+            part.plan.run_start,
+            part.plan.run_end,
+            part.cells.len(),
+            part.runs_used(),
+        );
+    } else if shard.index == 0 {
+        eprintln!(
+            "shard {shard} of {}: indivisible {} workload — executed all {} cell(s) whole \
+             on this shard -> {out}",
+            scenario.name,
+            scenario.workload.kind(),
+            part.cells.len(),
+        );
+    } else {
+        eprintln!(
+            "shard {shard} of {}: indivisible {} workload — deferred to shard 0, nothing \
+             executed here -> {out}",
+            scenario.name,
+            scenario.workload.kind(),
+        );
+    }
+    Ok(())
+}
+
+/// `shard merge <part.json>...`: merge shard parts — passed in ascending
+/// shard order (`part-0.json part-1.json …`; a sorted shell glob works up
+/// to 10 shards) — and print the merged `ScenarioOutcome` exactly like
+/// `scenario run` would.
+fn shard_merge(paths: &[String], options: &Options) -> Result<(), String> {
+    options.reject_unused(
+        "shard merge",
+        &[
+            ("--quick", options.quick),
+            ("--progress", options.progress),
+            ("--jsonl", options.jsonl.is_some()),
+            ("--stop-ci", options.stop_ci.is_some()),
+            ("--threads", options.threads.is_some()),
+            ("--shard", options.shard.is_some()),
+            ("--out", options.out.is_some()),
+        ],
+    )?;
+    let mut parts = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parts.push(PartialOutcome::from_json(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let part_count = parts.len();
+    let outcome = merge_shards(parts)?;
+    eprintln!(
+        "merged {part_count} shard(s) of {}: {} cell(s)",
+        outcome.scenario,
+        outcome.cells.len()
+    );
+    if options.json {
+        println!("{}", outcome.to_json());
+    } else {
+        println!("{}", outcome.render());
+    }
+    report_degenerate_cells(&outcome)
 }
 
 fn list() {

@@ -6,7 +6,7 @@
 //! LBC protocol are formulated by referring an extra function to each node
 //! ... each node is responsible for recommending proximity nodes to its
 //! neighbours. The proximity is defined based on the physical geographical
-//! location." (§V.C, and the authors' ref [6]).
+//! location." (§V.C, and the authors' ref \[6\]).
 //!
 //! Concretely: clusters are keyed by country (geolocation of the IP), nodes
 //! connect preferentially to geographically nearby same-country nodes, each

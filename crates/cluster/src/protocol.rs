@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 pub enum Protocol {
     /// Vanilla Bitcoin: random neighbour selection.
     Bitcoin,
-    /// Locality Based Clustering (geographic, ref [6]).
+    /// Locality Based Clustering (geographic, ref \[6\]).
     Lbc,
     /// Bitcoin Clustering Based Ping Time with threshold `Dth` (ms).
     Bcbpt {

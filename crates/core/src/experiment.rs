@@ -431,6 +431,25 @@ impl ExperimentConfig {
         self.run_campaign(registry, threads, None, None, None)
     }
 
+    /// [`run_campaign`](Self::run_campaign) over the whole `0..runs` range.
+    pub(crate) fn run_campaign(
+        &self,
+        registry: &ProtocolRegistry,
+        threads: usize,
+        adversary: Option<Box<dyn Adversary>>,
+        inspect_warm: Option<&mut dyn FnMut(&Network)>,
+        control: Option<&mut RunControl<'_>>,
+    ) -> Result<CampaignResult, String> {
+        self.run_campaign_range(
+            registry,
+            threads,
+            adversary,
+            inspect_warm,
+            control,
+            0..self.runs,
+        )
+    }
+
     /// The full campaign loop, with the hooks the adversarial experiments
     /// and streaming sessions need: an optional behavioural [`Adversary`]
     /// installed *before* warmup (so attackers can game topology
@@ -441,13 +460,21 @@ impl ExperimentConfig {
     ///
     /// An adversary controlling zero nodes leaves the output byte-identical
     /// to a plain run — the determinism contract `adversary::tests` pins.
-    pub(crate) fn run_campaign(
+    ///
+    /// `run_range` restricts execution to a contiguous slice of the
+    /// campaign's run indices — the shard primitive. Per-run RNG streams
+    /// derive from `(seed, run_index)` (never from what ran before), so
+    /// executing `lo..hi` in one process yields exactly the runs a full
+    /// campaign would have produced at those indices; [`crate::shard`]
+    /// merges such slices back into a whole campaign.
+    pub(crate) fn run_campaign_range(
         &self,
         registry: &ProtocolRegistry,
         threads: usize,
         adversary: Option<Box<dyn Adversary>>,
         inspect_warm: Option<&mut dyn FnMut(&Network)>,
         control: Option<&mut RunControl<'_>>,
+        run_range: std::ops::Range<usize>,
     ) -> Result<CampaignResult, String> {
         let policy = registry.build(&self.protocol)?;
         let mut base = Network::build(self.net.clone(), policy, self.seed)?;
@@ -466,18 +493,18 @@ impl ExperimentConfig {
         // output is byte-identical for every thread count.
         let stop_signal = AtomicUsize::new(usize::MAX);
         let fold = Mutex::new(CampaignFold {
-            next: 0,
+            next: run_range.start,
             stop_at: usize::MAX,
             pending: BTreeMap::new(),
-            runs: Vec::with_capacity(self.runs),
+            runs: Vec::with_capacity(run_range.len()),
             traffic: warmup_traffic.clone(),
             deltas: StreamingSummary::new(),
             run_means: StreamingSummary::new(),
             measured: 0,
             control,
         });
-        if threads <= 1 || self.runs <= 1 {
-            for i in 0..self.runs {
+        if threads <= 1 || run_range.len() <= 1 {
+            for i in run_range.clone() {
                 if i > stop_signal.load(Ordering::Relaxed) {
                     break;
                 }
@@ -490,16 +517,16 @@ impl ExperimentConfig {
             // Work-stealing by atomic counter: each worker claims the next
             // unstarted run index, simulates it, and parks the outcome in
             // the fold, which drains consecutively-ready runs.
-            let next = AtomicUsize::new(0);
+            let next = AtomicUsize::new(run_range.start);
             let base_ref = &base;
             let warmup_ref = &warmup_traffic;
             let fold_ref = &fold;
             let stop_ref = &stop_signal;
             std::thread::scope(|scope| {
-                for _ in 0..threads.min(self.runs) {
+                for _ in 0..threads.min(run_range.len()) {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= self.runs || i > stop_ref.load(Ordering::Relaxed) {
+                        if i >= run_range.end || i > stop_ref.load(Ordering::Relaxed) {
                             break;
                         }
                         let outcome = self.measure_one(base_ref, warmup_ref, i);

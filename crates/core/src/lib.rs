@@ -25,6 +25,11 @@
 //! * [`adversarial_campaign`]/[`AdversaryReport`] — behavioural attackers
 //!   (ping spoofing, relay delaying, withholding) run in-loop through whole
 //!   campaigns, vs a clean baseline.
+//! * [`run_shard`]/[`merge_shards`] — cross-host campaign sharding:
+//!   disjoint run ranges execute as independent processes against the
+//!   same deterministically-replayed warm snapshot, and the serialized
+//!   [`PartialOutcome`]s merge back byte-identically to the unsharded
+//!   batch run.
 //! * [`fork_table`] — extension: proof-of-work on top of each relay
 //!   protocol, measuring the stale-block rate the paper's motivation ties
 //!   to double-spend risk (§I).
@@ -46,7 +51,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod adversary;
 mod attacks;
@@ -57,6 +62,7 @@ mod forks;
 mod overhead;
 mod scenario;
 mod session;
+mod shard;
 mod validation;
 
 pub use adversary::{
@@ -79,6 +85,10 @@ pub use scenario::{
     CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Sweep, Workload,
 };
 pub use session::{ChannelObserver, Observer, RunEvent, RunStats, ScenarioSession, StopRule};
+pub use shard::{
+    merge_shards, run_shard, run_shard_in, scenario_digest, CellShard, PartialCell, PartialOutcome,
+    ShardPlan, ShardSpec, WarmSnapshot, SHARD_FORMAT_VERSION,
+};
 pub use validation::{
     reference_samples, validate_delays, ValidationReport, KS_ACCEPT, REFERENCE_SIGMA,
 };

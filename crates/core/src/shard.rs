@@ -1,0 +1,1093 @@
+//! Cross-host campaign sharding: split a scenario's run range over
+//! independent processes, merge the parts back byte-identically.
+//!
+//! The paper's headline figures are distributions over ~1000 independent
+//! replicate runs (§V.B). Runs are mutually independent replays of one
+//! warmed-up snapshot — every per-run RNG stream derives from
+//! `(seed, run_index)`, never from what ran before — so a campaign's run
+//! range can be partitioned across processes or hosts with no shared
+//! state at all:
+//!
+//! 1. [`ShardPlan::plan`] splits `0..runs` into `shard_count` disjoint
+//!    contiguous ranges.
+//! 2. Each shard process calls [`run_shard`] with its [`ShardSpec`]: it
+//!    rebuilds and warms the network deterministically from the scenario
+//!    (the *warm-snapshot replay model* — the snapshot ships as a recipe,
+//!    not as state, because reconstruction is deterministic), captures a
+//!    [`WarmSnapshot`] envelope whose content digest fingerprints the
+//!    warmed state, executes only its run range, and serializes a
+//!    [`PartialOutcome`].
+//! 3. [`merge_shards`] folds the parts **in shard order** into a
+//!    [`ScenarioOutcome`] that is byte-identical to
+//!    [`Scenario::run_batch`] over the same scenario: run vectors
+//!    concatenate in run-index order, [`MessageStats`] counters add
+//!    exactly, and the [`StreamingSummary`]/[`EcdfBuilder`] accumulator
+//!    shards merge associatively. Envelope version, scenario digest and
+//!    warm-state digests are all checked, so parts produced by a
+//!    different scenario file, binary format or diverged warmup are
+//!    rejected instead of silently merged.
+//!
+//! Adaptive [`StopRule`](crate::StopRule)s are **rejected** for sharded
+//! execution: a stop
+//! decision depends on the folded prefix of *all* runs, which no shard
+//! can see. Sharded campaigns always consume the full `runs` budget —
+//! exactly the [`Scenario::run_batch`] semantics they must reproduce.
+//!
+//! Workloads that are not streaming campaigns (mining, partition,
+//! eclipse, and the paired adversarial campaigns) are indivisible: shard
+//! 0 executes them whole and every other shard records a deferred
+//! placeholder, so sharding any checked-in scenario — adversarial ones
+//! included — still merges byte-identically.
+//!
+//! # Examples
+//!
+//! A two-shard fig3 campaign in one process (across hosts, each
+//! [`run_shard`] call is its own process and the parts travel as JSON):
+//!
+//! ```no_run
+//! use bcbpt_core::{merge_shards, run_shard, Scenario, ShardSpec};
+//!
+//! let scenario = Scenario::builtin("fig3").expect("built-in").quick_scaled();
+//! let parts = vec![
+//!     run_shard(&scenario, ShardSpec::new(0, 2)?)?,
+//!     run_shard(&scenario, ShardSpec::new(1, 2)?)?,
+//! ];
+//! let merged = merge_shards(parts)?;
+//! assert_eq!(merged, scenario.run_batch()?);
+//! # Ok::<(), String>(())
+//! ```
+
+use crate::experiment::{CampaignResult, ExperimentConfig, RunCheckpoint, RunResult};
+use crate::overhead::OverheadReport;
+use crate::scenario::{CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Workload};
+use bcbpt_cluster::ProtocolRegistry;
+use bcbpt_net::{MessageStats, Network};
+use bcbpt_stats::{EcdfBuilder, StreamingSummary};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Version of the shard wire format ([`WarmSnapshot`] and
+/// [`PartialOutcome`] envelopes). Bumped whenever their serialized shape
+/// or the digest recipe changes; [`merge_shards`] refuses parts from any
+/// other version.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a over `bytes` — the content-digest primitive of the shard
+/// protocol (stable, dependency-free, and plenty for integrity checks;
+/// this is corruption/mismatch detection, not cryptography).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of a scenario under the current shard format: every
+/// [`PartialOutcome`] carries it, and [`merge_shards`] refuses to combine
+/// parts whose digests differ — shards must have run the *same* scenario,
+/// not merely scenarios with the same name.
+pub fn scenario_digest(scenario: &Scenario) -> u64 {
+    let json = serde_json::to_string(scenario).expect("scenario serializes");
+    fnv1a64(format!("{SHARD_FORMAT_VERSION}\n{json}").as_bytes())
+}
+
+/// Which shard of how many — the `--shard i/N` coordinate a shard process
+/// is launched with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's index, `0..count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Builds a spec, rejecting `count == 0` and `index >= count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be >= 1".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s) (valid: 0..{count})"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the CLI form `"i/N"`, e.g. `"0/4"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the parse or range problem.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec {text:?} is not of the form i/N (e.g. 0/4)"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|e| format!("shard index in {text:?}: {e}"))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|e| format!("shard count in {text:?}: {e}"))?;
+        ShardSpec::new(index, count)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// One shard's slice of a campaign's run-index space: shard `shard_index`
+/// of `shard_count` owns the contiguous range `run_start..run_end`.
+///
+/// Ranges are disjoint, cover `0..runs` exactly, and are balanced to
+/// within one run (the first `runs % shard_count` shards take one extra).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// This shard's index, `0..shard_count`.
+    pub shard_index: usize,
+    /// Total number of shards in the plan.
+    pub shard_count: usize,
+    /// First run index this shard executes (inclusive).
+    pub run_start: usize,
+    /// One past the last run index this shard executes (exclusive).
+    pub run_end: usize,
+}
+
+impl ShardPlan {
+    /// Splits `0..runs` into `shard_count` disjoint contiguous ranges.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `shard_count == 0`.
+    pub fn plan(runs: usize, shard_count: usize) -> Result<Vec<ShardPlan>, String> {
+        if shard_count == 0 {
+            return Err("shard count must be >= 1".to_string());
+        }
+        let base = runs / shard_count;
+        let extra = runs % shard_count;
+        let mut plans = Vec::with_capacity(shard_count);
+        let mut start = 0;
+        for shard_index in 0..shard_count {
+            let len = base + usize::from(shard_index < extra);
+            plans.push(ShardPlan {
+                shard_index,
+                shard_count,
+                run_start: start,
+                run_end: start + len,
+            });
+            start += len;
+        }
+        Ok(plans)
+    }
+
+    /// The plan entry for one [`ShardSpec`] coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid specs (see [`ShardSpec::new`]).
+    pub fn for_shard(runs: usize, spec: ShardSpec) -> Result<ShardPlan, String> {
+        let plans = ShardPlan::plan(runs, spec.count)?;
+        plans
+            .into_iter()
+            .nth(spec.index)
+            .ok_or_else(|| format!("shard index {} out of range", spec.index))
+    }
+
+    /// The run-index range this shard executes.
+    pub fn run_range(&self) -> Range<usize> {
+        self.run_start..self.run_end
+    }
+
+    /// Number of runs this shard executes.
+    pub fn len(&self) -> usize {
+        self.run_end - self.run_start
+    }
+
+    /// `true` when this shard executes no runs (more shards than runs).
+    pub fn is_empty(&self) -> bool {
+        self.run_start == self.run_end
+    }
+}
+
+/// The serialized identity of one cell's warmed-up snapshot.
+///
+/// The actual warm state (topology, cluster membership, pending events,
+/// RNG positions) is never shipped: it is *replayed* — every shard
+/// rebuilds `Network::build(net, policy, seed)` and warms it for
+/// `warmup_ms`, which is deterministic, so all shards converge on the
+/// same state. What travels in the envelope is the recipe plus a content
+/// digest over the warmed state's observable fingerprint (online count,
+/// warmup traffic counters, cluster sizes). [`merge_shards`] requires
+/// every shard's snapshot of a cell to be identical and digest-valid, so
+/// a shard built by a different binary, scenario or diverged warmup is
+/// rejected instead of silently corrupting the merge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmSnapshot {
+    /// Shard wire-format version ([`SHARD_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Protocol label of the cell (e.g. `"bcbpt(dt=25ms)"`).
+    pub protocol: String,
+    /// Network size the cell ran at.
+    pub num_nodes: usize,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Warmup duration that produced the snapshot, ms.
+    pub warmup_ms: f64,
+    /// Measurement window each run will simulate, ms.
+    pub window_ms: f64,
+    /// Online population at the end of warmup.
+    pub online: usize,
+    /// Traffic counters of the warmup phase — byte-exact across shards.
+    pub warmup_traffic: MessageStats,
+    /// Cluster sizes at the end of warmup, descending (empty for
+    /// non-clustering protocols).
+    pub cluster_sizes: Vec<usize>,
+    /// FNV-1a content digest over the canonical serialization of every
+    /// field above (with `digest` itself zeroed).
+    pub digest: u64,
+}
+
+impl WarmSnapshot {
+    /// Captures the envelope of `cfg`'s warmed-up network.
+    pub fn capture(cfg: &ExperimentConfig, warmed: &Network) -> Self {
+        let mut snapshot = WarmSnapshot {
+            version: SHARD_FORMAT_VERSION,
+            protocol: cfg.protocol.to_string(),
+            num_nodes: cfg.net.num_nodes,
+            seed: cfg.seed,
+            warmup_ms: cfg.warmup_ms,
+            window_ms: cfg.window_ms,
+            online: warmed.online_count(),
+            warmup_traffic: warmed.stats().clone(),
+            cluster_sizes: crate::experiment::cluster_sizes(warmed),
+            digest: 0,
+        };
+        snapshot.digest = snapshot.fingerprint();
+        snapshot
+    }
+
+    /// The digest the current fields imply (with `digest` zeroed).
+    fn fingerprint(&self) -> u64 {
+        let mut zeroed = self.clone();
+        zeroed.digest = 0;
+        let json = serde_json::to_string(&zeroed).expect("snapshot serializes");
+        fnv1a64(json.as_bytes())
+    }
+
+    /// Checks the envelope: version must match the running binary's
+    /// format, and the digest must match the fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.version != SHARD_FORMAT_VERSION {
+            return Err(format!(
+                "warm snapshot has wire-format version {} but this binary speaks {} — \
+                 re-run the shards with a matching binary",
+                self.version, SHARD_FORMAT_VERSION
+            ));
+        }
+        let expected = self.fingerprint();
+        if self.digest != expected {
+            return Err(format!(
+                "warm snapshot digest {:#018x} does not match its contents ({:#018x}) — \
+                 the part file is corrupt or was edited",
+                self.digest, expected
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One cell's contribution to a [`PartialOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellShard {
+    /// A streaming campaign cell's slice: the runs of this shard's range
+    /// (in run-index order, skipped runs absent) plus the folded
+    /// accumulator shards.
+    Campaign {
+        /// Identity of the warmed-up snapshot the runs replayed.
+        snapshot: WarmSnapshot,
+        /// This shard's measuring runs, ascending by `run_index`.
+        runs: Vec<RunResult>,
+        /// Sum of the range's measurement-window traffic (total minus
+        /// warmup) — integer counters, so cross-shard merge is exact.
+        window_traffic: MessageStats,
+        /// Pooled `Δt(m,n)` accumulator folded over this range.
+        deltas: StreamingSummary,
+        /// Per-run mean `Δt(m,n)` accumulator folded over this range.
+        run_means: StreamingSummary,
+        /// `Δt(m,n)` samples in arrival (= run-index fold) order; merging
+        /// shard builders in shard order reproduces the batch sample
+        /// stream exactly.
+        ecdf: EcdfBuilder,
+        /// Run indices this shard consumed (its full planned range —
+        /// sharded campaigns never stop early).
+        runs_used: usize,
+    },
+    /// An indivisible cell (mining, partition, eclipse, adversarial)
+    /// executed whole — only shard 0 carries this.
+    Whole {
+        /// The cell's complete report.
+        report: CellReport,
+    },
+    /// An indivisible cell owned by shard 0; this shard (index > 0)
+    /// contributes nothing to it.
+    Deferred,
+    /// The cell failed at run time on this shard; the merge surfaces the
+    /// error as a [`CellReport::Failed`], matching `run_batch`.
+    Failed {
+        /// The run-time error.
+        error: String,
+    },
+}
+
+/// Label and environment of one cell inside a [`PartialOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialCell {
+    /// Cell label (protocol, plus `@n=…` on a size sweep).
+    pub label: String,
+    /// The protocol spec the cell ran.
+    pub protocol: String,
+    /// Network size the cell ran at.
+    pub num_nodes: usize,
+    /// This shard's contribution.
+    pub part: CellShard,
+}
+
+/// One shard's serialized result: what `scenario shard run` writes and
+/// `scenario shard merge` consumes.
+///
+/// The wire format is JSON with this field layout (see `ARCHITECTURE.md`
+/// for the full table):
+///
+/// | field | contents |
+/// |---|---|
+/// | `version` | [`SHARD_FORMAT_VERSION`] |
+/// | `scenario` | scenario name |
+/// | `scenario_digest` | [`scenario_digest`] of the exact scenario run |
+/// | `workload` | the scenario's [`Workload`] (echoed for self-description) |
+/// | `scenario_runs` | the scenario's whole `runs` budget |
+/// | `plan` | this shard's [`ShardPlan`] — must equal the plan recomputed from `(scenario_runs, shard_index, shard_count)` |
+/// | `cells` | one [`PartialCell`] per sweep cell, in sweep order |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialOutcome {
+    /// Shard wire-format version.
+    pub version: u32,
+    /// The scenario's name.
+    pub scenario: String,
+    /// Digest of the exact scenario the shard ran.
+    pub scenario_digest: u64,
+    /// The workload that ran.
+    pub workload: Workload,
+    /// The scenario's whole `runs` budget. Plans are deterministic, so
+    /// the merge recomputes every shard's range from this and refuses a
+    /// part whose `plan` disagrees — a lone part edited to claim it *is*
+    /// the whole campaign cannot silently truncate the merge.
+    pub scenario_runs: usize,
+    /// This shard's coordinate and run range.
+    pub plan: ShardPlan,
+    /// Per-cell contributions, in sweep order.
+    pub cells: Vec<PartialCell>,
+}
+
+impl PartialOutcome {
+    /// Serializes the part as indented JSON (the `shard run --out` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("partial outcome serializes")
+    }
+
+    /// Parses a part from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/shape error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid shard part: {e}"))
+    }
+
+    /// Total measuring-run indices this shard consumed across its
+    /// campaign cells (metadata; indivisible cells contribute 0).
+    pub fn runs_used(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|cell| match &cell.part {
+                CellShard::Campaign { runs_used, .. } => *runs_used,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Workloads whose run range can be split across shards — the same set
+/// the streaming session folds run by run.
+fn is_shardable_campaign(workload: &Workload) -> bool {
+    matches!(
+        workload,
+        Workload::TxFlood | Workload::ChurnBurst { .. } | Workload::OverheadProbe
+    )
+}
+
+/// Executes one shard of `scenario` against the built-in protocol set
+/// with one worker thread per available core.
+///
+/// # Errors
+///
+/// Propagates validation errors, and rejects scenarios that declare an
+/// adaptive stop rule (a shard cannot evaluate a whole-campaign stop
+/// decision); per-cell run-time failures are recorded in the part, not
+/// returned.
+pub fn run_shard(scenario: &Scenario, spec: ShardSpec) -> Result<PartialOutcome, String> {
+    run_shard_in(
+        scenario,
+        spec,
+        &ProtocolRegistry::builtins(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )
+}
+
+/// [`run_shard`] with protocols resolved against `registry` and an
+/// explicit worker-thread count (output is byte-identical for any value).
+///
+/// # Errors
+///
+/// Same conditions as [`run_shard`].
+pub fn run_shard_in(
+    scenario: &Scenario,
+    spec: ShardSpec,
+    registry: &ProtocolRegistry,
+    threads: usize,
+) -> Result<PartialOutcome, String> {
+    scenario.validate_in(registry)?;
+    if let Some(stop) = &scenario.stop {
+        if stop.is_adaptive() {
+            return Err(format!(
+                "scenario {:?} declares the adaptive stop rule {} — sharded execution cannot \
+                 stop adaptively, because a stop decision depends on the folded prefix of all \
+                 runs and a shard only ever sees its own range; remove the \"stop\" field (or \
+                 set it to \"FixedRuns\") to shard this campaign",
+                scenario.name,
+                stop.label()
+            ));
+        }
+    }
+    let plan = ShardPlan::for_shard(scenario.runs, spec)?;
+    let shardable = is_shardable_campaign(&scenario.workload);
+    let mut cells = Vec::new();
+    for cell in scenario.cells() {
+        // Like `run_batch`, a cell that fails at run time does not abort
+        // the shard: the error rides along and the merge surfaces it.
+        let part = if shardable {
+            run_cell_shard(scenario, registry, threads, &cell, plan)
+                .unwrap_or_else(|error| CellShard::Failed { error })
+        } else if spec.index == 0 {
+            // Indivisible workloads (single-shot experiments and the
+            // paired adversarial campaigns) run whole on shard 0.
+            match scenario.run_cell_batch(registry, &cell, Some(threads)) {
+                Ok(report) => CellShard::Whole { report },
+                Err(error) => CellShard::Failed { error },
+            }
+        } else {
+            CellShard::Deferred
+        };
+        cells.push(PartialCell {
+            label: cell.label,
+            protocol: cell.protocol.to_string(),
+            num_nodes: cell.num_nodes,
+            part,
+        });
+    }
+    Ok(PartialOutcome {
+        version: SHARD_FORMAT_VERSION,
+        scenario: scenario.name.clone(),
+        scenario_digest: scenario_digest(scenario),
+        workload: scenario.workload.clone(),
+        scenario_runs: scenario.runs,
+        plan,
+        cells,
+    })
+}
+
+/// Runs one campaign cell's shard range: rebuild + warm the snapshot,
+/// execute only `plan.run_range()`, fold the accumulators in run-index
+/// order. An empty range still warms the cell — the snapshot digest is
+/// this shard's proof that it agrees on the warmed state.
+fn run_cell_shard(
+    scenario: &Scenario,
+    registry: &ProtocolRegistry,
+    threads: usize,
+    cell: &ScenarioCell,
+    plan: ShardPlan,
+) -> Result<CellShard, String> {
+    let cfg = scenario.cell_config(cell);
+    let mut snapshot: Option<WarmSnapshot> = None;
+    let mut inspect = |net: &Network| {
+        snapshot = Some(WarmSnapshot::capture(&cfg, net));
+    };
+    let mut deltas = StreamingSummary::new();
+    let mut run_means = StreamingSummary::new();
+    let mut ecdf = EcdfBuilder::new();
+    let mut control = |checkpoint: &RunCheckpoint<'_>| {
+        if let Some(result) = checkpoint.result {
+            ecdf.extend(result.deltas_ms.iter().copied());
+        }
+        deltas = *checkpoint.deltas;
+        run_means = *checkpoint.run_means;
+        false
+    };
+    let campaign = cfg.run_campaign_range(
+        registry,
+        threads,
+        None,
+        Some(&mut inspect),
+        Some(&mut control),
+        plan.run_range(),
+    )?;
+    let snapshot = snapshot.expect("warm inspection runs before measuring");
+    let window_traffic = campaign.traffic.since(&campaign.warmup_traffic);
+    Ok(CellShard::Campaign {
+        snapshot,
+        runs: campaign.runs,
+        window_traffic,
+        deltas,
+        run_means,
+        ecdf,
+        runs_used: plan.len(),
+    })
+}
+
+/// Merges shard parts, **in shard order**, into the [`ScenarioOutcome`]
+/// the unsharded [`Scenario::run_batch`] would have produced —
+/// byte-identically. Consumes the parts (run vectors are moved, not
+/// cloned — at paper scale they dominate the part's size); callers that
+/// need to keep a part clone it first.
+///
+/// # Errors
+///
+/// Rejects: an empty part list; wire-format version mismatches; parts
+/// from different scenarios (name or [`scenario_digest`]) or disagreeing
+/// on the `runs` budget; inconsistent shard counts; parts passed out of
+/// shard order, missing or duplicated; a part whose plan differs from
+/// the one recomputed from `(scenario_runs, shard_index, shard_count)` —
+/// so an edited lone part cannot pose as a whole campaign; per-cell
+/// warm-snapshot mismatches (shards that warmed to different states);
+/// runs outside their shard's range or out of order; and accumulator
+/// shards whose counts disagree with the concatenated run stream.
+pub fn merge_shards(mut parts: Vec<PartialOutcome>) -> Result<ScenarioOutcome, String> {
+    let first = parts
+        .first()
+        .ok_or_else(|| "no shard parts to merge".to_string())?;
+    let count = first.plan.shard_count;
+    let scenario = first.scenario.clone();
+    let scenario_digest = first.scenario_digest;
+    let scenario_runs = first.scenario_runs;
+    let workload = first.workload.clone();
+    let cell_count = first.cells.len();
+    if parts.len() != count {
+        return Err(format!(
+            "incomplete merge: the plan has {count} shard(s) but {} part(s) were given",
+            parts.len()
+        ));
+    }
+    for (position, part) in parts.iter().enumerate() {
+        if part.version != SHARD_FORMAT_VERSION {
+            return Err(format!(
+                "part for shard {} has wire-format version {} but this binary speaks {}",
+                part.plan.shard_index, part.version, SHARD_FORMAT_VERSION
+            ));
+        }
+        if part.scenario != scenario || part.scenario_digest != scenario_digest {
+            return Err(format!(
+                "parts mix different scenarios: {scenario:?} (digest {scenario_digest:#018x}) \
+                 vs {:?} (digest {:#018x})",
+                part.scenario, part.scenario_digest
+            ));
+        }
+        if part.plan.shard_count != count {
+            return Err(format!(
+                "parts disagree on the shard count: {} vs {count}",
+                part.plan.shard_count
+            ));
+        }
+        if part.scenario_runs != scenario_runs {
+            return Err(format!(
+                "parts disagree on the scenario's runs budget: {} vs {scenario_runs}",
+                part.scenario_runs
+            ));
+        }
+        if part.plan.shard_index != position {
+            return Err(format!(
+                "shard parts out of order: position {position} holds shard {}/{count} — pass \
+                 the part files in ascending shard order (part-0, part-1, …)",
+                part.plan.shard_index
+            ));
+        }
+        // Plans are a pure function of (runs, index, count): recompute and
+        // compare, so the union of ranges provably covers 0..runs and a
+        // part edited to claim a different slice (or to pose as the whole
+        // campaign) is rejected rather than silently truncating the merge.
+        let expected = ShardPlan::for_shard(scenario_runs, ShardSpec::new(position, count)?)?;
+        if part.plan != expected {
+            return Err(format!(
+                "shard {position} carries plan {}..{} but a {count}-shard split of \
+                 {scenario_runs} run(s) assigns it {}..{} — the part was edited or produced \
+                 by an incompatible planner",
+                part.plan.run_start, part.plan.run_end, expected.run_start, expected.run_end
+            ));
+        }
+        if part.cells.len() != cell_count {
+            return Err(format!(
+                "shard {position} carries {} cell(s), shard 0 carries {cell_count} — \
+                 different sweeps?",
+                part.cells.len(),
+            ));
+        }
+    }
+    let mut cells = Vec::with_capacity(cell_count);
+    for cell_index in 0..cell_count {
+        cells.push(merge_cell(&mut parts, cell_index, &workload)?);
+    }
+    Ok(ScenarioOutcome::new(scenario, workload, cells))
+}
+
+/// Merges one cell across all parts (see [`merge_shards`] for the
+/// checks), taking ownership of the cell's shard data.
+fn merge_cell(
+    parts: &mut [PartialOutcome],
+    cell_index: usize,
+    workload: &Workload,
+) -> Result<CellOutcome, String> {
+    let head = &parts[0].cells[cell_index];
+    let label = head.label.clone();
+    let protocol = head.protocol.clone();
+    let num_nodes = head.num_nodes;
+    for part in &parts[1..] {
+        let cell = &part.cells[cell_index];
+        if cell.label != label || cell.protocol != protocol {
+            return Err(format!(
+                "cell {cell_index} differs across shards: {label:?} vs {:?}",
+                cell.label
+            ));
+        }
+    }
+    // A failed cell on any shard fails the merged cell, with the
+    // lowest-shard error — deterministic runs fail identically on every
+    // shard, so this matches what `run_batch` records.
+    if let Some(error) = parts.iter().find_map(|p| match &p.cells[cell_index].part {
+        CellShard::Failed { error } => Some(error.clone()),
+        _ => None,
+    }) {
+        return Ok(CellOutcome::new(
+            label,
+            protocol,
+            num_nodes,
+            CellReport::Failed { error },
+        ));
+    }
+    match &parts[0].cells[cell_index].part {
+        CellShard::Whole { .. } => {
+            for (position, part) in parts.iter().enumerate().skip(1) {
+                if !matches!(part.cells[cell_index].part, CellShard::Deferred) {
+                    return Err(format!(
+                        "cell {label:?} is indivisible (owned by shard 0) but shard {position} \
+                         carries data for it"
+                    ));
+                }
+            }
+            // The cell is visited exactly once; take the report instead of
+            // cloning it (adversarial reports carry a whole campaign).
+            let taken =
+                std::mem::replace(&mut parts[0].cells[cell_index].part, CellShard::Deferred);
+            let CellShard::Whole { report } = taken else {
+                unreachable!("variant checked above");
+            };
+            Ok(CellOutcome::new(label, protocol, num_nodes, report))
+        }
+        CellShard::Deferred => Err(format!(
+            "cell {label:?}: shard 0 deferred an indivisible cell — only shards > 0 may defer"
+        )),
+        CellShard::Campaign { .. } => {
+            merge_campaign_cell(parts, cell_index, workload, label, protocol, num_nodes)
+        }
+        CellShard::Failed { .. } => unreachable!("failed cells are handled above"),
+    }
+}
+
+/// Folds the campaign shards of one cell, shard by shard in shard order —
+/// the cross-process continuation of the in-process `CampaignFold`: run
+/// vectors concatenate (moved, not cloned) in run-index order, integer
+/// traffic counters add, and the accumulator shards merge in the same
+/// order they folded.
+fn merge_campaign_cell(
+    parts: &mut [PartialOutcome],
+    cell_index: usize,
+    workload: &Workload,
+    label: String,
+    protocol: String,
+    num_nodes: usize,
+) -> Result<CellOutcome, String> {
+    let mut snapshot: Option<WarmSnapshot> = None;
+    let mut runs: Vec<RunResult> = Vec::new();
+    let mut window_sum = MessageStats::new();
+    let mut merged_deltas = StreamingSummary::new();
+    let mut merged_run_means = StreamingSummary::new();
+    let mut merged_ecdf = EcdfBuilder::new();
+    for part in parts.iter_mut() {
+        let plan = part.plan;
+        let CellShard::Campaign {
+            snapshot: shard_snapshot,
+            runs: shard_runs,
+            window_traffic,
+            deltas,
+            run_means,
+            ecdf,
+            runs_used: _,
+        } = &mut part.cells[cell_index].part
+        else {
+            return Err(format!(
+                "cell {label:?}: shard {} carries a non-campaign part for a campaign cell",
+                plan.shard_index
+            ));
+        };
+        shard_snapshot
+            .verify()
+            .map_err(|e| format!("cell {label:?}, shard {}: {e}", plan.shard_index))?;
+        match &snapshot {
+            None => snapshot = Some(shard_snapshot.clone()),
+            Some(reference) => {
+                if reference != shard_snapshot {
+                    return Err(format!(
+                        "cell {label:?}: shard {} warmed to a different snapshot (digest \
+                         {:#018x} vs {:#018x}) — were the parts produced by different \
+                         scenario files, seeds or binaries?",
+                        plan.shard_index, shard_snapshot.digest, reference.digest
+                    ));
+                }
+            }
+        }
+        let range = plan.run_range();
+        let mut prev: Option<usize> = None;
+        for run in shard_runs.iter() {
+            if !range.contains(&run.run_index) {
+                return Err(format!(
+                    "cell {label:?}: shard {} reports run {} outside its range {}..{}",
+                    plan.shard_index, run.run_index, range.start, range.end
+                ));
+            }
+            if prev.is_some_and(|p| run.run_index <= p) {
+                return Err(format!(
+                    "cell {label:?}: shard {} runs are not in ascending run-index order",
+                    plan.shard_index
+                ));
+            }
+            prev = Some(run.run_index);
+        }
+        runs.append(shard_runs);
+        window_sum.merge(window_traffic);
+        merged_deltas.merge(deltas);
+        merged_run_means.merge(run_means);
+        merged_ecdf.merge(ecdf);
+    }
+    let snapshot = snapshot.expect("at least one part exists");
+    // Accumulator shards must agree with the run stream they rode along
+    // with: the pooled counts are exactly the finite Δt samples of the
+    // concatenated runs, and the per-run-mean accumulator holds one
+    // observation per run that harvested any finite delta.
+    let finite_deltas: usize = runs
+        .iter()
+        .map(|r| r.deltas_ms.iter().filter(|d| d.is_finite()).count())
+        .sum();
+    if merged_ecdf.len() != finite_deltas || merged_deltas.count() != finite_deltas as u64 {
+        return Err(format!(
+            "cell {label:?}: accumulator shards disagree with the run stream ({} ECDF samples, \
+             {} summary observations, {finite_deltas} finite run deltas) — the part files \
+             are inconsistent",
+            merged_ecdf.len(),
+            merged_deltas.count()
+        ));
+    }
+    let measured_runs = runs
+        .iter()
+        .filter(|r| r.deltas_ms.iter().any(|d| d.is_finite()))
+        .count();
+    if merged_run_means.count() != measured_runs as u64 {
+        return Err(format!(
+            "cell {label:?}: per-run-mean accumulator carries {} observation(s) but the run \
+             stream holds {measured_runs} measuring run(s) — the part files are inconsistent",
+            merged_run_means.count()
+        ));
+    }
+    let mut traffic = snapshot.warmup_traffic.clone();
+    traffic.merge(&window_sum);
+    let campaign = CampaignResult {
+        protocol: snapshot.protocol.clone(),
+        runs,
+        traffic,
+        warmup_traffic: snapshot.warmup_traffic.clone(),
+        cluster_sizes: snapshot.cluster_sizes.clone(),
+        num_nodes: snapshot.num_nodes,
+    };
+    let report = match workload {
+        Workload::OverheadProbe => CellReport::Overhead {
+            report: OverheadReport::from_campaign(&campaign),
+        },
+        _ => CellReport::Campaign { campaign },
+    };
+    Ok(CellOutcome::new(label, protocol, num_nodes, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::StopRule;
+    use bcbpt_cluster::Protocol;
+
+    fn tiny(runs: usize) -> Scenario {
+        let mut base = ExperimentConfig::quick(Protocol::Bitcoin);
+        base.net.num_nodes = 60;
+        base.warmup_ms = 1_000.0;
+        base.window_ms = 15_000.0;
+        base.runs = runs;
+        Scenario::from_experiment("tiny-shard", &base, Workload::TxFlood)
+    }
+
+    fn shard_all(scenario: &Scenario, count: usize) -> Vec<PartialOutcome> {
+        (0..count)
+            .map(|i| run_shard(scenario, ShardSpec::new(i, count).unwrap()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        assert_eq!(
+            ShardSpec::parse("2/5").unwrap(),
+            ShardSpec::new(2, 5).unwrap()
+        );
+        assert_eq!(ShardSpec::parse("0/1").unwrap().to_string(), "0/1");
+        for bad in ["", "3", "a/b", "1/0", "5/5", "7/3"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn plans_are_disjoint_contiguous_and_balanced() {
+        for (runs, count) in [(10, 3), (4, 5), (0, 2), (1000, 7), (5, 1)] {
+            let plans = ShardPlan::plan(runs, count).unwrap();
+            assert_eq!(plans.len(), count);
+            let mut covered = 0;
+            for (i, plan) in plans.iter().enumerate() {
+                assert_eq!(plan.shard_index, i);
+                assert_eq!(plan.shard_count, count);
+                assert_eq!(plan.run_start, covered, "ranges must be contiguous");
+                covered = plan.run_end;
+                assert!(plan.len() <= runs / count + 1, "balanced to within one");
+                assert_eq!(
+                    plan,
+                    &ShardPlan::for_shard(runs, ShardSpec::new(i, count).unwrap()).unwrap()
+                );
+            }
+            assert_eq!(covered, runs, "ranges must cover 0..runs exactly");
+        }
+        assert!(ShardPlan::plan(10, 0).is_err());
+    }
+
+    #[test]
+    fn single_shard_merge_matches_batch() {
+        let scenario = tiny(4);
+        let parts = shard_all(&scenario, 1);
+        assert_eq!(parts[0].runs_used(), 4);
+        let merged = merge_shards(parts).unwrap();
+        assert_eq!(merged, scenario.run_batch().unwrap());
+    }
+
+    #[test]
+    fn multi_shard_merge_matches_batch_and_preserves_ecdf_order() {
+        let scenario = tiny(5);
+        let batch = scenario.run_batch().unwrap();
+        for count in [2usize, 3, 5] {
+            let parts = shard_all(&scenario, count);
+            let merged = merge_shards(parts).unwrap();
+            assert_eq!(merged, batch, "{count} shards diverged from batch");
+            // The cached ECDF accessor of the merged outcome must agree
+            // bitwise with the batch recompute (sample order preserved
+            // across every shard boundary).
+            assert_eq!(
+                merged.cells[0].delta_ecdf(),
+                batch.cells[0].delta_ecdf(),
+                "{count} shards reordered the sample stream"
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_runs_produces_empty_shards_that_still_merge() {
+        let scenario = tiny(3);
+        let parts = shard_all(&scenario, 5);
+        assert!(parts[3].plan.is_empty() && parts[4].plan.is_empty());
+        let CellShard::Campaign { runs, ecdf, .. } = &parts[4].cells[0].part else {
+            panic!("empty shard still carries a campaign part");
+        };
+        assert!(runs.is_empty());
+        assert!(ecdf.is_empty());
+        let merged = merge_shards(parts).unwrap();
+        assert_eq!(merged, scenario.run_batch().unwrap());
+    }
+
+    #[test]
+    fn out_of_order_parts_are_rejected() {
+        let scenario = tiny(4);
+        let mut parts = shard_all(&scenario, 2);
+        parts.swap(0, 1);
+        let err = merge_shards(parts).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_duplicated_parts_are_rejected() {
+        let scenario = tiny(4);
+        let parts = shard_all(&scenario, 3);
+        let err = merge_shards(parts[..2].to_vec()).unwrap_err();
+        assert!(err.contains("incomplete"), "{err}");
+        let duplicated = vec![parts[0].clone(), parts[0].clone(), parts[2].clone()];
+        let err = merge_shards(duplicated).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+        assert!(merge_shards(Vec::new())
+            .unwrap_err()
+            .contains("no shard parts"));
+    }
+
+    #[test]
+    fn mixed_scenarios_are_rejected() {
+        let a = tiny(4);
+        let mut b = tiny(4);
+        b.seed += 1;
+        let parts = vec![
+            run_shard(&a, ShardSpec::new(0, 2).unwrap()).unwrap(),
+            run_shard(&b, ShardSpec::new(1, 2).unwrap()).unwrap(),
+        ];
+        let err = merge_shards(parts).unwrap_err();
+        assert!(err.contains("different scenarios"), "{err}");
+    }
+
+    #[test]
+    fn tampered_parts_are_rejected_by_the_digest() {
+        let scenario = tiny(4);
+        let mut parts = shard_all(&scenario, 2);
+        // Corrupt the warm snapshot of shard 1 without updating its digest.
+        if let CellShard::Campaign { snapshot, .. } = &mut parts[1].cells[0].part {
+            snapshot.online += 1;
+        }
+        let err = merge_shards(parts).unwrap_err();
+        assert!(err.contains("digest"), "{err}");
+
+        // A version from the future is rejected before anything merges.
+        let mut parts = shard_all(&scenario, 2);
+        parts[1].version += 1;
+        let err = merge_shards(parts).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn a_lone_part_cannot_pose_as_the_whole_campaign() {
+        // Editing part 0's plan to claim shard_count == 1 must not let a
+        // half-campaign merge pass as complete: the merge recomputes the
+        // plan from the carried runs budget and refuses the mismatch.
+        let scenario = tiny(4);
+        let parts = shard_all(&scenario, 2);
+        let mut lone = parts[0].clone();
+        lone.plan.shard_count = 1;
+        let err = merge_shards(vec![lone]).unwrap_err();
+        assert!(err.contains("assigns it"), "{err}");
+
+        // Parts that disagree on the runs budget are caught before any
+        // cell merges.
+        let mut parts = shard_all(&scenario, 2);
+        parts[1].scenario_runs = 2;
+        let err = merge_shards(parts).unwrap_err();
+        assert!(err.contains("runs budget"), "{err}");
+    }
+
+    #[test]
+    fn accumulator_shards_inconsistent_with_the_run_stream_are_rejected() {
+        // The warm-snapshot digest does not cover the accumulators; their
+        // guard is the count cross-check against the concatenated runs.
+        let scenario = tiny(4);
+        let mut parts = shard_all(&scenario, 2);
+        if let CellShard::Campaign { deltas, ecdf, .. } = &mut parts[1].cells[0].part {
+            deltas.record(1.0);
+            ecdf.push(1.0);
+        }
+        let err = merge_shards(parts).unwrap_err();
+        assert!(err.contains("disagree with the run stream"), "{err}");
+
+        let mut parts = shard_all(&scenario, 2);
+        if let CellShard::Campaign { run_means, .. } = &mut parts[0].cells[0].part {
+            run_means.record(1.0);
+        }
+        let err = merge_shards(parts).unwrap_err();
+        assert!(err.contains("per-run-mean accumulator"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_stop_rules_are_rejected_for_sharded_runs() {
+        let mut scenario = tiny(8);
+        scenario.stop = Some(StopRule::CiHalfWidth {
+            level: 0.95,
+            rel_width: 0.1,
+            min_runs: 2,
+        });
+        let err = run_shard(&scenario, ShardSpec::new(0, 2).unwrap()).unwrap_err();
+        assert!(err.contains("adaptive"), "{err}");
+        assert!(err.contains("ci(95%"), "{err}");
+        // The non-adaptive FixedRuns declaration shards fine.
+        scenario.stop = Some(StopRule::FixedRuns);
+        run_shard(&scenario, ShardSpec::new(0, 2).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn partial_outcomes_serde_round_trip() {
+        let scenario = tiny(3);
+        for part in shard_all(&scenario, 2) {
+            let back = PartialOutcome::from_json(&part.to_json()).unwrap();
+            assert_eq!(back, part);
+        }
+        assert!(PartialOutcome::from_json("{]").is_err());
+    }
+
+    #[test]
+    fn threads_do_not_change_a_shard() {
+        let scenario = tiny(6);
+        let registry = ProtocolRegistry::builtins();
+        let spec = ShardSpec::new(1, 2).unwrap();
+        let serial = run_shard_in(&scenario, spec, &registry, 1).unwrap();
+        for threads in [3usize, 8] {
+            let pooled = run_shard_in(&scenario, spec, &registry, threads).unwrap();
+            assert_eq!(pooled, serial, "{threads} threads changed the part");
+        }
+    }
+
+    #[test]
+    fn scenario_digest_is_content_sensitive() {
+        let a = tiny(4);
+        assert_eq!(scenario_digest(&a), scenario_digest(&a.clone()));
+        let mut reseeded = a.clone();
+        reseeded.seed ^= 1;
+        assert_ne!(scenario_digest(&a), scenario_digest(&reseeded));
+        let mut renamed = a.clone();
+        renamed.name = "other-name".to_string();
+        assert_ne!(scenario_digest(&a), scenario_digest(&renamed));
+    }
+}

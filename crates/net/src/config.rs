@@ -57,7 +57,7 @@ pub struct NetConfig {
     /// Mean of an exponential per-peer delay added before each INV
     /// announcement, ms (0 disables). The 2013-era client *trickled*
     /// announcements instead of pipelining them; the paper's protocols all
-    /// assume the pipelined relay (its refs [9],[10]), so this defaults to
+    /// assume the pipelined relay (its refs \[9\],\[10\]), so this defaults to
     /// off and is enabled by [`NetConfig::measured_client`] for simulator
     /// validation.
     pub inv_trickle_mean_ms: f64,

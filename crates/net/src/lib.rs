@@ -3,7 +3,7 @@
 //! The network layer of the BCBPT reproduction (ICDCS 2017, *Proximity
 //! Awareness Approach to Enhance Propagation Delay on the Bitcoin
 //! Peer-to-Peer Network*): a from-scratch rebuild of the event-based
-//! Bitcoin simulator the paper evaluates on (its ref [5]).
+//! Bitcoin simulator the paper evaluates on (its ref \[5\]).
 //!
 //! * [`Message`] — the wire subset that drives propagation (Fig. 1):
 //!   INV/GETDATA/TX relay, PING/PONG probing, ADDR discovery, JOIN/

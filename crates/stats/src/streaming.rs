@@ -422,6 +422,47 @@ mod tests {
     }
 
     #[test]
+    fn ecdf_builder_merge_across_a_shard_boundary_matches_one_stream() {
+        // The cross-process shard contract: folding a sample stream into
+        // per-shard builders and merging them in shard order is
+        // bit-identical to folding the whole stream into one builder —
+        // arrival order is preserved across every boundary.
+        let stream: Vec<f64> = (0..40).map(|i| ((i * 37) % 19) as f64 * 1.5).collect();
+        let whole: EcdfBuilder = stream.iter().copied().collect();
+        for split in [0usize, 1, 20, 39, 40] {
+            let mut left: EcdfBuilder = stream[..split].iter().copied().collect();
+            let right: EcdfBuilder = stream[split..].iter().copied().collect();
+            left.merge(&right);
+            assert_eq!(left, whole, "split at {split} changed the stream");
+            assert_eq!(left.build().unwrap(), whole.build().unwrap());
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_shard_is_a_no_op() {
+        // Sharding can hand a shard zero runs (more shards than runs);
+        // merging its empty accumulators must change nothing, on either
+        // side of the merge.
+        let empty_summary = StreamingSummary::new();
+        let mut summary: StreamingSummary = [5.0, 7.0, 11.0].iter().copied().collect();
+        let before = summary;
+        summary.merge(&empty_summary);
+        assert_eq!(summary, before, "merging an empty summary changed bits");
+        let mut acc = StreamingSummary::new();
+        acc.merge(&before);
+        assert_eq!(acc, before, "merging into an empty summary changed bits");
+
+        let empty_ecdf = EcdfBuilder::new();
+        let mut ecdf: EcdfBuilder = [5.0, 7.0].iter().copied().collect();
+        let before = ecdf.clone();
+        ecdf.merge(&empty_ecdf);
+        assert_eq!(ecdf, before);
+        let mut acc = EcdfBuilder::new();
+        acc.merge(&before);
+        assert_eq!(acc, before);
+    }
+
+    #[test]
     fn empty_ecdf_builder_errors() {
         let b = EcdfBuilder::new();
         assert!(b.is_empty());

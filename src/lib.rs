@@ -94,9 +94,10 @@ pub use bcbpt_cluster::{
 };
 pub use bcbpt_core::{
     adversarial_campaign, degree_variance_table, eclipse_table, fig3, fig4, fork_table,
-    overhead_table, partition_table, threshold_sweep, validate_delays, AdversaryReport,
-    CampaignResult, ExperimentConfig, FigureBundle, Observer, RunEvent, RunStats, Scenario,
-    ScenarioOutcome, ScenarioSession, StopRule, Sweep, Workload,
+    merge_shards, overhead_table, partition_table, run_shard, run_shard_in, threshold_sweep,
+    validate_delays, AdversaryReport, CampaignResult, ExperimentConfig, FigureBundle, Observer,
+    PartialOutcome, RunEvent, RunStats, Scenario, ScenarioOutcome, ScenarioSession, ShardPlan,
+    ShardSpec, StopRule, Sweep, WarmSnapshot, Workload,
 };
 pub use bcbpt_geo::{ChurnModel, DistanceParams, GeoPoint, LatencyConfig};
 pub use bcbpt_net::{NetConfig, Network, NodeId, Transaction, TxId, TxWatch};

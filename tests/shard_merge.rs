@@ -1,0 +1,142 @@
+//! Integration coverage for cross-host campaign sharding: for every
+//! checked-in scenario, executing the run range as 1, 2 or 5 independent
+//! shards and merging the serialized parts reproduces the unsharded batch
+//! outcome byte-for-byte — and scenarios that declare an adaptive stop
+//! rule are rejected with a clear error instead of silently diverging.
+
+use bcbpt::experiments::{merge_shards, run_shard, PartialOutcome, ShardSpec};
+use bcbpt::{Scenario, StopRule, Workload};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+/// Shrinks a quick-scaled scenario further so the whole corpus stays
+/// integration-test sized in debug builds (mirrors
+/// `tests/session_streaming.rs`).
+fn shrink(scenario: &mut Scenario) {
+    scenario.net.num_nodes = scenario.net.num_nodes.min(60);
+    scenario.runs = scenario.runs.min(3);
+    scenario.warmup_ms = scenario.warmup_ms.min(1_000.0);
+    scenario.window_ms = scenario.window_ms.min(10_000.0);
+    if let Workload::Mining { duration_ms, .. } = &mut scenario.workload {
+        *duration_ms = duration_ms.min(15_000.0);
+    }
+    if let Workload::Adversarial { attackers, .. } = &mut scenario.workload {
+        *attackers = (*attackers).clamp(1, 6);
+    }
+    if let Workload::Eclipse { victims, .. } = &mut scenario.workload {
+        *victims = (*victims).min(5);
+    }
+    if let Some(sweep) = &mut scenario.sweep {
+        sweep.protocols.truncate(2);
+        sweep.thresholds_ms.truncate(2);
+        sweep.num_nodes.truncate(1);
+    }
+}
+
+/// Loads one checked-in scenario at integration-test scale.
+fn checked_in(name: &str) -> Scenario {
+    let path = scenarios_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut scenario = Scenario::from_json(&text)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .quick_scaled();
+    shrink(&mut scenario);
+    scenario
+}
+
+/// Executes every shard of `scenario` and round-trips each part through
+/// its JSON wire format — the merge must consume exactly what
+/// `scenario shard run --out` writes.
+fn shard_all(scenario: &Scenario, count: usize) -> Vec<PartialOutcome> {
+    (0..count)
+        .map(|i| {
+            let part = run_shard(scenario, ShardSpec::new(i, count).unwrap())
+                .unwrap_or_else(|e| panic!("{} shard {i}/{count}: {e}", scenario.name));
+            PartialOutcome::from_json(&part.to_json())
+                .unwrap_or_else(|e| panic!("{} shard {i}/{count} round trip: {e}", scenario.name))
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_execution_matches_the_batch_reference_on_every_checked_in_scenario() {
+    for name in Scenario::builtin_names() {
+        let mut scenario = checked_in(name);
+        if scenario.stop.as_ref().is_some_and(StopRule::is_adaptive) {
+            // Covered by adaptive_stop_scenarios_are_rejected; the
+            // equivalence claim below is for the batch semantics, which
+            // ignore the stop rule — so strip it.
+            scenario.stop = None;
+        }
+        let batch = scenario
+            .run_batch()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for count in [1usize, 2, 5] {
+            let parts = shard_all(&scenario, count);
+            let merged =
+                merge_shards(parts).unwrap_or_else(|e| panic!("{name} at {count} shard(s): {e}"));
+            assert_eq!(
+                merged, batch,
+                "{name}: {count} shard(s) merged differently from the batch reference"
+            );
+            assert_eq!(
+                merged.to_json(),
+                batch.to_json(),
+                "{name}: {count}-shard merge serialized differently"
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_statistics_accessors_match_the_batch_recompute_bitwise() {
+    // The merged outcome's cached accessors go through the same lazy path
+    // as a deserialized batch outcome; the pooled summary and ECDF must be
+    // bit-identical — i.e. the shard boundaries never reorder samples.
+    let scenario = checked_in("fig3");
+    let batch = scenario.run_batch().unwrap();
+    let merged = merge_shards(shard_all(&scenario, 2)).unwrap();
+    for (cell_merged, cell_batch) in merged.cells.iter().zip(&batch.cells) {
+        assert_eq!(cell_merged.delta_summary(), cell_batch.delta_summary());
+        assert_eq!(cell_merged.delta_ecdf(), cell_batch.delta_ecdf());
+    }
+    assert_eq!(merged.delta_summary(), batch.delta_summary());
+}
+
+#[test]
+fn adaptive_stop_scenarios_are_rejected_with_a_clear_error() {
+    // scenarios/sweep.json declares a CiHalfWidth budget — the checked-in
+    // witness that sharding refuses adaptive stop rules.
+    let scenario = checked_in("sweep");
+    assert!(
+        scenario.stop.as_ref().is_some_and(StopRule::is_adaptive),
+        "sweep.json must keep declaring an adaptive stop rule for this test"
+    );
+    let err = run_shard(&scenario, ShardSpec::new(0, 2).unwrap()).unwrap_err();
+    for needle in ["adaptive", "stop", "shard"] {
+        assert!(
+            err.contains(needle),
+            "error should mention {needle:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn adversarial_scenarios_shard_through_the_deferred_path() {
+    // Paired adversarial campaigns are indivisible: shard 0 owns them
+    // whole, later shards defer — and the merge still reproduces the
+    // batch outcome exactly.
+    let scenario = checked_in("pingspoof");
+    let batch = scenario.run_batch().unwrap();
+    let parts = shard_all(&scenario, 2);
+    assert_eq!(
+        parts[0].runs_used(),
+        0,
+        "indivisible cells report no range runs"
+    );
+    let merged = merge_shards(parts).unwrap();
+    assert_eq!(merged, batch);
+}
