@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p bcbpt-bench --bin perf [--quick] [OUT.json]`
 //!
 //! `--quick` shrinks the campaign for CI smoke runs. The output path
-//! defaults to `BENCH_PR4.json` in the current directory; the checked-in
+//! defaults to `BENCH_PR6.json` in the current directory; the checked-in
 //! `BENCH_PR<k>.json` files (same shape since PR 1) are the campaign-runner
 //! performance trajectory EXPERIMENTS.md tracks.
 
@@ -145,7 +145,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
 
     eprintln!("perf: engine microbenchmarks...");
     let engine = bench_engine();

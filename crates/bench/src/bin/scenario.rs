@@ -25,22 +25,34 @@
 //!   --json              print the ScenarioOutcome as JSON, not rendered text
 //!   --progress          live per-cell run counts on stderr
 //!   --jsonl <path>      write one serialized RunEvent per line to <path>
+//!                       (written as <path>.tmp, renamed on completion)
 //!   --stop-ci <w>       stop each cell once the Δt mean is known to ±w
 //!                       (relative, 95% CI) instead of burning all runs
 //!   --threads <n>       worker threads (output is identical for any value,
 //!                       except under a wall-clock stop rule)
 //!   --shard i/N         which shard of how many (shard run only)
 //!   --out <path>        where to write the shard part (shard run only)
+//!   --checkpoint <path> persist a digest-sealed checkpoint of the folded
+//!                       prefix to <path> as the shard runs (shard run only)
+//!   --checkpoint-every <n>  folds between checkpoints (default 1)
+//!   --resume            continue from --checkpoint's file if it exists
+//!   --inject-fault <json>   arm a deterministic FaultPlan, e.g.
+//!                       '{"DieAfterRuns":{"n":3}}' (fault-injection builds)
+//!   --salvage           shard merge only: quarantine bad parts, merge the
+//!                       rest, print a repair plan if incomplete
 //! ```
 
 use bcbpt_cluster::ProtocolRegistry;
 use bcbpt_core::{
-    merge_shards, run_shard_in, CellShard, PartialOutcome, RunEvent, Scenario, ScenarioOutcome,
-    ShardSpec, StopRule,
+    merge_shards, run_shard_with, salvage_merge, CellShard, Checkpoint, CheckpointSink, FaultPlan,
+    PartialOutcome, RunEvent, Scenario, ScenarioOutcome, ShardRunOptions, ShardSpec, StopRule,
 };
 use std::fs;
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "fault-injection")]
+use bcbpt_core::fault;
 
 /// Flags shared by `run`, `quick` and the `shard` subcommands.
 #[derive(Default)]
@@ -53,6 +65,11 @@ struct Options {
     threads: Option<usize>,
     shard: Option<String>,
     out: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<usize>,
+    resume: bool,
+    inject_fault: Option<String>,
+    salvage: bool,
 }
 
 impl Options {
@@ -72,13 +89,18 @@ impl Options {
         Ok(())
     }
 
-    /// `run`/`quick` must not swallow the sharding flags.
+    /// `run`/`quick` must not swallow the sharding/recovery flags.
     fn reject_shard_flags(&self, command: &str) -> Result<(), String> {
         self.reject_unused(
             command,
             &[
                 ("--shard", self.shard.is_some()),
                 ("--out", self.out.is_some()),
+                ("--checkpoint", self.checkpoint.is_some()),
+                ("--checkpoint-every", self.checkpoint_every.is_some()),
+                ("--resume", self.resume),
+                ("--inject-fault", self.inject_fault.is_some()),
+                ("--salvage", self.salvage),
             ],
         )
     }
@@ -97,6 +119,11 @@ impl Options {
                 ("--threads", self.threads.is_some()),
                 ("--shard", self.shard.is_some()),
                 ("--out", self.out.is_some()),
+                ("--checkpoint", self.checkpoint.is_some()),
+                ("--checkpoint-every", self.checkpoint_every.is_some()),
+                ("--resume", self.resume),
+                ("--inject-fault", self.inject_fault.is_some()),
+                ("--salvage", self.salvage),
             ],
         )
     }
@@ -123,6 +150,16 @@ fn main() -> Result<(), String> {
             .transpose()?,
         shard: take_value(&mut args, "--shard")?,
         out: take_value(&mut args, "--out")?,
+        checkpoint: take_value(&mut args, "--checkpoint")?,
+        checkpoint_every: take_value(&mut args, "--checkpoint-every")?
+            .map(|n| {
+                n.parse::<usize>()
+                    .map_err(|e| format!("--checkpoint-every {n:?}: {e}"))
+            })
+            .transpose()?,
+        resume: take_flag(&mut args, "--resume"),
+        inject_fault: take_value(&mut args, "--inject-fault")?,
+        salvage: take_flag(&mut args, "--salvage"),
     };
     match args.split_first() {
         Some((cmd, rest)) if cmd == "run" => {
@@ -196,9 +233,36 @@ fn usage(problem: &str) -> String {
          \x20      scenario parse <outcome.json>\n\
          \x20      scenario events <events.jsonl>\n\
          \x20      scenario shard run <file.json|name> --shard i/N --out part-i.json\n\
-         \x20                [--quick] [--threads <n>]\n\
-         \x20      scenario shard merge <part.json>... [--json]"
+         \x20                [--quick] [--threads <n>] [--checkpoint <path>]\n\
+         \x20                [--checkpoint-every <n>] [--resume] [--inject-fault <json>]\n\
+         \x20      scenario shard merge <part.json>... [--json] [--salvage]"
     )
+}
+
+/// Bounded retry with backoff for transient I/O failures: the initial
+/// attempt plus three retries, sleeping 10/50/250 ms before each retry.
+/// The final failure's error is returned verbatim.
+fn with_io_retry<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut backoff_ms = [10u64, 50, 250].into_iter();
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) => match backoff_ms.next() {
+                Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+                None => return Err(e),
+            },
+        }
+    }
+}
+
+/// Durable file write: temp file next to the target, then atomic rename —
+/// a crash mid-write leaves the old file (or nothing), never a torn one.
+/// Both steps ride the bounded retry.
+fn atomic_write(path: &str, contents: &[u8]) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    with_io_retry(|| fs::write(&tmp, contents)).map_err(|e| format!("{tmp}: {e}"))?;
+    with_io_retry(|| fs::rename(&tmp, path)).map_err(|e| format!("{path}: {e}"))?;
+    Ok(())
 }
 
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
@@ -251,6 +315,9 @@ fn run_all(specs: &[String], options: Options) -> Result<(), String> {
             return Err(format!("--jsonl stream truncated: {error}"));
         }
     }
+    if let Some(sink) = jsonl {
+        sink.finalize()?;
+    }
     Ok(())
 }
 
@@ -278,6 +345,11 @@ fn progress_observer() -> impl FnMut(&RunEvent) + Send {
                 run_stats.pooled_mean_ms,
                 run_stats.pooled_std_dev_ms,
             );
+        }
+        RunEvent::RunFailed {
+            run_index, payload, ..
+        } => {
+            eprintln!("\r  run {run_index}: PANICKED — {payload}");
         }
         RunEvent::CellCompleted {
             report,
@@ -310,10 +382,14 @@ fn progress_observer() -> impl FnMut(&RunEvent) + Send {
 
 /// The `--jsonl` sink, opened once per invocation so a multi-scenario
 /// `run` appends every scenario's events to one stream instead of
-/// truncating the file per scenario.
+/// truncating the file per scenario. Writes land in `<path>.tmp`; only a
+/// completed run renames the stream to its requested name
+/// ([`finalize`](Self::finalize)) — a crashed or truncated run can never
+/// leave a partial file where a consumer expects a complete one.
 struct JsonlSink {
     writer: Mutex<std::io::BufWriter<fs::File>>,
     path: String,
+    tmp: String,
     /// First write/flush error. Observers run inside the campaign's fold
     /// lock, so an I/O failure (disk full, dead filesystem) must not
     /// panic there: the sink records it, stops writing, and the driver
@@ -323,10 +399,12 @@ struct JsonlSink {
 
 impl JsonlSink {
     fn open(path: &str) -> Result<Arc<Self>, String> {
-        let file = fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let tmp = format!("{path}.tmp");
+        let file = with_io_retry(|| fs::File::create(&tmp)).map_err(|e| format!("{tmp}: {e}"))?;
         Ok(Arc::new(JsonlSink {
             writer: Mutex::new(std::io::BufWriter::new(file)),
             path: path.to_string(),
+            tmp,
             error: Mutex::new(None),
         }))
     }
@@ -334,7 +412,7 @@ impl JsonlSink {
     fn record_error(&self, e: &std::io::Error) {
         let mut slot = self.error.lock().expect("jsonl error lock");
         if slot.is_none() {
-            *slot = Some(format!("{}: {e}", self.path));
+            *slot = Some(format!("{}: {e}", self.tmp));
         }
     }
 
@@ -342,10 +420,20 @@ impl JsonlSink {
     fn take_error(&self) -> Option<String> {
         self.error.lock().expect("jsonl error lock").take()
     }
+
+    /// Flushes and atomically renames `<path>.tmp` to the requested path —
+    /// called once, after every scenario completed cleanly.
+    fn finalize(&self) -> Result<(), String> {
+        with_io_retry(|| self.writer.lock().expect("jsonl writer lock").flush())
+            .map_err(|e| format!("{}: {e}", self.tmp))?;
+        with_io_retry(|| fs::rename(&self.tmp, &self.path))
+            .map_err(|e| format!("{}: {e}", self.path))?;
+        Ok(())
+    }
 }
 
-/// JSONL observer: one serialized event per line, flushed at the end of
-/// each scenario.
+/// JSONL observer: one serialized event per line, flushed per line so a
+/// reader (or a post-crash autopsy) sees every event the session folded.
 fn jsonl_observer(sink: Arc<JsonlSink>) -> impl FnMut(&RunEvent) + Send {
     move |event: &RunEvent| {
         if sink.error.lock().expect("jsonl error lock").is_some() {
@@ -353,13 +441,7 @@ fn jsonl_observer(sink: Arc<JsonlSink>) -> impl FnMut(&RunEvent) + Send {
         }
         let line = serde_json::to_string(event).expect("event serializes");
         let mut writer = sink.writer.lock().expect("jsonl writer lock");
-        let result = writeln!(writer, "{line}").and_then(|()| {
-            if matches!(event, RunEvent::ScenarioCompleted { .. }) {
-                writer.flush()
-            } else {
-                Ok(())
-            }
-        });
+        let result = writeln!(writer, "{line}").and_then(|()| with_io_retry(|| writer.flush()));
         drop(writer);
         if let Err(e) = result {
             sink.record_error(&e);
@@ -430,7 +512,10 @@ fn report_degenerate_cells(outcome: &ScenarioOutcome) -> Result<(), String> {
 }
 
 /// `shard run <file|name> --shard i/N --out <path>`: execute one shard of
-/// a campaign and write its `PartialOutcome` as JSON.
+/// a campaign and write its `PartialOutcome` as JSON — checkpointing the
+/// folded prefix to `--checkpoint` as it goes, resuming from it with
+/// `--resume`, and (in fault-injection builds) failing on purpose under
+/// `--inject-fault`.
 fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
     let shard = options
         .shard
@@ -453,8 +538,33 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
             ("--json", options.json),
             ("--progress", options.progress),
             ("--jsonl", options.jsonl.is_some()),
+            ("--salvage", options.salvage),
         ],
     )?;
+    if options.checkpoint.is_none() && (options.resume || options.checkpoint_every.is_some()) {
+        return Err(usage(
+            "--resume and --checkpoint-every need --checkpoint <path>",
+        ));
+    }
+    let fault = options
+        .inject_fault
+        .as_deref()
+        .map(FaultPlan::from_json)
+        .transpose()?;
+    if fault.is_some() && !cfg!(feature = "fault-injection") {
+        return Err(
+            "--inject-fault needs a binary built with the `fault-injection` feature (it is \
+             on by default; this one was built with --no-default-features)"
+                .to_string(),
+        );
+    }
+    #[cfg(feature = "fault-injection")]
+    let _fault_guard = fault.map(|plan| {
+        eprintln!("fault injection armed: {}", plan.label());
+        fault::arm(plan)
+    });
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = fault;
     let mut scenario = load(spec)?;
     if options.quick {
         scenario = scenario.quick_scaled();
@@ -462,9 +572,70 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
     let threads = options
         .threads
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let part = run_shard_in(&scenario, shard, &ProtocolRegistry::builtins(), threads)
-        .map_err(|e| format!("{spec}: {e}"))?;
-    fs::write(out, format!("{}\n", part.to_json())).map_err(|e| format!("{out}: {e}"))?;
+    // Resume is crash-idempotent: a missing checkpoint file (died before
+    // the first write, or a fresh start launched with the same command
+    // line) just starts from the plan's first run.
+    let resume = match (options.resume, options.checkpoint.as_deref()) {
+        (true, Some(path)) => match fs::read_to_string(path) {
+            Ok(text) => {
+                let checkpoint =
+                    Checkpoint::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("resuming shard {shard} of {} from {path}", scenario.name);
+                Some(checkpoint)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("--resume: no checkpoint at {path} yet — starting fresh");
+                None
+            }
+            Err(e) => return Err(format!("{path}: {e}")),
+        },
+        _ => None,
+    };
+    let checkpoint_path = options.checkpoint.clone();
+    let mut sink_fn = {
+        let checkpoint_path = checkpoint_path.clone();
+        move |checkpoint: &Checkpoint| -> Result<(), String> {
+            let path = checkpoint_path
+                .as_deref()
+                .expect("sink only installed with --checkpoint");
+            let json = format!("{}\n", checkpoint.to_json());
+            #[cfg(feature = "fault-injection")]
+            if fault::armed() == Some(FaultPlan::TornCheckpoint) {
+                // Tear the write on purpose: half the bytes, straight to
+                // the final path (no tmp + rename), then die — the
+                // worst-case crash --resume must reject.
+                let _ = fs::write(path, &json.as_bytes()[..json.len() / 2]);
+                fault::hard_exit("TornCheckpoint");
+            }
+            atomic_write(path, json.as_bytes())
+        }
+    };
+    let sink: Option<&mut CheckpointSink<'_>> = match checkpoint_path {
+        Some(_) => Some(&mut sink_fn),
+        None => None,
+    };
+    let part = run_shard_with(
+        &scenario,
+        shard,
+        &ProtocolRegistry::builtins(),
+        ShardRunOptions {
+            threads: Some(threads),
+            resume,
+            checkpoint_every: options.checkpoint_every.unwrap_or(1),
+            sink,
+        },
+    )
+    .map_err(|e| format!("{spec}: {e}"))?;
+    let mut bytes = format!("{}\n", part.to_json()).into_bytes();
+    #[cfg(feature = "fault-injection")]
+    if fault::corrupt_output(&mut bytes) {
+        eprintln!("fault injection: flipped one byte of the serialized part");
+    }
+    atomic_write(out, &bytes)?;
+    if let Some(path) = options.checkpoint.as_deref() {
+        // The part is durable; the checkpoint has served its purpose.
+        let _ = fs::remove_file(path);
+    }
     // Say what actually executed: for an indivisible workload the planned
     // run range is meaningless — shard 0 ran every cell whole and other
     // shards ran nothing.
@@ -503,7 +674,9 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
 /// `shard merge <part.json>...`: merge shard parts — passed in ascending
 /// shard order (`part-0.json part-1.json …`; a sorted shell glob works up
 /// to 10 shards) — and print the merged `ScenarioOutcome` exactly like
-/// `scenario run` would.
+/// `scenario run` would. With `--salvage`, unreadable/tampered/mismatched
+/// parts are quarantined instead of failing the merge; an incomplete
+/// surviving set prints a machine-readable repair plan and exits nonzero.
 fn shard_merge(paths: &[String], options: &Options) -> Result<(), String> {
     options.reject_unused(
         "shard merge",
@@ -515,8 +688,15 @@ fn shard_merge(paths: &[String], options: &Options) -> Result<(), String> {
             ("--threads", options.threads.is_some()),
             ("--shard", options.shard.is_some()),
             ("--out", options.out.is_some()),
+            ("--checkpoint", options.checkpoint.is_some()),
+            ("--checkpoint-every", options.checkpoint_every.is_some()),
+            ("--resume", options.resume),
+            ("--inject-fault", options.inject_fault.is_some()),
         ],
     )?;
+    if options.salvage {
+        return shard_salvage(paths, options);
+    }
     let mut parts = Vec::with_capacity(paths.len());
     for path in paths {
         let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -535,6 +715,59 @@ fn shard_merge(paths: &[String], options: &Options) -> Result<(), String> {
         println!("{}", outcome.render());
     }
     report_degenerate_cells(&outcome)
+}
+
+/// `shard merge --salvage`: quarantine every part that cannot be trusted,
+/// merge the survivors, and either print the merged outcome (complete
+/// set) or a `RepairPlan` JSON naming the exact re-runs (incomplete set,
+/// nonzero exit).
+fn shard_salvage(paths: &[String], options: &Options) -> Result<(), String> {
+    let sources: Vec<(String, Result<PartialOutcome, String>)> = paths
+        .iter()
+        .map(|path| {
+            let result = fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| PartialOutcome::from_json(&text));
+            (path.clone(), result)
+        })
+        .collect();
+    let report = salvage_merge(sources, "<scenario.json>")?;
+    for q in &report.quarantined {
+        eprintln!(
+            "quarantined {}{}: {}",
+            q.source,
+            q.shard_index
+                .map_or_else(String::new, |i| format!(" (claims shard {i})")),
+            q.reason
+        );
+    }
+    match (report.outcome, report.repair) {
+        (Some(outcome), _) => {
+            eprintln!(
+                "salvage: merged {} of {} part file(s) for {} ({} quarantined)",
+                paths.len() - report.quarantined.len(),
+                paths.len(),
+                outcome.scenario,
+                report.quarantined.len()
+            );
+            if options.json {
+                println!("{}", outcome.to_json());
+            } else {
+                println!("{}", outcome.render());
+            }
+            report_degenerate_cells(&outcome)
+        }
+        (None, Some(repair)) => {
+            println!("{}", repair.to_json());
+            Err(format!(
+                "salvage: {} shard(s) have no valid part ({} quarantined) — re-run the \
+                 commands in the repair plan above, then merge again",
+                repair.missing_shards.len(),
+                repair.quarantined.len()
+            ))
+        }
+        (None, None) => unreachable!("salvage yields an outcome or a repair plan"),
+    }
 }
 
 fn list() {
@@ -586,7 +819,12 @@ fn parse_outcome(path: &str) -> Result<(), String> {
 /// the strength of an earlier scenario's terminator.
 fn check_events(path: &str) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut open_cells: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    // Cells currently open, each mapped to the run index its next
+    // run-level event must carry: runs within a cell are 0-based,
+    // gap-free, and strictly ascending, whether they measured or
+    // panicked.
+    let mut open_cells: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
     let mut last: Option<RunEvent> = None;
     let mut count = 0usize;
     let mut scenarios = 0usize;
@@ -599,17 +837,29 @@ fn check_events(path: &str) -> Result<(), String> {
         count += 1;
         match &event {
             RunEvent::CellStarted { cell, .. } => {
-                if !open_cells.insert(*cell) {
+                if open_cells.insert(*cell, 0).is_some() {
                     return Err(at(&format!("cell {cell} started twice")));
                 }
             }
-            RunEvent::RunCompleted { cell, .. } => {
-                if !open_cells.contains(cell) {
+            RunEvent::RunCompleted {
+                cell, run_index, ..
+            }
+            | RunEvent::RunFailed {
+                cell, run_index, ..
+            } => {
+                let Some(expected) = open_cells.get_mut(cell) else {
                     return Err(at(&format!("run event for cell {cell} that never started")));
+                };
+                if *run_index != *expected {
+                    return Err(at(&format!(
+                        "cell {cell} run {run_index} out of order: expected run {expected} \
+                         (runs must be gap-free and ascending)"
+                    )));
                 }
+                *expected += 1;
             }
             RunEvent::CellCompleted { cell, .. } | RunEvent::CellFailed { cell, .. } => {
-                if !open_cells.remove(cell) {
+                if open_cells.remove(cell).is_none() {
                     return Err(at(&format!("cell {cell} closed without starting")));
                 }
             }

@@ -137,6 +137,7 @@ mod tests {
             warmup_traffic: MessageStats::new(),
             cluster_sizes: vec![],
             num_nodes: 10,
+            failures: vec![],
         }
     }
 

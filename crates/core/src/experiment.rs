@@ -6,6 +6,7 @@
 //! "the latency is determined by an average of approximately 1000 runs".
 //! [`ExperimentConfig::run`] reproduces that loop.
 
+use crate::resilience::RunFailure;
 use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
 use bcbpt_net::{Adversary, MessageStats, NetConfig, Network, NodeId, TxWatch};
 use bcbpt_sim::RngHub;
@@ -50,6 +51,11 @@ pub struct CampaignResult {
     pub cluster_sizes: Vec<usize>,
     /// Network size the campaign ran at.
     pub num_nodes: usize,
+    /// Runs that panicked instead of retiring, ascending by `run_index` —
+    /// caught per run ([`std::panic::catch_unwind`]) and folded in order,
+    /// so a poisoned replay is data, not a dead campaign. Disjoint from
+    /// `runs` (a run either retires or fails).
+    pub failures: Vec<RunFailure>,
 }
 
 impl CampaignResult {
@@ -176,16 +182,23 @@ impl CampaignResult {
     }
 }
 
-/// A completed measuring run (`None` = the run was skipped because its
-/// origin churned away) together with its measurement-window traffic.
-type RunOutcome = Option<(RunResult, MessageStats)>;
+/// What one measuring-run replay retired as.
+enum RunOutcome {
+    /// The run completed, with its harvest and measurement-window traffic.
+    Measured(RunResult, MessageStats),
+    /// The run was skipped because its origin churned away (the paper
+    /// likewise averages over successful measurements, §V.B).
+    Skipped,
+    /// The run panicked; the payload was caught at the run boundary.
+    Panicked(RunFailure),
+}
 
 /// Mean of a run's finite `Δt(m,n)` samples (`None` when the run
 /// harvested no finite delta) — the per-run replicate statistic. The one
 /// definition shared by the streaming fold and
 /// [`CampaignResult::run_mean_summary`], so the stop rule's checkpoints
 /// and post-hoc CIs can never diverge.
-fn run_mean_delta(run: &RunResult) -> Option<f64> {
+pub(crate) fn run_mean_delta(run: &RunResult) -> Option<f64> {
     let mut sum = 0.0;
     let mut count = 0u64;
     for &d in &run.deltas_ms {
@@ -204,8 +217,13 @@ pub(crate) struct RunCheckpoint<'a> {
     /// The folded run's campaign-local index.
     pub run_index: usize,
     /// The folded run's harvest (`None` = the run was skipped because its
-    /// origin churned away).
+    /// origin churned away, or panicked — see `failure`).
     pub result: Option<&'a RunResult>,
+    /// The folded run's failure, when it panicked instead of retiring.
+    pub failure: Option<&'a RunFailure>,
+    /// Cumulative traffic over the folded prefix (warmup plus the folded
+    /// runs' measurement windows) — what a checkpoint writer persists.
+    pub traffic: &'a MessageStats,
     /// Pooled `Δt(m,n)` accumulator over the folded prefix.
     pub deltas: &'a StreamingSummary,
     /// Per-run mean `Δt(m,n)` accumulator over the folded prefix: one
@@ -246,6 +264,8 @@ struct CampaignFold<'c, 'f> {
     /// Per-run mean `Δt(m,n)` accumulator (one observation per successful
     /// run with deltas).
     run_means: StreamingSummary,
+    /// Folded run failures (panicking runs), in index order.
+    failures: Vec<RunFailure>,
     /// Successful measuring runs folded.
     measured: usize,
     /// Optional stop/observe hook, evaluated at every fold.
@@ -267,8 +287,8 @@ impl CampaignFold<'_, '_> {
             };
             let run_index = self.next;
             self.next += 1;
-            let result = match outcome {
-                Some((result, window_traffic)) => {
+            let (result, failure) = match outcome {
+                RunOutcome::Measured(result, window_traffic) => {
                     self.traffic.merge(&window_traffic);
                     self.deltas.extend(result.deltas_ms.iter().copied());
                     if let Some(mean) = run_mean_delta(&result) {
@@ -276,14 +296,20 @@ impl CampaignFold<'_, '_> {
                     }
                     self.measured += 1;
                     self.runs.push(result);
-                    self.runs.last()
+                    (self.runs.last(), None)
                 }
-                None => None,
+                RunOutcome::Skipped => (None, None),
+                RunOutcome::Panicked(failure) => {
+                    self.failures.push(failure);
+                    (None, self.failures.last())
+                }
             };
             if let Some(control) = self.control.as_mut() {
                 let checkpoint = RunCheckpoint {
                     run_index,
                     result,
+                    failure,
+                    traffic: &self.traffic,
                     deltas: &self.deltas,
                     run_means: &self.run_means,
                     measured_runs: self.measured,
@@ -500,6 +526,7 @@ impl ExperimentConfig {
             traffic: warmup_traffic.clone(),
             deltas: StreamingSummary::new(),
             run_means: StreamingSummary::new(),
+            failures: Vec::new(),
             measured: 0,
             control,
         });
@@ -508,7 +535,7 @@ impl ExperimentConfig {
                 if i > stop_signal.load(Ordering::Relaxed) {
                     break;
                 }
-                let outcome = self.measure_one(&base, &warmup_traffic, i);
+                let outcome = self.execute_run(&base, &warmup_traffic, i);
                 fold.lock()
                     .expect("fold lock")
                     .absorb(i, outcome, &stop_signal);
@@ -529,7 +556,7 @@ impl ExperimentConfig {
                         if i >= run_range.end || i > stop_ref.load(Ordering::Relaxed) {
                             break;
                         }
-                        let outcome = self.measure_one(base_ref, warmup_ref, i);
+                        let outcome = self.execute_run(base_ref, warmup_ref, i);
                         fold_ref
                             .lock()
                             .expect("fold lock")
@@ -548,7 +575,32 @@ impl ExperimentConfig {
             warmup_traffic,
             cluster_sizes,
             num_nodes: self.net.num_nodes,
+            failures: fold.failures,
         })
+    }
+
+    /// Executes one run behind a panic boundary: a panicking replay (a
+    /// simulator bug, or an injected fault) retires as
+    /// [`RunOutcome::Panicked`] instead of unwinding through the worker —
+    /// the fold mutex is never poisoned and the campaign completes with
+    /// the failure recorded as data. `base` is only read (runs clone it),
+    /// so unwinding cannot leave it torn and `AssertUnwindSafe` is sound.
+    fn execute_run(
+        &self,
+        base: &Network,
+        warmup_traffic: &MessageStats,
+        run_index: usize,
+    ) -> RunOutcome {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-injection")]
+            crate::resilience::fault::maybe_panic(run_index);
+            self.measure_one(base, warmup_traffic, run_index)
+        }));
+        match caught {
+            Ok(Some((result, traffic))) => RunOutcome::Measured(result, traffic),
+            Ok(None) => RunOutcome::Skipped,
+            Err(payload) => RunOutcome::Panicked(RunFailure::from_panic(run_index, payload)),
+        }
     }
 
     /// One measuring run: clone the warmed-up snapshot, re-derive its RNG
@@ -559,7 +611,7 @@ impl ExperimentConfig {
         base: &Network,
         warmup_traffic: &MessageStats,
         run_index: usize,
-    ) -> RunOutcome {
+    ) -> Option<(RunResult, MessageStats)> {
         let mut net = base.clone();
         net.reseed_streams(&RngHub::new(self.seed).subhub("run", run_index as u64));
         let origin = pick_origin(&mut net)?;

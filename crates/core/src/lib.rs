@@ -30,6 +30,12 @@
 //!   same deterministically-replayed warm snapshot, and the serialized
 //!   [`PartialOutcome`]s merge back byte-identically to the unsharded
 //!   batch run.
+//! * [`RunFailure`]/[`Checkpoint`]/[`salvage_merge`]/[`FaultPlan`] — the
+//!   failure story: panicking runs fold as structured data, killed shards
+//!   resume from digest-sealed checkpoints byte-identically, corrupt
+//!   parts are quarantined with a machine-readable [`RepairPlan`], and a
+//!   deterministic fault-injection harness (`fault-injection` feature)
+//!   drives every recovery path in CI.
 //! * [`fork_table`] — extension: proof-of-work on top of each relay
 //!   protocol, measuring the stale-block rate the paper's motivation ties
 //!   to double-spend risk (§I).
@@ -60,6 +66,7 @@ mod experiment;
 mod figures;
 mod forks;
 mod overhead;
+mod resilience;
 mod scenario;
 mod session;
 mod shard;
@@ -81,13 +88,19 @@ pub use experiment::{cluster_sizes, CampaignResult, ExperimentConfig, RunResult}
 pub use figures::{fig3, fig4, threshold_sweep, FigureBundle};
 pub use forks::{fork_experiment, fork_experiment_in, fork_table, ForkReport};
 pub use overhead::{overhead_table, OverheadReport};
+#[cfg(feature = "fault-injection")]
+pub use resilience::fault;
+pub use resilience::{
+    CellProgress, Checkpoint, FaultPlan, QuarantinedPart, RepairPlan, RunFailure, SalvageReport,
+};
 pub use scenario::{
     CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Sweep, Workload,
 };
 pub use session::{ChannelObserver, Observer, RunEvent, RunStats, ScenarioSession, StopRule};
 pub use shard::{
-    merge_shards, run_shard, run_shard_in, scenario_digest, CellShard, PartialCell, PartialOutcome,
-    ShardPlan, ShardSpec, WarmSnapshot, SHARD_FORMAT_VERSION,
+    merge_shards, run_shard, run_shard_in, run_shard_with, salvage_merge, scenario_digest,
+    CellShard, CheckpointSink, PartialCell, PartialOutcome, ShardPlan, ShardRunOptions, ShardSpec,
+    WarmSnapshot, SHARD_FORMAT_VERSION,
 };
 pub use validation::{
     reference_samples, validate_delays, ValidationReport, KS_ACCEPT, REFERENCE_SIGMA,

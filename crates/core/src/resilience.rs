@@ -1,0 +1,412 @@
+//! Failure model of long-running campaigns: structured run failures,
+//! digest-sealed shard checkpoints, salvage/repair planning, and a
+//! deterministic fault-injection harness.
+//!
+//! The campaign machinery ([`crate::shard`], [`crate::ScenarioSession`])
+//! turns the simulator into long-running distributed infrastructure, so
+//! it needs an explicit failure story:
+//!
+//! * **A panicking run** is caught per run ([`RunFailure`]) and folded in
+//!   run-index order like any other outcome — the campaign completes and
+//!   the failure is data, byte-identical across thread counts.
+//! * **A killed shard process** resumes from a [`Checkpoint`]: the folded
+//!   prefix of its run range, digest-sealed and written atomically, so a
+//!   SIGKILL costs at most `--checkpoint-every` runs of work.
+//! * **A corrupt part file** is quarantined by the salvage merge instead
+//!   of aborting the whole batch; the [`RepairPlan`] names the exact
+//!   `--shard i/N` re-runs that complete it.
+//! * **All of the above are testable**: a serde [`FaultPlan`] injected
+//!   behind the `fault-injection` feature drives each recovery path
+//!   deterministically in CI.
+
+use crate::experiment::RunResult;
+use crate::shard::{PartialCell, ShardPlan, WarmSnapshot, SHARD_FORMAT_VERSION};
+use bcbpt_net::MessageStats;
+use bcbpt_stats::{EcdfBuilder, StreamingSummary};
+use serde::{Deserialize, Serialize};
+
+/// A measuring run that panicked instead of retiring: the structured
+/// outcome the campaign folds (in run-index order, like a measured or
+/// skipped run) so one poisoned replay cannot kill the whole campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunFailure {
+    /// Campaign-local index of the run that panicked.
+    pub run_index: usize,
+    /// The panic payload, rendered to text (`String`/`&str` payloads are
+    /// carried verbatim; anything else becomes a placeholder).
+    pub payload: String,
+}
+
+impl RunFailure {
+    /// Builds the structured failure from a caught panic payload.
+    pub(crate) fn from_panic(
+        run_index: usize,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> RunFailure {
+        let payload = if let Some(text) = payload.downcast_ref::<String>() {
+            text.clone()
+        } else if let Some(text) = payload.downcast_ref::<&str>() {
+            (*text).to_string()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        RunFailure { run_index, payload }
+    }
+}
+
+/// A deterministic fault to inject into a shard run (`scenario shard run
+/// --inject-fault <json>`), available behind the `fault-injection`
+/// feature. Serde round-trippable; the CLI accepts the serialized form,
+/// e.g. `{"PanicAtRun":{"run_index":2}}` or `"TornCheckpoint"`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultPlan {
+    /// Panic inside the measuring run with this campaign-local index —
+    /// exercises per-run panic isolation.
+    PanicAtRun {
+        /// The run index that panics.
+        run_index: usize,
+    },
+    /// Hard-exit the process (no unwinding, no cleanup — a simulated
+    /// SIGKILL) after `n` runs have folded — exercises checkpoint/resume.
+    DieAfterRuns {
+        /// Folded runs to allow before dying.
+        n: usize,
+    },
+    /// Flip one byte of the serialized part before writing it —
+    /// exercises the salvage merge's quarantine.
+    CorruptOutput {
+        /// Offset of the byte to flip (taken modulo the output length).
+        byte_offset: usize,
+    },
+    /// Write only half of the first checkpoint, directly to its final
+    /// path, then hard-exit — exercises torn-checkpoint rejection on
+    /// `--resume`.
+    TornCheckpoint,
+}
+
+impl FaultPlan {
+    /// Parses the CLI form (serialized JSON).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid fault plan {text:?}: {e}"))
+    }
+
+    /// Short human-readable form, e.g. `"die-after-runs(3)"`.
+    pub fn label(&self) -> String {
+        match self {
+            FaultPlan::PanicAtRun { run_index } => format!("panic-at-run({run_index})"),
+            FaultPlan::DieAfterRuns { n } => format!("die-after-runs({n})"),
+            FaultPlan::CorruptOutput { byte_offset } => format!("corrupt-output({byte_offset})"),
+            FaultPlan::TornCheckpoint => "torn-checkpoint".to_string(),
+        }
+    }
+}
+
+/// The process-global fault injector: arming a [`FaultPlan`] makes the
+/// campaign machinery consult it at each injection point. Inert unless
+/// armed; compiled out entirely without the `fault-injection` feature.
+#[cfg(feature = "fault-injection")]
+pub mod fault {
+    use super::FaultPlan;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Exit code of an injected hard crash (`DieAfterRuns`,
+    /// `TornCheckpoint`) — distinct from ordinary error exits so tests
+    /// can tell a simulated SIGKILL from a real failure.
+    pub const FAULT_EXIT_CODE: i32 = 86;
+
+    struct Armed {
+        plan: FaultPlan,
+        folded: usize,
+    }
+
+    static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+
+    /// The armed slot. An injected panic unwinds through campaign workers
+    /// while this mutex is *not* held, but a caller's panic between `arm`
+    /// and drop could still poison it — recover the inner state instead
+    /// of propagating the poison into every later campaign.
+    fn slot() -> MutexGuard<'static, Option<Armed>> {
+        ARMED
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Disarms the injector when dropped, so a test cannot leak its fault
+    /// into the next one.
+    pub struct FaultGuard {
+        _private: (),
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            *slot() = None;
+        }
+    }
+
+    /// Arms `plan` process-wide until the returned guard drops. Arming is
+    /// global: callers running campaigns concurrently (tests!) must
+    /// serialize around it.
+    pub fn arm(plan: FaultPlan) -> FaultGuard {
+        *slot() = Some(Armed { plan, folded: 0 });
+        FaultGuard { _private: () }
+    }
+
+    /// The currently armed plan, if any.
+    pub fn armed() -> Option<FaultPlan> {
+        slot().as_ref().map(|a| a.plan.clone())
+    }
+
+    /// Injection point inside each measuring run (before simulation).
+    pub(crate) fn maybe_panic(run_index: usize) {
+        let hit = matches!(
+            &*slot(),
+            Some(Armed {
+                plan: FaultPlan::PanicAtRun { run_index: at },
+                ..
+            }) if *at == run_index
+        );
+        if hit {
+            panic!("injected fault: run {run_index} panicked (PanicAtRun)");
+        }
+    }
+
+    /// Injection point after each run folds (and after any checkpoint for
+    /// it was written): `DieAfterRuns { n }` hard-exits once `n` runs
+    /// have folded process-wide.
+    pub(crate) fn note_run_folded() {
+        let mut guard = slot();
+        let die = match guard.as_mut() {
+            Some(Armed {
+                plan: FaultPlan::DieAfterRuns { n },
+                folded,
+            }) => {
+                *folded += 1;
+                *folded >= *n
+            }
+            _ => false,
+        };
+        drop(guard);
+        if die {
+            hard_exit("DieAfterRuns");
+        }
+    }
+
+    /// Simulated SIGKILL: exits with [`FAULT_EXIT_CODE`] immediately, no
+    /// unwinding, no cleanup.
+    pub fn hard_exit(what: &str) -> ! {
+        eprintln!("injected fault: simulated hard crash ({what}) — exiting without cleanup");
+        std::process::exit(FAULT_EXIT_CODE);
+    }
+
+    /// Applies `CorruptOutput` to a serialized part, flipping one byte in
+    /// place. Returns `true` when a corruption was injected.
+    pub fn corrupt_output(bytes: &mut [u8]) -> bool {
+        let offset = match &*slot() {
+            Some(Armed {
+                plan: FaultPlan::CorruptOutput { byte_offset },
+                ..
+            }) => *byte_offset,
+            _ => return false,
+        };
+        if bytes.is_empty() {
+            return false;
+        }
+        let at = offset % bytes.len();
+        bytes[at] ^= 0x01;
+        true
+    }
+
+    /// `true` when `TornCheckpoint` is armed — the checkpoint writer then
+    /// tears its first write and hard-exits.
+    pub fn torn_checkpoint_armed() -> bool {
+        matches!(
+            &*slot(),
+            Some(Armed {
+                plan: FaultPlan::TornCheckpoint,
+                ..
+            })
+        )
+    }
+}
+
+/// Mid-cell progress of a checkpointed shard: the folded prefix of the
+/// current campaign cell, in the same accumulator shards a
+/// [`crate::CellShard::Campaign`] carries, plus the next run index to
+/// execute. On `--resume` the shard re-warms the cell, verifies the
+/// recomputed [`WarmSnapshot`] equals `snapshot`, and continues from
+/// `next_run`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellProgress {
+    /// Index of the in-flight cell (== number of completed cells).
+    pub cell_index: usize,
+    /// Identity of the warmed-up snapshot the folded runs replayed.
+    pub snapshot: WarmSnapshot,
+    /// Folded measuring runs, ascending by `run_index`.
+    pub runs: Vec<RunResult>,
+    /// Folded run failures (panicking runs), ascending by `run_index`.
+    pub failures: Vec<RunFailure>,
+    /// Measurement-window traffic of the folded prefix (total minus
+    /// warmup) — integer counters, exact under resume.
+    pub window_traffic: MessageStats,
+    /// Pooled `Δt(m,n)` accumulator over the folded prefix.
+    pub deltas: StreamingSummary,
+    /// Per-run mean `Δt(m,n)` accumulator over the folded prefix.
+    pub run_means: StreamingSummary,
+    /// `Δt(m,n)` samples in fold order over the folded prefix.
+    pub ecdf: EcdfBuilder,
+    /// First run index the resumed shard must execute.
+    pub next_run: usize,
+}
+
+/// A digest-sealed shard checkpoint: everything a killed shard process
+/// needs to continue from its last durable fold point and still produce a
+/// part byte-identical to an uninterrupted run.
+///
+/// Wire format (JSON, written atomically as tmp + rename):
+///
+/// | field | contents |
+/// |---|---|
+/// | `version` | [`SHARD_FORMAT_VERSION`] |
+/// | `scenario` | scenario name |
+/// | `scenario_digest` | [`crate::scenario_digest`] of the exact scenario |
+/// | `scenario_runs` | the scenario's whole `runs` budget |
+/// | `plan` | the shard's [`ShardPlan`] |
+/// | `cells_done` | completed cells, as final [`PartialCell`]s |
+/// | `current` | [`CellProgress`] of the in-flight cell (absent between cells) |
+/// | `digest` | FNV-1a over the canonical serialization with `digest` zeroed |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Shard wire-format version.
+    pub version: u32,
+    /// The scenario's name.
+    pub scenario: String,
+    /// Digest of the exact scenario the shard is running.
+    pub scenario_digest: u64,
+    /// The scenario's whole `runs` budget.
+    pub scenario_runs: usize,
+    /// The shard's coordinate and run range.
+    pub plan: ShardPlan,
+    /// Cells completed before the checkpoint, in sweep order — restored
+    /// verbatim on resume (they are final).
+    pub cells_done: Vec<PartialCell>,
+    /// The in-flight cell's folded prefix, absent at cell boundaries.
+    pub current: Option<CellProgress>,
+    /// FNV-1a content digest over the canonical serialization of every
+    /// field above (with `digest` itself zeroed).
+    pub digest: u64,
+}
+
+impl Checkpoint {
+    /// Seals the checkpoint: recomputes and stores the content digest.
+    pub fn seal(&mut self) {
+        self.digest = self.fingerprint();
+    }
+
+    /// The digest the current fields imply (with `digest` zeroed).
+    fn fingerprint(&self) -> u64 {
+        let mut zeroed = self.clone();
+        zeroed.digest = 0;
+        let json = serde_json::to_string(&zeroed).expect("checkpoint serializes");
+        crate::shard::fnv1a64(json.as_bytes())
+    }
+
+    /// Checks the envelope: wire-format version and content digest. A
+    /// torn or edited checkpoint file fails here — `--resume` rejects it
+    /// instead of continuing from corrupt state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.version != SHARD_FORMAT_VERSION {
+            return Err(format!(
+                "checkpoint has wire-format version {} but this binary speaks {} — \
+                 re-run the shard without --resume",
+                self.version, SHARD_FORMAT_VERSION
+            ));
+        }
+        let expected = self.fingerprint();
+        if self.digest != expected {
+            return Err(format!(
+                "checkpoint digest {:#018x} does not match its contents ({:#018x}) — the \
+                 file is torn or corrupt; delete it and re-run the shard without --resume",
+                self.digest, expected
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes the checkpoint as indented JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serializes")
+    }
+
+    /// Parses a checkpoint from JSON. Parse failure is the torn-file
+    /// fast path; [`verify`](Self::verify) catches tears that still
+    /// parse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/shape error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid checkpoint: {e}"))
+    }
+}
+
+/// One part file the salvage merge refused to use, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedPart {
+    /// The part's source label (file path as given to the merge).
+    pub source: String,
+    /// The shard index the part claimed, when it parsed far enough to
+    /// tell.
+    pub shard_index: Option<usize>,
+    /// Why the part was quarantined.
+    pub reason: String,
+}
+
+/// Machine-readable repair instructions emitted by the salvage merge when
+/// quarantines leave the shard set incomplete: exactly which shards to
+/// re-run, with ready-to-paste commands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairPlan {
+    /// The scenario name the surviving parts agree on.
+    pub scenario: String,
+    /// The shard count the surviving parts agree on.
+    pub shard_count: usize,
+    /// Parts that were quarantined, with reasons.
+    pub quarantined: Vec<QuarantinedPart>,
+    /// Shard indices with no valid part, ascending.
+    pub missing_shards: Vec<usize>,
+    /// One `scenario shard run … --shard i/N --out <path>` command per
+    /// missing shard (the scenario file placeholder must be substituted
+    /// with the original scenario file).
+    pub commands: Vec<String>,
+}
+
+impl RepairPlan {
+    /// Serializes the plan as indented JSON (what `shard merge --salvage`
+    /// prints when the set is incomplete).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("repair plan serializes")
+    }
+}
+
+/// Result of a salvage merge: the merged outcome when enough valid parts
+/// survived, otherwise a [`RepairPlan`]; quarantined parts are listed
+/// either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvageReport {
+    /// The merged outcome, present only when every shard index had a
+    /// valid part.
+    pub outcome: Option<crate::ScenarioOutcome>,
+    /// Parts that were quarantined, with reasons (empty on a fully clean
+    /// merge).
+    pub quarantined: Vec<QuarantinedPart>,
+    /// Repair instructions, present when the surviving set is incomplete.
+    pub repair: Option<RepairPlan>,
+}

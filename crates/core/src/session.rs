@@ -209,6 +209,17 @@ pub enum RunEvent {
         /// The run's harvest and the pooled prefix statistics.
         run_stats: RunStats,
     },
+    /// One measuring run panicked and was folded as a structured failure
+    /// (per-run panic isolation) — the cell continues; run indices stay
+    /// gap-free across `RunCompleted` and `RunFailed` together.
+    RunFailed {
+        /// Cell index in sweep order.
+        cell: usize,
+        /// Campaign-local run index of the panicking run.
+        run_index: usize,
+        /// The panic payload, rendered to text.
+        payload: String,
+    },
     /// A cell finished; `report` is its full outcome.
     CellCompleted {
         /// Cell index in sweep order.
@@ -250,6 +261,7 @@ impl RunEvent {
         match self {
             RunEvent::CellStarted { cell, .. }
             | RunEvent::RunCompleted { cell, .. }
+            | RunEvent::RunFailed { cell, .. }
             | RunEvent::CellCompleted { cell, .. }
             | RunEvent::CellFailed { cell, .. } => Some(*cell),
             RunEvent::ScenarioCompleted { .. } => None,
@@ -262,6 +274,7 @@ impl RunEvent {
         match self {
             RunEvent::CellStarted { .. } => "cell_started",
             RunEvent::RunCompleted { .. } => "run_completed",
+            RunEvent::RunFailed { .. } => "run_failed",
             RunEvent::CellCompleted { .. } => "cell_completed",
             RunEvent::CellFailed { .. } => "cell_failed",
             RunEvent::ScenarioCompleted { .. } => "scenario_completed",
@@ -482,9 +495,16 @@ impl<'a> ScenarioSession<'a> {
                 let mut control = |checkpoint: &RunCheckpoint<'_>| -> bool {
                     runs_used = checkpoint.run_index + 1;
                     folded = *checkpoint.deltas;
-                    emit(
-                        observers,
-                        &RunEvent::RunCompleted {
+                    let event = match checkpoint.failure {
+                        // A panicking run folds as a structured failure —
+                        // observed like any other run, so JSONL consumers
+                        // see a gap-free run-index stream.
+                        Some(failure) => RunEvent::RunFailed {
+                            cell: cell_index,
+                            run_index: checkpoint.run_index,
+                            payload: failure.payload.clone(),
+                        },
+                        None => RunEvent::RunCompleted {
                             cell: cell_index,
                             run_index: checkpoint.run_index,
                             run_stats: RunStats {
@@ -496,7 +516,8 @@ impl<'a> ScenarioSession<'a> {
                                 pooled_std_dev_ms: checkpoint.deltas.std_dev(),
                             },
                         },
-                    );
+                    };
+                    emit(observers, &event);
                     if stop.should_stop(checkpoint, started) {
                         stopped = checkpoint.run_index + 1 < planned;
                         return true;

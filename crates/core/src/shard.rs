@@ -59,23 +59,28 @@
 
 use crate::experiment::{CampaignResult, ExperimentConfig, RunCheckpoint, RunResult};
 use crate::overhead::OverheadReport;
+use crate::resilience::{
+    CellProgress, Checkpoint, QuarantinedPart, RepairPlan, RunFailure, SalvageReport,
+};
 use crate::scenario::{CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Workload};
 use bcbpt_cluster::ProtocolRegistry;
 use bcbpt_net::{MessageStats, Network};
 use bcbpt_stats::{EcdfBuilder, StreamingSummary};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
+use std::sync::Mutex;
 
-/// Version of the shard wire format ([`WarmSnapshot`] and
-/// [`PartialOutcome`] envelopes). Bumped whenever their serialized shape
+/// Version of the shard wire format ([`WarmSnapshot`], [`PartialOutcome`]
+/// and [`Checkpoint`] envelopes). Bumped whenever their serialized shape
 /// or the digest recipe changes; [`merge_shards`] refuses parts from any
-/// other version.
-pub const SHARD_FORMAT_VERSION: u32 = 1;
+/// other version. Version 2 added per-part content digests and the
+/// `failures` stream (panic isolation).
+pub const SHARD_FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a over `bytes` — the content-digest primitive of the shard
 /// protocol (stable, dependency-free, and plenty for integrity checks;
 /// this is corruption/mismatch detection, not cryptography).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -323,6 +328,9 @@ pub enum CellShard {
         snapshot: WarmSnapshot,
         /// This shard's measuring runs, ascending by `run_index`.
         runs: Vec<RunResult>,
+        /// Runs in this shard's range that panicked (caught per run),
+        /// ascending by `run_index`, disjoint from `runs`.
+        failures: Vec<RunFailure>,
         /// Sum of the range's measurement-window traffic (total minus
         /// warmup) — integer counters, so cross-shard merge is exact.
         window_traffic: MessageStats,
@@ -383,6 +391,7 @@ pub struct PartialCell {
 /// | `scenario_runs` | the scenario's whole `runs` budget |
 /// | `plan` | this shard's [`ShardPlan`] — must equal the plan recomputed from `(scenario_runs, shard_index, shard_count)` |
 /// | `cells` | one [`PartialCell`] per sweep cell, in sweep order |
+/// | `digest` | FNV-1a over the canonical serialization with `digest` zeroed |
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartialOutcome {
     /// Shard wire-format version.
@@ -402,6 +411,11 @@ pub struct PartialOutcome {
     pub plan: ShardPlan,
     /// Per-cell contributions, in sweep order.
     pub cells: Vec<PartialCell>,
+    /// FNV-1a content digest over the canonical serialization of every
+    /// field above (with `digest` itself zeroed). Covers the *whole*
+    /// part — run streams and accumulators included — so any byte of
+    /// on-disk corruption that still parses is caught before it merges.
+    pub digest: u64,
 }
 
 impl PartialOutcome {
@@ -410,13 +424,47 @@ impl PartialOutcome {
         serde_json::to_string_pretty(self).expect("partial outcome serializes")
     }
 
-    /// Parses a part from JSON.
+    /// Parses a part from JSON. Parsing does not verify the content
+    /// digest; [`merge_shards`]/[`salvage_merge`] call
+    /// [`verify_seal`](Self::verify_seal).
     ///
     /// # Errors
     ///
     /// Returns the parse/shape error.
     pub fn from_json(text: &str) -> Result<Self, String> {
         serde_json::from_str(text).map_err(|e| format!("invalid shard part: {e}"))
+    }
+
+    /// Seals the part: recomputes and stores the content digest. Called
+    /// by [`run_shard_in`]; tests that deliberately edit a part re-seal
+    /// it to reach the deeper consistency checks.
+    pub fn seal(&mut self) {
+        self.digest = self.fingerprint();
+    }
+
+    /// The digest the current fields imply (with `digest` zeroed).
+    fn fingerprint(&self) -> u64 {
+        let mut zeroed = self.clone();
+        zeroed.digest = 0;
+        let json = serde_json::to_string(&zeroed).expect("partial outcome serializes");
+        fnv1a64(json.as_bytes())
+    }
+
+    /// Checks the part's content digest against its fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch.
+    pub fn verify_seal(&self) -> Result<(), String> {
+        let expected = self.fingerprint();
+        if self.digest != expected {
+            return Err(format!(
+                "part digest {:#018x} does not match its contents ({:#018x}) — the part \
+                 file is corrupt or was edited; re-run this shard",
+                self.digest, expected
+            ));
+        }
+        Ok(())
     }
 
     /// Total measuring-run indices this shard consumed across its
@@ -439,6 +487,54 @@ fn is_shardable_campaign(workload: &Workload) -> bool {
         workload,
         Workload::TxFlood | Workload::ChurnBurst { .. } | Workload::OverheadProbe
     )
+}
+
+/// Where a checkpointing shard run persists its [`Checkpoint`]s: called
+/// under the fold lock at every checkpoint boundary. Returning `Err`
+/// aborts the shard run (a checkpointer that cannot write durably must
+/// not keep burning runs whose progress would be lost). `Send` because
+/// the fold evaluates its control hook from worker threads.
+pub type CheckpointSink<'s> = dyn FnMut(&Checkpoint) -> Result<(), String> + Send + 's;
+
+/// Execution options of [`run_shard_with`] — threads, checkpointing and
+/// resume. [`Default`] reproduces plain [`run_shard_in`] behaviour (no
+/// checkpoints, no resume, one worker per core).
+pub struct ShardRunOptions<'a> {
+    /// Worker-thread count (`None` = one per available core). Output is
+    /// byte-identical for any value.
+    pub threads: Option<usize>,
+    /// Continue from this checkpoint instead of starting at the plan's
+    /// first run. Must verify and must match the scenario and shard
+    /// coordinate, or the run is refused.
+    pub resume: Option<Checkpoint>,
+    /// Folds between mid-cell checkpoints (minimum 1). Ignored without a
+    /// `sink`.
+    pub checkpoint_every: usize,
+    /// Receives every sealed [`Checkpoint`]; `None` disables
+    /// checkpointing.
+    pub sink: Option<&'a mut CheckpointSink<'a>>,
+}
+
+impl Default for ShardRunOptions<'_> {
+    fn default() -> Self {
+        ShardRunOptions {
+            threads: None,
+            resume: None,
+            checkpoint_every: 1,
+            sink: None,
+        }
+    }
+}
+
+/// How a cell's shard run failed: recorded errors ride along in the part
+/// (matching `run_batch` semantics), fatal ones abort the whole shard.
+enum CellError {
+    /// The cell failed at run time — recorded as [`CellShard::Failed`].
+    Recorded(String),
+    /// Checkpointing failed or resume state was inconsistent — the shard
+    /// run must stop rather than produce a part that lies about its
+    /// durability.
+    Fatal(String),
 }
 
 /// Executes one shard of `scenario` against the built-in protocol set
@@ -471,6 +567,35 @@ pub fn run_shard_in(
     registry: &ProtocolRegistry,
     threads: usize,
 ) -> Result<PartialOutcome, String> {
+    run_shard_with(
+        scenario,
+        spec,
+        registry,
+        ShardRunOptions {
+            threads: Some(threads),
+            ..ShardRunOptions::default()
+        },
+    )
+}
+
+/// [`run_shard`] with full execution options: worker threads, mid-cell
+/// checkpointing through a [`CheckpointSink`], and resume from a prior
+/// [`Checkpoint`]. A killed-and-resumed shard produces a part
+/// byte-identical to an uninterrupted run at any thread count.
+///
+/// # Errors
+///
+/// Everything [`run_shard`] rejects, plus: a resume checkpoint that fails
+/// [`Checkpoint::verify`] or does not match this scenario and shard
+/// coordinate; a re-warmed snapshot that diverges from the checkpoint's;
+/// and a sink write failure (the run aborts — progress past a checkpoint
+/// that cannot be persisted would be silently lost on the next crash).
+pub fn run_shard_with(
+    scenario: &Scenario,
+    spec: ShardSpec,
+    registry: &ProtocolRegistry,
+    options: ShardRunOptions<'_>,
+) -> Result<PartialOutcome, String> {
     scenario.validate_in(registry)?;
     if let Some(stop) = &scenario.stop {
         if stop.is_adaptive() {
@@ -486,13 +611,49 @@ pub fn run_shard_in(
     }
     let plan = ShardPlan::for_shard(scenario.runs, spec)?;
     let shardable = is_shardable_campaign(&scenario.workload);
-    let mut cells = Vec::new();
-    for cell in scenario.cells() {
+    let threads = options
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let checkpoint_every = options.checkpoint_every.max(1);
+    let digest = scenario_digest(scenario);
+    let all_cells = scenario.cells();
+    let (mut cells, mut current) = match options.resume {
+        None => (Vec::new(), None),
+        Some(checkpoint) => {
+            validate_resume(checkpoint, scenario, digest, plan, &all_cells, shardable)?
+        }
+    };
+    let restored = cells.len();
+    let mut sink = options.sink;
+    for (cell_index, cell) in all_cells.into_iter().enumerate() {
+        if cell_index < restored {
+            continue; // completed before the checkpoint; restored verbatim
+        }
+        let resume_cell = if current.as_ref().is_some_and(|p| p.cell_index == cell_index) {
+            current.take()
+        } else {
+            None
+        };
         // Like `run_batch`, a cell that fails at run time does not abort
         // the shard: the error rides along and the merge surfaces it.
         let part = if shardable {
-            run_cell_shard(scenario, registry, threads, &cell, plan)
-                .unwrap_or_else(|error| CellShard::Failed { error })
+            match run_cell_shard(
+                scenario,
+                registry,
+                threads,
+                &cell,
+                cell_index,
+                plan,
+                resume_cell,
+                checkpoint_every,
+                &mut sink,
+                digest,
+                &cells,
+            ) {
+                Ok(part) => part,
+                Err(CellError::Recorded(error)) => CellShard::Failed { error },
+                Err(CellError::Fatal(error)) => return Err(error),
+            }
         } else if spec.index == 0 {
             // Indivisible workloads (single-shot experiments and the
             // paired adversarial campaigns) run whole on shard 0.
@@ -509,58 +670,321 @@ pub fn run_shard_in(
             num_nodes: cell.num_nodes,
             part,
         });
+        // Cell-boundary checkpoint: a crash between cells costs nothing.
+        if let Some(sink) = sink.as_mut() {
+            let mut boundary = Checkpoint {
+                version: SHARD_FORMAT_VERSION,
+                scenario: scenario.name.clone(),
+                scenario_digest: digest,
+                scenario_runs: scenario.runs,
+                plan,
+                cells_done: cells.clone(),
+                current: None,
+                digest: 0,
+            };
+            boundary.seal();
+            sink(&boundary).map_err(|e| format!("checkpoint write failed: {e}"))?;
+        }
     }
-    Ok(PartialOutcome {
+    let mut part = PartialOutcome {
         version: SHARD_FORMAT_VERSION,
         scenario: scenario.name.clone(),
-        scenario_digest: scenario_digest(scenario),
+        scenario_digest: digest,
         workload: scenario.workload.clone(),
         scenario_runs: scenario.runs,
         plan,
         cells,
-    })
+        digest: 0,
+    };
+    part.seal();
+    Ok(part)
+}
+
+/// Checks a resume [`Checkpoint`] against the scenario and shard
+/// coordinate this process was launched with, returning the restored
+/// completed cells and in-flight progress.
+fn validate_resume(
+    checkpoint: Checkpoint,
+    scenario: &Scenario,
+    digest: u64,
+    plan: ShardPlan,
+    cells: &[ScenarioCell],
+    shardable: bool,
+) -> Result<(Vec<PartialCell>, Option<CellProgress>), String> {
+    checkpoint.verify()?;
+    if checkpoint.scenario != scenario.name || checkpoint.scenario_digest != digest {
+        return Err(format!(
+            "checkpoint belongs to scenario {:?} (digest {:#018x}), not {:?} (digest \
+             {:#018x}) — resume with the checkpoint this scenario wrote, or re-run \
+             without --resume",
+            checkpoint.scenario, checkpoint.scenario_digest, scenario.name, digest
+        ));
+    }
+    if checkpoint.scenario_runs != scenario.runs {
+        return Err(format!(
+            "checkpoint carries a runs budget of {} but the scenario declares {} — the \
+             file is corrupt",
+            checkpoint.scenario_runs, scenario.runs
+        ));
+    }
+    if checkpoint.plan != plan {
+        return Err(format!(
+            "checkpoint was written by shard {}/{} (runs {}..{}) but this process is \
+             shard {}/{} (runs {}..{}) — resume each shard from its own checkpoint",
+            checkpoint.plan.shard_index,
+            checkpoint.plan.shard_count,
+            checkpoint.plan.run_start,
+            checkpoint.plan.run_end,
+            plan.shard_index,
+            plan.shard_count,
+            plan.run_start,
+            plan.run_end
+        ));
+    }
+    if checkpoint.cells_done.len() > cells.len() {
+        return Err(format!(
+            "checkpoint claims {} completed cell(s) but the scenario sweeps {} — the \
+             file is corrupt",
+            checkpoint.cells_done.len(),
+            cells.len()
+        ));
+    }
+    for (done, expected) in checkpoint.cells_done.iter().zip(cells) {
+        if done.label != expected.label {
+            return Err(format!(
+                "checkpoint cell {:?} does not match the scenario's cell {:?} in sweep \
+                 order — the file is corrupt",
+                done.label, expected.label
+            ));
+        }
+    }
+    if let Some(progress) = &checkpoint.current {
+        if !shardable {
+            return Err(
+                "checkpoint carries mid-cell progress for an indivisible workload — the \
+                 file is corrupt"
+                    .to_string(),
+            );
+        }
+        if progress.cell_index != checkpoint.cells_done.len() || progress.cell_index >= cells.len()
+        {
+            return Err(format!(
+                "checkpoint's in-flight cell index {} does not follow its {} completed \
+                 cell(s) — the file is corrupt",
+                progress.cell_index,
+                checkpoint.cells_done.len()
+            ));
+        }
+        if progress.next_run < plan.run_start || progress.next_run > plan.run_end {
+            return Err(format!(
+                "checkpoint resumes at run {} which is outside the shard's range {}..{}",
+                progress.next_run, plan.run_start, plan.run_end
+            ));
+        }
+        progress.snapshot.verify()?;
+        for (what, indices) in [
+            (
+                "runs",
+                progress
+                    .runs
+                    .iter()
+                    .map(|r| r.run_index)
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "failures",
+                progress.failures.iter().map(|f| f.run_index).collect(),
+            ),
+        ] {
+            let mut prev: Option<usize> = None;
+            for index in indices {
+                if index < plan.run_start || index >= progress.next_run {
+                    return Err(format!(
+                        "checkpoint {what} include run {index}, outside the folded prefix \
+                         {}..{} — the file is corrupt",
+                        plan.run_start, progress.next_run
+                    ));
+                }
+                if prev.is_some_and(|p| index <= p) {
+                    return Err(format!(
+                        "checkpoint {what} are not in ascending run-index order — the \
+                         file is corrupt"
+                    ));
+                }
+                prev = Some(index);
+            }
+        }
+    }
+    Ok((checkpoint.cells_done, checkpoint.current))
+}
+
+/// Replays the accumulator fold over a run vector, in run-index order —
+/// bit-identical to the incremental fold the campaign performed. Resume
+/// recomputes accumulators from the concatenated run stream instead of
+/// Welford-merging across the crash boundary (the parallel combine is
+/// not bit-exact; replaying the fold is), so an interrupted-and-resumed
+/// shard's part equals an uninterrupted shard's byte for byte.
+fn fold_accumulators(runs: &[RunResult]) -> (StreamingSummary, StreamingSummary, EcdfBuilder) {
+    let mut deltas = StreamingSummary::new();
+    let mut run_means = StreamingSummary::new();
+    let mut ecdf = EcdfBuilder::new();
+    for run in runs {
+        deltas.extend(run.deltas_ms.iter().copied());
+        if let Some(mean) = crate::experiment::run_mean_delta(run) {
+            run_means.record(mean);
+        }
+        ecdf.extend(run.deltas_ms.iter().copied());
+    }
+    (deltas, run_means, ecdf)
 }
 
 /// Runs one campaign cell's shard range: rebuild + warm the snapshot,
-/// execute only `plan.run_range()`, fold the accumulators in run-index
-/// order. An empty range still warms the cell — the snapshot digest is
-/// this shard's proof that it agrees on the warmed state.
+/// execute only the (possibly resumed) remainder of `plan.run_range()`,
+/// fold the accumulators in run-index order, and persist a sealed
+/// [`Checkpoint`] through `sink` every `checkpoint_every` folds. An
+/// empty range still warms the cell — the snapshot digest is this
+/// shard's proof that it agrees on the warmed state.
+#[allow(clippy::too_many_arguments)]
 fn run_cell_shard(
     scenario: &Scenario,
     registry: &ProtocolRegistry,
     threads: usize,
     cell: &ScenarioCell,
+    cell_index: usize,
     plan: ShardPlan,
-) -> Result<CellShard, String> {
+    resume: Option<CellProgress>,
+    checkpoint_every: usize,
+    sink: &mut Option<&mut CheckpointSink<'_>>,
+    scenario_digest: u64,
+    cells_done: &[PartialCell],
+) -> Result<CellShard, CellError> {
     let cfg = scenario.cell_config(cell);
-    let mut snapshot: Option<WarmSnapshot> = None;
+    let (prefix_runs, prefix_failures, prefix_window, resumed_snapshot, start_run) = match resume {
+        Some(progress) => (
+            progress.runs,
+            progress.failures,
+            progress.window_traffic,
+            Some(progress.snapshot),
+            progress.next_run,
+        ),
+        None => (
+            Vec::new(),
+            Vec::new(),
+            MessageStats::new(),
+            None,
+            plan.run_start,
+        ),
+    };
+    // The warm inspection (main thread, before runs fan out) fills this
+    // slot; the control hook (under the fold lock, possibly on a worker)
+    // reads it for every mid-cell checkpoint — hence the mutex.
+    let snapshot_slot: Mutex<Option<WarmSnapshot>> = Mutex::new(None);
     let mut inspect = |net: &Network| {
-        snapshot = Some(WarmSnapshot::capture(&cfg, net));
+        *snapshot_slot.lock().expect("snapshot slot") = Some(WarmSnapshot::capture(&cfg, net));
     };
-    let mut deltas = StreamingSummary::new();
-    let mut run_means = StreamingSummary::new();
-    let mut ecdf = EcdfBuilder::new();
+    let mut seen_runs: Vec<RunResult> = Vec::new();
+    let mut seen_failures: Vec<RunFailure> = Vec::new();
+    let mut sink_error: Option<String> = None;
     let mut control = |checkpoint: &RunCheckpoint<'_>| {
-        if let Some(result) = checkpoint.result {
-            ecdf.extend(result.deltas_ms.iter().copied());
+        let mut stop = false;
+        if sink.is_some() {
+            if let Some(result) = checkpoint.result {
+                seen_runs.push(result.clone());
+            }
+            if let Some(failure) = checkpoint.failure {
+                seen_failures.push(failure.clone());
+            }
+            let folded_here = checkpoint.run_index + 1 - start_run;
+            if folded_here.is_multiple_of(checkpoint_every) {
+                let snapshot_guard = snapshot_slot.lock().expect("snapshot slot");
+                let snapshot = snapshot_guard
+                    .as_ref()
+                    .expect("warm inspection runs before folds");
+                let mut runs = prefix_runs.clone();
+                runs.extend(seen_runs.iter().cloned());
+                let mut failures = prefix_failures.clone();
+                failures.extend(seen_failures.iter().cloned());
+                let (deltas, run_means, ecdf) = fold_accumulators(&runs);
+                let mut window_traffic = prefix_window.clone();
+                window_traffic.merge(&checkpoint.traffic.since(&snapshot.warmup_traffic));
+                let progress = CellProgress {
+                    cell_index,
+                    snapshot: snapshot.clone(),
+                    runs,
+                    failures,
+                    window_traffic,
+                    deltas,
+                    run_means,
+                    ecdf,
+                    next_run: checkpoint.run_index + 1,
+                };
+                let mut envelope = Checkpoint {
+                    version: SHARD_FORMAT_VERSION,
+                    scenario: scenario.name.clone(),
+                    scenario_digest,
+                    scenario_runs: scenario.runs,
+                    plan,
+                    cells_done: cells_done.to_vec(),
+                    current: Some(progress),
+                    digest: 0,
+                };
+                envelope.seal();
+                drop(snapshot_guard);
+                if let Some(sink) = sink.as_mut() {
+                    if let Err(e) = sink(&envelope) {
+                        sink_error = Some(e);
+                        stop = true;
+                    }
+                }
+            }
         }
-        deltas = *checkpoint.deltas;
-        run_means = *checkpoint.run_means;
-        false
+        // `DieAfterRuns` dies here — after the fold (and after any
+        // checkpoint for it was persisted), like a real mid-campaign kill.
+        #[cfg(feature = "fault-injection")]
+        crate::resilience::fault::note_run_folded();
+        stop
     };
-    let campaign = cfg.run_campaign_range(
-        registry,
-        threads,
-        None,
-        Some(&mut inspect),
-        Some(&mut control),
-        plan.run_range(),
-    )?;
-    let snapshot = snapshot.expect("warm inspection runs before measuring");
-    let window_traffic = campaign.traffic.since(&campaign.warmup_traffic);
+    let campaign = cfg
+        .run_campaign_range(
+            registry,
+            threads,
+            None,
+            Some(&mut inspect),
+            Some(&mut control),
+            start_run..plan.run_end,
+        )
+        .map_err(CellError::Recorded)?;
+    if let Some(error) = sink_error {
+        return Err(CellError::Fatal(format!(
+            "checkpoint write failed: {error}"
+        )));
+    }
+    let snapshot = snapshot_slot
+        .into_inner()
+        .expect("snapshot slot")
+        .expect("warm inspection runs before measuring");
+    if let Some(resumed) = resumed_snapshot {
+        if resumed != snapshot {
+            return Err(CellError::Fatal(format!(
+                "cell {:?}: the re-warmed snapshot (digest {:#018x}) does not match the \
+                 checkpoint's ({:#018x}) — the checkpoint was produced by a different \
+                 scenario file, seed or binary; delete it and re-run the shard without \
+                 --resume",
+                cell.label, snapshot.digest, resumed.digest
+            )));
+        }
+    }
+    let mut runs = prefix_runs;
+    runs.extend(campaign.runs);
+    let mut failures = prefix_failures;
+    failures.extend(campaign.failures);
+    let (deltas, run_means, ecdf) = fold_accumulators(&runs);
+    let mut window_traffic = prefix_window;
+    window_traffic.merge(&campaign.traffic.since(&campaign.warmup_traffic));
     Ok(CellShard::Campaign {
         snapshot,
-        runs: campaign.runs,
+        runs,
+        failures,
         window_traffic,
         deltas,
         run_means,
@@ -609,6 +1033,8 @@ pub fn merge_shards(mut parts: Vec<PartialOutcome>) -> Result<ScenarioOutcome, S
                 part.plan.shard_index, part.version, SHARD_FORMAT_VERSION
             ));
         }
+        part.verify_seal()
+            .map_err(|e| format!("part for shard {}: {e}", part.plan.shard_index))?;
         if part.scenario != scenario || part.scenario_digest != scenario_digest {
             return Err(format!(
                 "parts mix different scenarios: {scenario:?} (digest {scenario_digest:#018x}) \
@@ -741,6 +1167,7 @@ fn merge_campaign_cell(
 ) -> Result<CellOutcome, String> {
     let mut snapshot: Option<WarmSnapshot> = None;
     let mut runs: Vec<RunResult> = Vec::new();
+    let mut failures: Vec<RunFailure> = Vec::new();
     let mut window_sum = MessageStats::new();
     let mut merged_deltas = StreamingSummary::new();
     let mut merged_run_means = StreamingSummary::new();
@@ -750,6 +1177,7 @@ fn merge_campaign_cell(
         let CellShard::Campaign {
             snapshot: shard_snapshot,
             runs: shard_runs,
+            failures: shard_failures,
             window_traffic,
             deltas,
             run_means,
@@ -795,7 +1223,25 @@ fn merge_campaign_cell(
             }
             prev = Some(run.run_index);
         }
+        let mut prev_failure: Option<usize> = None;
+        for failure in shard_failures.iter() {
+            if !range.contains(&failure.run_index) {
+                return Err(format!(
+                    "cell {label:?}: shard {} reports a failure at run {} outside its \
+                     range {}..{}",
+                    plan.shard_index, failure.run_index, range.start, range.end
+                ));
+            }
+            if prev_failure.is_some_and(|p| failure.run_index <= p) {
+                return Err(format!(
+                    "cell {label:?}: shard {} failures are not in ascending run-index order",
+                    plan.shard_index
+                ));
+            }
+            prev_failure = Some(failure.run_index);
+        }
         runs.append(shard_runs);
+        failures.append(shard_failures);
         window_sum.merge(window_traffic);
         merged_deltas.merge(deltas);
         merged_run_means.merge(run_means);
@@ -839,6 +1285,7 @@ fn merge_campaign_cell(
         warmup_traffic: snapshot.warmup_traffic.clone(),
         cluster_sizes: snapshot.cluster_sizes.clone(),
         num_nodes: snapshot.num_nodes,
+        failures,
     };
     let report = match workload {
         Workload::OverheadProbe => CellReport::Overhead {
@@ -847,6 +1294,259 @@ fn merge_campaign_cell(
         _ => CellReport::Campaign { campaign },
     };
     Ok(CellOutcome::new(label, protocol, num_nodes, report))
+}
+
+/// Salvaging [`merge_shards`]: instead of aborting on the first bad part,
+/// quarantine every part that is unreadable, unparseable, seal-broken,
+/// version-mismatched, or inconsistent with the consensus of the rest —
+/// then merge what survives. When every shard index still has a valid
+/// part, the merged outcome is returned (identical to what
+/// [`merge_shards`] over clean parts produces); otherwise the report
+/// carries a [`RepairPlan`] naming the exact `--shard i/N` re-runs that
+/// complete the set.
+///
+/// `sources` pairs each part with its origin label (file path); `Err`
+/// entries carry the read/parse failure the caller hit and are
+/// quarantined with that reason. `scenario_path` is echoed into the
+/// repair commands.
+///
+/// # Errors
+///
+/// Only when nothing can be salvaged at all: an empty source list, every
+/// part quarantined, or the surviving set failing a deep merge check
+/// that quarantining cannot attribute to one part.
+pub fn salvage_merge(
+    sources: Vec<(String, Result<PartialOutcome, String>)>,
+    scenario_path: &str,
+) -> Result<SalvageReport, String> {
+    if sources.is_empty() {
+        return Err("no shard parts to salvage".to_string());
+    }
+    let mut quarantined: Vec<QuarantinedPart> = Vec::new();
+    let mut survivors: Vec<(String, PartialOutcome)> = Vec::new();
+    for (source, result) in sources {
+        let part = match result {
+            Ok(part) => part,
+            Err(reason) => {
+                quarantined.push(QuarantinedPart {
+                    source,
+                    shard_index: None,
+                    reason,
+                });
+                continue;
+            }
+        };
+        if part.version != SHARD_FORMAT_VERSION {
+            quarantined.push(QuarantinedPart {
+                source,
+                shard_index: Some(part.plan.shard_index),
+                reason: format!(
+                    "wire-format version {} (this binary speaks {SHARD_FORMAT_VERSION})",
+                    part.version
+                ),
+            });
+            continue;
+        }
+        if let Err(reason) = part.verify_seal() {
+            quarantined.push(QuarantinedPart {
+                source,
+                shard_index: Some(part.plan.shard_index),
+                reason,
+            });
+            continue;
+        }
+        survivors.push((source, part));
+    }
+    // Consensus on the campaign identity: (scenario, digest, runs budget,
+    // shard count, cell count). Majority wins; ties break toward the
+    // earliest source, so a lone healthy part still anchors the merge.
+    type IdentityKey = (String, u64, usize, usize, usize);
+    let identity = |p: &PartialOutcome| -> IdentityKey {
+        (
+            p.scenario.clone(),
+            p.scenario_digest,
+            p.scenario_runs,
+            p.plan.shard_count,
+            p.cells.len(),
+        )
+    };
+    let consensus = {
+        let mut tally: Vec<(IdentityKey, usize, usize)> = Vec::new();
+        for (position, (_, part)) in survivors.iter().enumerate() {
+            let key = identity(part);
+            match tally.iter_mut().find(|(k, _, _)| *k == key) {
+                Some((_, count, _)) => *count += 1,
+                None => tally.push((key, 1, position)),
+            }
+        }
+        tally
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
+            .map(|(key, _, _)| key)
+    };
+    let Some(consensus) = consensus else {
+        return Err(format!(
+            "salvage merge: every part was quarantined, nothing to merge:\n{}",
+            quarantine_lines(&quarantined)
+        ));
+    };
+    let (scenario, _, scenario_runs, shard_count, _) = consensus.clone();
+    survivors.retain(|(source, part)| {
+        if identity(part) == consensus {
+            return true;
+        }
+        quarantined.push(QuarantinedPart {
+            source: source.clone(),
+            shard_index: Some(part.plan.shard_index),
+            reason: format!(
+                "disagrees with the majority of parts on the campaign identity \
+                 (scenario {:?}, digest {:#018x}, {} run(s), {} shard(s), {} cell(s))",
+                part.scenario,
+                part.scenario_digest,
+                part.scenario_runs,
+                part.plan.shard_count,
+                part.cells.len()
+            ),
+        });
+        false
+    });
+    // Plan sanity and duplicate shard indices (first in source order wins).
+    let mut seen_indices: Vec<usize> = Vec::new();
+    survivors.retain(|(source, part)| {
+        let index = part.plan.shard_index;
+        let expected = ShardSpec::new(index, shard_count)
+            .and_then(|spec| ShardPlan::for_shard(scenario_runs, spec));
+        match expected {
+            Ok(expected) if expected == part.plan => {}
+            Ok(expected) => {
+                quarantined.push(QuarantinedPart {
+                    source: source.clone(),
+                    shard_index: Some(index),
+                    reason: format!(
+                        "carries plan {}..{} but a {shard_count}-shard split of \
+                         {scenario_runs} run(s) assigns shard {index} {}..{}",
+                        part.plan.run_start,
+                        part.plan.run_end,
+                        expected.run_start,
+                        expected.run_end
+                    ),
+                });
+                return false;
+            }
+            Err(reason) => {
+                quarantined.push(QuarantinedPart {
+                    source: source.clone(),
+                    shard_index: Some(index),
+                    reason,
+                });
+                return false;
+            }
+        }
+        if seen_indices.contains(&index) {
+            quarantined.push(QuarantinedPart {
+                source: source.clone(),
+                shard_index: Some(index),
+                reason: format!(
+                    "duplicate part for shard {index} (an earlier source already covers it)"
+                ),
+            });
+            return false;
+        }
+        seen_indices.push(index);
+        true
+    });
+    // Per-cell warm-snapshot consensus: a part that warmed to a different
+    // state (different binary or diverged replay) is quarantined instead
+    // of failing the whole merge.
+    let cell_count = survivors.first().map_or(0, |(_, p)| p.cells.len());
+    for cell_index in 0..cell_count {
+        let digest_of = |part: &PartialOutcome| match &part.cells[cell_index].part {
+            CellShard::Campaign { snapshot, .. } => Some(snapshot.digest),
+            _ => None,
+        };
+        let mut tally: Vec<(u64, usize, usize)> = Vec::new();
+        for (position, (_, part)) in survivors.iter().enumerate() {
+            if let Some(digest) = digest_of(part) {
+                match tally.iter_mut().find(|(d, _, _)| *d == digest) {
+                    Some((_, count, _)) => *count += 1,
+                    None => tally.push((digest, 1, position)),
+                }
+            }
+        }
+        let Some((majority, _, _)) = tally
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
+        else {
+            continue; // no campaign carriers for this cell
+        };
+        survivors.retain(|(source, part)| {
+            let Some(digest) = digest_of(part) else {
+                return true;
+            };
+            if digest == majority {
+                return true;
+            }
+            quarantined.push(QuarantinedPart {
+                source: source.clone(),
+                shard_index: Some(part.plan.shard_index),
+                reason: format!(
+                    "cell {cell_index} warmed to snapshot digest {digest:#018x}, but the \
+                     majority of parts agree on {majority:#018x}"
+                ),
+            });
+            false
+        });
+    }
+    if survivors.is_empty() {
+        return Err(format!(
+            "salvage merge: every part was quarantined, nothing to merge:\n{}",
+            quarantine_lines(&quarantined)
+        ));
+    }
+    let missing_shards: Vec<usize> = (0..shard_count)
+        .filter(|i| !survivors.iter().any(|(_, p)| p.plan.shard_index == *i))
+        .collect();
+    if missing_shards.is_empty() {
+        let mut parts: Vec<PartialOutcome> = survivors.into_iter().map(|(_, p)| p).collect();
+        parts.sort_by_key(|p| p.plan.shard_index);
+        let outcome = merge_shards(parts)
+            .map_err(|e| format!("salvage merge: the surviving parts still do not merge: {e}"))?;
+        return Ok(SalvageReport {
+            outcome: Some(outcome),
+            quarantined,
+            repair: None,
+        });
+    }
+    let commands = missing_shards
+        .iter()
+        .map(|&index| {
+            let out = quarantined
+                .iter()
+                .find(|q| q.shard_index == Some(index))
+                .map_or_else(|| format!("part-{index}.json"), |q| q.source.clone());
+            format!("scenario shard run {scenario_path} --shard {index}/{shard_count} --out {out}")
+        })
+        .collect();
+    Ok(SalvageReport {
+        outcome: None,
+        quarantined: quarantined.clone(),
+        repair: Some(RepairPlan {
+            scenario,
+            shard_count,
+            quarantined,
+            missing_shards,
+            commands,
+        }),
+    })
+}
+
+/// One indented line per quarantined part, for error messages.
+fn quarantine_lines(quarantined: &[QuarantinedPart]) -> String {
+    quarantined
+        .iter()
+        .map(|q| format!("  {}: {}", q.source, q.reason))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]
@@ -985,17 +1685,28 @@ mod tests {
     #[test]
     fn tampered_parts_are_rejected_by_the_digest() {
         let scenario = tiny(4);
+        // Any edit that is not re-sealed trips the whole-part seal first.
         let mut parts = shard_all(&scenario, 2);
-        // Corrupt the warm snapshot of shard 1 without updating its digest.
         if let CellShard::Campaign { snapshot, .. } = &mut parts[1].cells[0].part {
             snapshot.online += 1;
         }
         let err = merge_shards(parts).unwrap_err();
-        assert!(err.contains("digest"), "{err}");
+        assert!(err.contains("part digest"), "{err}");
+
+        // Re-sealing the edited part gets past the outer seal; the warm
+        // snapshot's own digest still catches the tamper.
+        let mut parts = shard_all(&scenario, 2);
+        if let CellShard::Campaign { snapshot, .. } = &mut parts[1].cells[0].part {
+            snapshot.online += 1;
+        }
+        parts[1].seal();
+        let err = merge_shards(parts).unwrap_err();
+        assert!(err.contains("warm snapshot digest"), "{err}");
 
         // A version from the future is rejected before anything merges.
         let mut parts = shard_all(&scenario, 2);
         parts[1].version += 1;
+        parts[1].seal();
         let err = merge_shards(parts).unwrap_err();
         assert!(err.contains("version"), "{err}");
     }
@@ -1009,6 +1720,7 @@ mod tests {
         let parts = shard_all(&scenario, 2);
         let mut lone = parts[0].clone();
         lone.plan.shard_count = 1;
+        lone.seal();
         let err = merge_shards(vec![lone]).unwrap_err();
         assert!(err.contains("assigns it"), "{err}");
 
@@ -1016,6 +1728,7 @@ mod tests {
         // cell merges.
         let mut parts = shard_all(&scenario, 2);
         parts[1].scenario_runs = 2;
+        parts[1].seal();
         let err = merge_shards(parts).unwrap_err();
         assert!(err.contains("runs budget"), "{err}");
     }
@@ -1030,6 +1743,7 @@ mod tests {
             deltas.record(1.0);
             ecdf.push(1.0);
         }
+        parts[1].seal();
         let err = merge_shards(parts).unwrap_err();
         assert!(err.contains("disagree with the run stream"), "{err}");
 
@@ -1037,6 +1751,7 @@ mod tests {
         if let CellShard::Campaign { run_means, .. } = &mut parts[0].cells[0].part {
             run_means.record(1.0);
         }
+        parts[0].seal();
         let err = merge_shards(parts).unwrap_err();
         assert!(err.contains("per-run-mean accumulator"), "{err}");
     }
