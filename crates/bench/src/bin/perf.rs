@@ -4,12 +4,15 @@
 //! * event-queue throughput (schedule + drain, timer cascade) in events/sec;
 //! * relay-fabric throughput (one transaction flooding a 200-node network);
 //! * the §V.B campaign loop: wall-clock for a multi-run campaign executed
-//!   serially vs through the thread pool, with the determinism check.
+//!   serially vs through the thread pool, with the determinism check;
+//! * the campaign service: submit→complete wall-clock through an
+//!   in-process `bcbpt-serve` daemon vs a direct `Scenario::run`, plus
+//!   the response latency of a digest-keyed cache hit.
 //!
 //! Usage: `cargo run --release -p bcbpt-bench --bin perf [--quick] [OUT.json]`
 //!
 //! `--quick` shrinks the campaign for CI smoke runs. The output path
-//! defaults to `BENCH_PR6.json` in the current directory; the checked-in
+//! defaults to `BENCH_PR7.json` in the current directory; the checked-in
 //! `BENCH_PR<k>.json` files (same shape since PR 1) are the campaign-runner
 //! performance trajectory EXPERIMENTS.md tracks.
 
@@ -47,11 +50,22 @@ struct CampaignMetrics {
 }
 
 #[derive(Debug, Serialize)]
+struct ServiceMetrics {
+    scenario: String,
+    direct_secs: f64,
+    served_secs: f64,
+    submit_overhead_secs: f64,
+    cache_hit_secs: f64,
+    cache_hit: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct PerfReport {
     host_cores: usize,
     engine: EngineMetrics,
     flood: FloodMetrics,
     campaign: CampaignMetrics,
+    service: ServiceMetrics,
 }
 
 fn bench_engine() -> EngineMetrics {
@@ -138,6 +152,51 @@ fn bench_campaign(quick: bool) -> CampaignMetrics {
     }
 }
 
+fn bench_service() -> ServiceMetrics {
+    use bcbpt_core::Scenario;
+    use bcbpt_serve::{client, ServeConfig, Server};
+
+    let scenario = Scenario::builtin("fig3").expect("builtin").quick_scaled();
+    let start = Instant::now();
+    let direct = scenario.run().expect("direct run");
+    let direct_secs = start.elapsed().as_secs_f64();
+    black_box(&direct);
+
+    let spool = std::env::temp_dir().join(format!("bcbpt-perf-spool-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let server = Server::start(ServeConfig::new(&spool)).expect("server starts");
+    let addr = server.local_addr().to_string();
+    let body = scenario.to_json();
+
+    // Cold submission: HTTP submit → queue → worker → stored outcome.
+    let start = Instant::now();
+    let response = client::post(&addr, "/scenarios", &body).expect("submit");
+    assert_eq!(response.status, 202, "submit: {}", response.text());
+    client::wait_job(&addr, "job-1", std::time::Duration::from_secs(3600)).expect("job settles");
+    let served_secs = start.elapsed().as_secs_f64();
+
+    // Warm resubmission: answered from the digest-keyed outcome store.
+    let start = Instant::now();
+    let response = client::post(&addr, "/scenarios", &body).expect("resubmit");
+    let cache_hit = response.text().contains("\"cached\":true");
+    let outcome = client::get(&addr, "/jobs/job-2/outcome").expect("outcome");
+    assert_eq!(outcome.status, 200, "outcome: {}", outcome.text());
+    let cache_hit_secs = start.elapsed().as_secs_f64();
+
+    server.request_drain();
+    server.wait().expect("drain");
+    let _ = std::fs::remove_dir_all(&spool);
+
+    ServiceMetrics {
+        scenario: "fig3 --quick".to_string(),
+        direct_secs,
+        served_secs,
+        submit_overhead_secs: served_secs - direct_secs,
+        cache_hit_secs,
+        cache_hit,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -145,7 +204,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
 
     eprintln!("perf: engine microbenchmarks...");
     let engine = bench_engine();
@@ -176,11 +235,24 @@ fn main() {
         "parallel campaign diverged from serial"
     );
 
+    eprintln!("perf: campaign service...");
+    let service = bench_service();
+    eprintln!(
+        "perf: service submit→complete {:.2}s vs direct {:.2}s (overhead {:.3}s), cache hit {:.4}s (hit: {})",
+        service.served_secs,
+        service.direct_secs,
+        service.submit_overhead_secs,
+        service.cache_hit_secs,
+        service.cache_hit
+    );
+    assert!(service.cache_hit, "resubmission missed the outcome store");
+
     let report = PerfReport {
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         engine,
         flood,
         campaign,
+        service,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, format!("{json}\n")).expect("write report");

@@ -19,6 +19,9 @@
 //! scenario shard run <file.json|name> --shard i/N --out part-i.json
 //!                                              # execute one shard of a campaign
 //! scenario shard merge <part.json>...          # merge shard parts (in shard order)
+//! scenario serve [--addr host:port] [--spool dir] [--workers n]
+//!                                              # run the campaign service (bcbpt-serve)
+//! scenario submit <file.json|name> [--wait]    # submit to a running service
 //!
 //! options:
 //!   --quick             shrink to CI scale (implied by `quick`)
@@ -46,7 +49,9 @@ use bcbpt_cluster::ProtocolRegistry;
 use bcbpt_core::{
     merge_shards, run_shard_with, salvage_merge, CellShard, Checkpoint, CheckpointSink, FaultPlan,
     PartialOutcome, RunEvent, Scenario, ScenarioOutcome, ShardRunOptions, ShardSpec, StopRule,
+    WarmCache,
 };
+use bcbpt_serve::{client, ServeConfig, Server};
 use std::fs;
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};
@@ -54,7 +59,8 @@ use std::sync::{Arc, Mutex};
 #[cfg(feature = "fault-injection")]
 use bcbpt_core::fault;
 
-/// Flags shared by `run`, `quick` and the `shard` subcommands.
+/// Flags shared by `run`, `quick`, the `shard` subcommands and the
+/// service subcommands (`serve`, `submit`).
 #[derive(Default)]
 struct Options {
     quick: bool,
@@ -70,6 +76,13 @@ struct Options {
     resume: bool,
     inject_fault: Option<String>,
     salvage: bool,
+    addr: Option<String>,
+    spool: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    warm: Option<usize>,
+    shards: Option<usize>,
+    wait: bool,
 }
 
 impl Options {
@@ -89,7 +102,20 @@ impl Options {
         Ok(())
     }
 
-    /// `run`/`quick` must not swallow the sharding/recovery flags.
+    /// The service flags, rejected by everything except `serve`/`submit`.
+    fn service_flags(&self) -> [(&'static str, bool); 7] {
+        [
+            ("--addr", self.addr.is_some()),
+            ("--spool", self.spool.is_some()),
+            ("--workers", self.workers.is_some()),
+            ("--queue", self.queue.is_some()),
+            ("--warm", self.warm.is_some()),
+            ("--shards", self.shards.is_some()),
+            ("--wait", self.wait),
+        ]
+    }
+
+    /// `run`/`quick` must not swallow the sharding/recovery/service flags.
     fn reject_shard_flags(&self, command: &str) -> Result<(), String> {
         self.reject_unused(
             command,
@@ -102,7 +128,8 @@ impl Options {
                 ("--inject-fault", self.inject_fault.is_some()),
                 ("--salvage", self.salvage),
             ],
-        )
+        )?;
+        self.reject_unused(command, &self.service_flags())
     }
 
     /// The inspection subcommands (`list`, `export`, `parse`, `events`)
@@ -125,7 +152,8 @@ impl Options {
                 ("--inject-fault", self.inject_fault.is_some()),
                 ("--salvage", self.salvage),
             ],
-        )
+        )?;
+        self.reject_unused(command, &self.service_flags())
     }
 }
 
@@ -160,6 +188,30 @@ fn main() -> Result<(), String> {
         resume: take_flag(&mut args, "--resume"),
         inject_fault: take_value(&mut args, "--inject-fault")?,
         salvage: take_flag(&mut args, "--salvage"),
+        addr: take_value(&mut args, "--addr")?,
+        spool: take_value(&mut args, "--spool")?,
+        workers: take_value(&mut args, "--workers")?
+            .map(|n| {
+                n.parse::<usize>()
+                    .map_err(|e| format!("--workers {n:?}: {e}"))
+            })
+            .transpose()?,
+        queue: take_value(&mut args, "--queue")?
+            .map(|n| {
+                n.parse::<usize>()
+                    .map_err(|e| format!("--queue {n:?}: {e}"))
+            })
+            .transpose()?,
+        warm: take_value(&mut args, "--warm")?
+            .map(|n| n.parse::<usize>().map_err(|e| format!("--warm {n:?}: {e}")))
+            .transpose()?,
+        shards: take_value(&mut args, "--shards")?
+            .map(|n| {
+                n.parse::<usize>()
+                    .map_err(|e| format!("--shards {n:?}: {e}"))
+            })
+            .transpose()?,
+        wait: take_flag(&mut args, "--wait"),
     };
     match args.split_first() {
         Some((cmd, rest)) if cmd == "run" => {
@@ -206,6 +258,13 @@ fn main() -> Result<(), String> {
                 _ => Err(usage("events takes exactly one JSONL file")),
             }
         }
+        Some((cmd, rest)) if cmd == "serve" && rest.is_empty() => serve(&options),
+        Some((cmd, rest)) if cmd == "submit" => match rest {
+            [spec] => submit(spec, &options),
+            _ => Err(usage(
+                "submit takes exactly one scenario file or built-in name",
+            )),
+        },
         Some((cmd, rest)) if cmd == "shard" => match rest.split_first() {
             Some((sub, rest)) if sub == "run" => match rest {
                 [spec] => shard_run(spec, &options),
@@ -235,7 +294,11 @@ fn usage(problem: &str) -> String {
          \x20      scenario shard run <file.json|name> --shard i/N --out part-i.json\n\
          \x20                [--quick] [--threads <n>] [--checkpoint <path>]\n\
          \x20                [--checkpoint-every <n>] [--resume] [--inject-fault <json>]\n\
-         \x20      scenario shard merge <part.json>... [--json] [--salvage]"
+         \x20      scenario shard merge <part.json>... [--json] [--salvage]\n\
+         \x20      scenario serve [--addr host:port] [--spool <dir>] [--workers <n>]\n\
+         \x20                [--queue <n>] [--warm <n>] [--checkpoint-every <n>]\n\
+         \x20      scenario submit <file.json|name> [--addr host:port] [--quick]\n\
+         \x20                [--shards <n>] [--wait] [--json]"
     )
 }
 
@@ -614,6 +677,10 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
         Some(_) => Some(&mut sink_fn),
         None => None,
     };
+    // One warm-snapshot cache for the whole process: sweep cells sharing
+    // a warm recipe (same net/protocol/seed/warmup) warm once and clone
+    // thereafter — the part stays byte-identical either way.
+    let warm = WarmCache::new(8);
     let part = run_shard_with(
         &scenario,
         shard,
@@ -623,9 +690,18 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
             resume,
             checkpoint_every: options.checkpoint_every.unwrap_or(1),
             sink,
+            warm_cache: Some(&warm),
+            ..ShardRunOptions::default()
         },
     )
     .map_err(|e| format!("{spec}: {e}"))?;
+    if warm.hits() > 0 {
+        eprintln!(
+            "warm cache: {} re-warm(s) skipped ({} built)",
+            warm.hits(),
+            warm.misses()
+        );
+    }
     let mut bytes = format!("{}\n", part.to_json()).into_bytes();
     #[cfg(feature = "fault-injection")]
     if fault::corrupt_output(&mut bytes) {
@@ -768,6 +844,137 @@ fn shard_salvage(paths: &[String], options: &Options) -> Result<(), String> {
         }
         (None, None) => unreachable!("salvage yields an outcome or a repair plan"),
     }
+}
+
+/// `scenario serve`: run the campaign service until drained (SIGINT,
+/// SIGTERM or `POST /shutdown`). Running shards park at a durable
+/// checkpoint on drain; restarting on the same `--spool` resumes them.
+fn serve(options: &Options) -> Result<(), String> {
+    options.reject_unused(
+        "serve",
+        &[
+            ("--quick", options.quick),
+            ("--json", options.json),
+            ("--progress", options.progress),
+            ("--jsonl", options.jsonl.is_some()),
+            ("--stop-ci", options.stop_ci.is_some()),
+            ("--threads", options.threads.is_some()),
+            ("--shard", options.shard.is_some()),
+            ("--shards", options.shards.is_some()),
+            ("--out", options.out.is_some()),
+            ("--checkpoint", options.checkpoint.is_some()),
+            ("--resume", options.resume),
+            ("--inject-fault", options.inject_fault.is_some()),
+            ("--salvage", options.salvage),
+            ("--wait", options.wait),
+        ],
+    )?;
+    let spool = options
+        .spool
+        .clone()
+        .unwrap_or_else(|| "serve-spool".to_string());
+    let mut config = ServeConfig::new(&spool);
+    if let Some(addr) = &options.addr {
+        config.addr = addr.clone();
+    }
+    if let Some(workers) = options.workers {
+        config.workers = workers.max(1);
+    }
+    if let Some(queue) = options.queue {
+        config.queue_capacity = queue.max(1);
+    }
+    if let Some(warm) = options.warm {
+        config.warm_capacity = warm;
+    }
+    if let Some(every) = options.checkpoint_every {
+        config.checkpoint_every = every;
+    }
+    config.poll_signals = true;
+    bcbpt_serve::signals::install();
+    let workers = config.workers;
+    let server = Server::start(config)?;
+    eprintln!(
+        "campaign service on http://{} — {} worker(s), spool {spool} \
+         (drain with SIGTERM, ctrl-c or POST /shutdown)",
+        server.local_addr(),
+        workers,
+    );
+    server.wait()?;
+    eprintln!("campaign service drained");
+    Ok(())
+}
+
+/// `scenario submit <file|name>`: submit a scenario to a running service
+/// and print the submit response; with `--wait`, poll the job to
+/// completion and print its outcome (`--json` for the raw stored bytes,
+/// byte-identical to `scenario run --json`).
+fn submit(spec: &str, options: &Options) -> Result<(), String> {
+    options.reject_unused(
+        "submit",
+        &[
+            ("--progress", options.progress),
+            ("--jsonl", options.jsonl.is_some()),
+            ("--stop-ci", options.stop_ci.is_some()),
+            ("--threads", options.threads.is_some()),
+            ("--shard", options.shard.is_some()),
+            ("--out", options.out.is_some()),
+            ("--checkpoint", options.checkpoint.is_some()),
+            ("--checkpoint-every", options.checkpoint_every.is_some()),
+            ("--resume", options.resume),
+            ("--inject-fault", options.inject_fault.is_some()),
+            ("--salvage", options.salvage),
+            ("--spool", options.spool.is_some()),
+            ("--workers", options.workers.is_some()),
+            ("--queue", options.queue.is_some()),
+            ("--warm", options.warm.is_some()),
+        ],
+    )?;
+    let addr = options
+        .addr
+        .clone()
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let mut scenario = load(spec)?;
+    if options.quick {
+        scenario = scenario.quick_scaled();
+    }
+    let path = match options.shards {
+        Some(shards) => format!("/scenarios?shards={shards}"),
+        None => "/scenarios".to_string(),
+    };
+    let response = client::post(&addr, &path, &scenario.to_json())?;
+    let body = response.text();
+    if !(200..300).contains(&response.status) {
+        return Err(format!(
+            "submit {spec}: status {} — {body}",
+            response.status
+        ));
+    }
+    eprintln!("{}", body.trim_end());
+    if !options.wait {
+        return Ok(());
+    }
+    let submitted: serde::Value =
+        serde_json::from_str(&body).map_err(|e| format!("submit response: {e}"))?;
+    let job = submitted
+        .as_map()
+        .map(|entries| serde::map_get(entries, "job"))
+        .and_then(serde::Value::as_str)
+        .ok_or_else(|| format!("submit response has no job id: {body}"))?
+        .to_string();
+    let status = client::wait_job(&addr, &job, std::time::Duration::from_secs(3600))?;
+    let outcome = client::get(&addr, &format!("/jobs/{job}/outcome"))?;
+    if outcome.status != 200 {
+        return Err(format!("job {job} settled without an outcome: {status}"));
+    }
+    let text = outcome.text();
+    if options.json {
+        // The stored bytes end in a newline already; print them verbatim.
+        print!("{text}");
+    } else {
+        let parsed = ScenarioOutcome::from_json(&text)?;
+        println!("{}", parsed.render());
+    }
+    Ok(())
 }
 
 fn list() {

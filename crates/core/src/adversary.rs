@@ -245,6 +245,7 @@ pub fn adversarial_campaign_in_with_threads(
         registry,
         threads,
         Some(Box::new(inert)),
+        None,
         Some(&mut inspect_clean),
         None,
     )?;
@@ -254,6 +255,7 @@ pub fn adversarial_campaign_in_with_threads(
         registry,
         threads,
         Some(Box::new(force)),
+        None,
         Some(&mut inspect),
         None,
     )?;

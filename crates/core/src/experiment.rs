@@ -454,7 +454,7 @@ impl ExperimentConfig {
         registry: &ProtocolRegistry,
         threads: usize,
     ) -> Result<CampaignResult, String> {
-        self.run_campaign(registry, threads, None, None, None)
+        self.run_campaign(registry, threads, None, None, None, None)
     }
 
     /// [`run_campaign`](Self::run_campaign) over the whole `0..runs` range.
@@ -463,6 +463,7 @@ impl ExperimentConfig {
         registry: &ProtocolRegistry,
         threads: usize,
         adversary: Option<Box<dyn Adversary>>,
+        warm: Option<&crate::warm::WarmCache>,
         inspect_warm: Option<&mut dyn FnMut(&Network)>,
         control: Option<&mut RunControl<'_>>,
     ) -> Result<CampaignResult, String> {
@@ -470,6 +471,7 @@ impl ExperimentConfig {
             registry,
             threads,
             adversary,
+            warm,
             inspect_warm,
             control,
             0..self.runs,
@@ -493,21 +495,38 @@ impl ExperimentConfig {
     /// executing `lo..hi` in one process yields exactly the runs a full
     /// campaign would have produced at those indices; [`crate::shard`]
     /// merges such slices back into a whole campaign.
+    ///
+    /// `warm` optionally memoizes the built-and-warmed base network under
+    /// its warm-recipe digest (see [`crate::warm`]): warmup is
+    /// deterministic and runs execute on clones of the snapshot, so a
+    /// cache hit is byte-identical to rebuilding. Campaigns with an
+    /// adversary bypass the cache — the adversary shapes warmup.
+    // Internal plumbing for the session/shard/adversary runners; the
+    // hooks are orthogonal and each public wrapper passes most as None.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_campaign_range(
         &self,
         registry: &ProtocolRegistry,
         threads: usize,
         adversary: Option<Box<dyn Adversary>>,
+        warm: Option<&crate::warm::WarmCache>,
         inspect_warm: Option<&mut dyn FnMut(&Network)>,
         control: Option<&mut RunControl<'_>>,
         run_range: std::ops::Range<usize>,
     ) -> Result<CampaignResult, String> {
-        let policy = registry.build(&self.protocol)?;
-        let mut base = Network::build(self.net.clone(), policy, self.seed)?;
-        if let Some(adversary) = adversary {
-            base.set_adversary(adversary);
-        }
-        base.warmup_ms(self.warmup_ms);
+        let build = |adversary: Option<Box<dyn Adversary>>| -> Result<Network, String> {
+            let policy = registry.build(&self.protocol)?;
+            let mut base = Network::build(self.net.clone(), policy, self.seed)?;
+            if let Some(adversary) = adversary {
+                base.set_adversary(adversary);
+            }
+            base.warmup_ms(self.warmup_ms);
+            Ok(base)
+        };
+        let base = match (warm, adversary) {
+            (Some(cache), None) => cache.warm_or_build(self, || build(None))?,
+            (_, adversary) => build(adversary)?,
+        };
         if let Some(inspect) = inspect_warm {
             inspect(&base);
         }

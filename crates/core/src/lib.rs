@@ -71,6 +71,7 @@ mod scenario;
 mod session;
 mod shard;
 mod validation;
+mod warm;
 
 pub use adversary::{
     adversarial_campaign, adversarial_campaign_in, adversarial_campaign_in_with_threads,
@@ -98,10 +99,11 @@ pub use scenario::{
 };
 pub use session::{ChannelObserver, Observer, RunEvent, RunStats, ScenarioSession, StopRule};
 pub use shard::{
-    merge_shards, run_shard, run_shard_in, run_shard_with, salvage_merge, scenario_digest,
-    CellShard, CheckpointSink, PartialCell, PartialOutcome, ShardPlan, ShardRunOptions, ShardSpec,
-    WarmSnapshot, SHARD_FORMAT_VERSION,
+    checkpoint_replay_events, merge_shards, run_shard, run_shard_in, run_shard_with, salvage_merge,
+    scenario_digest, CellShard, CheckpointSink, PartialCell, PartialOutcome, ShardObserver,
+    ShardPlan, ShardRunOptions, ShardSpec, WarmSnapshot, SHARD_FORMAT_VERSION,
 };
 pub use validation::{
     reference_samples, validate_delays, ValidationReport, KS_ACCEPT, REFERENCE_SIGMA,
 };
+pub use warm::{warm_recipe_digest, WarmCache};

@@ -347,6 +347,23 @@ impl Scenario {
         serde_json::to_string_pretty(self).expect("scenario serializes")
     }
 
+    /// The scenario's canonical content digest: FNV-1a (64-bit) over the
+    /// canonical compact JSON serialization. Canonical because the derive
+    /// serializer emits struct fields in declaration order — parsing a
+    /// field-reordered or re-indented JSON file and digesting the result
+    /// yields the same value, while any content change (a different seed,
+    /// one more run) yields a different one. This is the key of the
+    /// service's outcome store: two submissions with equal digests
+    /// describe byte-identical experiments, so the stored outcome can be
+    /// replayed verbatim. Distinct by construction from the
+    /// shard-identity digest (`ShardPlan`/`PartialOutcome`), which
+    /// prefixes the shard wire-format version so checkpoint compatibility
+    /// can break without invalidating content equality.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("scenario serializes");
+        crate::shard::fnv1a64(json.as_bytes())
+    }
+
     /// Parses a scenario from JSON.
     ///
     /// # Errors
@@ -1857,5 +1874,68 @@ mod tests {
         let outcome = scenario.run_in(&registry).unwrap();
         assert_eq!(outcome.cells[0].protocol, "uniform");
         assert!(!outcome.cells[0].campaign().unwrap().runs.is_empty());
+    }
+
+    #[test]
+    fn digest_is_invariant_under_serialization_order() {
+        // The canonical digest must not depend on how the JSON was laid
+        // out on disk: re-indenting and reordering the top-level fields
+        // parses to the same scenario, hence the same digest.
+        let scenario = tiny(Workload::TxFlood);
+        let digest = scenario.digest();
+        assert_eq!(
+            Scenario::from_json(&scenario.to_json()).unwrap().digest(),
+            digest
+        );
+        let json = serde_json::to_string(&scenario).unwrap();
+        assert!(
+            json.starts_with("{\"name\""),
+            "canonical order starts with name: {json}"
+        );
+        // Move the leading "name" field to the back of the object.
+        let reordered = format!(
+            "{{{},\"name\":{:?}}}",
+            json[1..json.len() - 1]
+                .strip_prefix(&format!("\"name\":{:?},", scenario.name))
+                .expect("name is the first field"),
+            scenario.name
+        );
+        let back = Scenario::from_json(&reordered).unwrap();
+        assert_eq!(back, scenario);
+        assert_eq!(back.digest(), digest);
+    }
+
+    #[test]
+    fn digest_sees_every_content_change() {
+        let base = tiny(Workload::TxFlood);
+        let digest = base.digest();
+        let mut seed = base.clone();
+        seed.seed += 1;
+        let mut runs = base.clone();
+        runs.runs += 1;
+        let mut name = base.clone();
+        name.name.push('x');
+        let mut proto = base.clone();
+        proto.protocol = Protocol::Lbc.into();
+        for changed in [seed, runs, name, proto] {
+            assert_ne!(changed.digest(), digest);
+        }
+    }
+
+    #[test]
+    fn content_digest_and_shard_digest_move_together() {
+        // Scenario::digest is content identity; shard::scenario_digest is
+        // the same content under a wire-format-version prefix. They must
+        // disagree with each other (so a format bump cannot be confused
+        // with content equality) yet both track content changes.
+        let a = tiny(Workload::TxFlood);
+        let mut b = a.clone();
+        b.seed += 1;
+        assert_ne!(a.digest(), crate::shard::scenario_digest(&a));
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(
+            crate::shard::scenario_digest(&a),
+            crate::shard::scenario_digest(&b)
+        );
     }
 }

@@ -34,9 +34,10 @@
 //! # Ok::<(), String>(())
 //! ```
 
-use crate::experiment::RunCheckpoint;
+use crate::experiment::{RunCheckpoint, RunResult};
 use crate::overhead::OverheadReport;
 use crate::scenario::{CellOutcome, CellReport, Scenario, ScenarioOutcome, Workload};
+use crate::warm::WarmCache;
 use bcbpt_cluster::ProtocolRegistry;
 use bcbpt_stats::StreamingSummary;
 use serde::{Deserialize, Serialize};
@@ -182,6 +183,27 @@ pub struct RunStats {
     pub pooled_std_dev_ms: f64,
 }
 
+impl RunStats {
+    /// The stats attached to a fold checkpoint: the run's own harvest
+    /// plus the pooled prefix accumulated so far. The one constructor the
+    /// session, the shard observer and checkpoint replay all share, so a
+    /// shard's event stream can never diverge from the session's.
+    pub(crate) fn folded(
+        result: Option<&RunResult>,
+        deltas: &bcbpt_stats::StreamingSummary,
+        measured_runs: usize,
+    ) -> RunStats {
+        RunStats {
+            measured: result.is_some(),
+            run_deltas: result.map_or(0, |r| r.deltas_ms.len()),
+            measured_runs,
+            pooled_samples: deltas.count(),
+            pooled_mean_ms: deltas.mean(),
+            pooled_std_dev_ms: deltas.std_dev(),
+        }
+    }
+}
+
 /// A typed progress event emitted by a [`ScenarioSession`].
 ///
 /// Events arrive in deterministic order: cells in sweep order, and within
@@ -325,6 +347,7 @@ pub struct ScenarioSession<'a> {
     scenario: &'a Scenario,
     stop: StopRule,
     threads: usize,
+    warm: Option<&'a WarmCache>,
     observers: Vec<Box<dyn Observer + 'a>>,
 }
 
@@ -337,8 +360,19 @@ impl<'a> ScenarioSession<'a> {
             scenario,
             stop: scenario.stop.unwrap_or_default(),
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            warm: None,
             observers: Vec::new(),
         }
+    }
+
+    /// Warms campaign cells through `cache` (see [`WarmCache`]): cells
+    /// sharing a warm recipe — and repeated sessions over one cache —
+    /// build + warm the network once and clone thereafter, with
+    /// byte-identical output.
+    #[must_use]
+    pub fn with_warm_cache(mut self, cache: &'a WarmCache) -> Self {
+        self.warm = Some(cache);
+        self
     }
 
     /// Overrides the stop rule (replacing the scenario's declared one).
@@ -507,14 +541,11 @@ impl<'a> ScenarioSession<'a> {
                         None => RunEvent::RunCompleted {
                             cell: cell_index,
                             run_index: checkpoint.run_index,
-                            run_stats: RunStats {
-                                measured: checkpoint.result.is_some(),
-                                run_deltas: checkpoint.result.map_or(0, |r| r.deltas_ms.len()),
-                                measured_runs: checkpoint.measured_runs,
-                                pooled_samples: checkpoint.deltas.count(),
-                                pooled_mean_ms: checkpoint.deltas.mean(),
-                                pooled_std_dev_ms: checkpoint.deltas.std_dev(),
-                            },
+                            run_stats: RunStats::folded(
+                                checkpoint.result,
+                                checkpoint.deltas,
+                                checkpoint.measured_runs,
+                            ),
                         },
                     };
                     emit(observers, &event);
@@ -524,8 +555,14 @@ impl<'a> ScenarioSession<'a> {
                     }
                     false
                 };
-                let campaign =
-                    cfg.run_campaign(registry, self.threads, None, None, Some(&mut control))?;
+                let campaign = cfg.run_campaign(
+                    registry,
+                    self.threads,
+                    None,
+                    self.warm,
+                    None,
+                    Some(&mut control),
+                )?;
                 if !stopped {
                     runs_used = planned;
                 }

@@ -63,6 +63,8 @@ use crate::resilience::{
     CellProgress, Checkpoint, QuarantinedPart, RepairPlan, RunFailure, SalvageReport,
 };
 use crate::scenario::{CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Workload};
+use crate::session::{RunEvent, RunStats};
+use crate::warm::WarmCache;
 use bcbpt_cluster::ProtocolRegistry;
 use bcbpt_net::{MessageStats, Network};
 use bcbpt_stats::{EcdfBuilder, StreamingSummary};
@@ -496,6 +498,12 @@ fn is_shardable_campaign(workload: &Workload) -> bool {
 /// the fold evaluates its control hook from worker threads.
 pub type CheckpointSink<'s> = dyn FnMut(&Checkpoint) -> Result<(), String> + Send + 's;
 
+/// Receives the live [`RunEvent`] stream of a shard run (see
+/// [`ShardRunOptions::observe`]): called synchronously, under the fold
+/// lock for run events, so hand work off quickly. `Send` because the fold
+/// evaluates its control hook from worker threads.
+pub type ShardObserver<'s> = dyn FnMut(&RunEvent) + Send + 's;
+
 /// Execution options of [`run_shard_with`] — threads, checkpointing and
 /// resume. [`Default`] reproduces plain [`run_shard_in`] behaviour (no
 /// checkpoints, no resume, one worker per core).
@@ -513,6 +521,19 @@ pub struct ShardRunOptions<'a> {
     /// Receives every sealed [`Checkpoint`]; `None` disables
     /// checkpointing.
     pub sink: Option<&'a mut CheckpointSink<'a>>,
+    /// Receives the shard run's live [`RunEvent`] stream. For a one-shard
+    /// plan the serialized stream is byte-identical to a
+    /// [`ScenarioSession`](crate::ScenarioSession) observer's (the
+    /// service's live-streaming contract); on a resumed run it emits the
+    /// *continuation* only — replay the persisted prefix first with
+    /// [`checkpoint_replay_events`]. Shards with `index > 0` skip
+    /// deferred cells, so their streams cover only the cells they ran.
+    pub observe: Option<&'a mut ShardObserver<'a>>,
+    /// Warms campaign cells through this cache (see
+    /// [`WarmCache`](crate::WarmCache)): sweep cells sharing a warm
+    /// recipe — and repeated shard runs over one cache — build + warm the
+    /// network once and clone thereafter, with byte-identical parts.
+    pub warm_cache: Option<&'a WarmCache>,
 }
 
 impl Default for ShardRunOptions<'_> {
@@ -522,6 +543,8 @@ impl Default for ShardRunOptions<'_> {
             resume: None,
             checkpoint_every: 1,
             sink: None,
+            observe: None,
+            warm_cache: None,
         }
     }
 }
@@ -625,6 +648,12 @@ pub fn run_shard_with(
     };
     let restored = cells.len();
     let mut sink = options.sink;
+    let mut observer = options.observe;
+    let planned_runs = if scenario.workload.is_campaign() {
+        scenario.runs
+    } else {
+        0
+    };
     for (cell_index, cell) in all_cells.into_iter().enumerate() {
         if cell_index < restored {
             continue; // completed before the checkpoint; restored verbatim
@@ -634,6 +663,20 @@ pub fn run_shard_with(
         } else {
             None
         };
+        let deferred = !shardable && spec.index > 0;
+        // A resumed cell's `CellStarted` (and run prefix) was already
+        // emitted by the run that wrote the checkpoint — the caller
+        // replays it via `checkpoint_replay_events`; this run streams the
+        // continuation only. Deferred cells are not run here at all.
+        if resume_cell.is_none() && !deferred {
+            if let Some(observer) = observer.as_mut() {
+                observer(&RunEvent::CellStarted {
+                    cell: cell_index,
+                    label: cell.label.clone(),
+                    planned_runs,
+                });
+            }
+        }
         // Like `run_batch`, a cell that fails at run time does not abort
         // the shard: the error rides along and the merge surfaces it.
         let part = if shardable {
@@ -647,6 +690,8 @@ pub fn run_shard_with(
                 resume_cell,
                 checkpoint_every,
                 &mut sink,
+                &mut observer,
+                options.warm_cache,
                 digest,
                 &cells,
             ) {
@@ -664,6 +709,34 @@ pub fn run_shard_with(
         } else {
             CellShard::Deferred
         };
+        if let Some(observer) = observer.as_mut() {
+            match &part {
+                CellShard::Failed { error } => observer(&RunEvent::CellFailed {
+                    cell: cell_index,
+                    label: cell.label.clone(),
+                    error: error.clone(),
+                }),
+                CellShard::Deferred => {}
+                // The completion event carries a full reconstruction of
+                // the cell outcome; only pay for it when someone listens.
+                _ => {
+                    if let Some(outcome) = shard_cell_outcome(
+                        cell.label.clone(),
+                        cell.protocol.to_string(),
+                        cell.num_nodes,
+                        &scenario.workload,
+                        &part,
+                    ) {
+                        observer(&RunEvent::CellCompleted {
+                            cell: cell_index,
+                            report: Box::new(outcome),
+                            runs_used: planned_runs,
+                            stopped_early: false,
+                        });
+                    }
+                }
+            }
+        }
         cells.push(PartialCell {
             label: cell.label,
             protocol: cell.protocol.to_string(),
@@ -686,6 +759,17 @@ pub fn run_shard_with(
             sink(&boundary).map_err(|e| format!("checkpoint write failed: {e}"))?;
         }
     }
+    if let Some(observer) = observer.as_mut() {
+        let failed_cells = cells
+            .iter()
+            .filter(|c| matches!(c.part, CellShard::Failed { .. }))
+            .count();
+        observer(&RunEvent::ScenarioCompleted {
+            scenario: scenario.name.clone(),
+            cells: cells.len(),
+            failed_cells,
+        });
+    }
     let mut part = PartialOutcome {
         version: SHARD_FORMAT_VERSION,
         scenario: scenario.name.clone(),
@@ -698,6 +782,192 @@ pub fn run_shard_with(
     };
     part.seal();
     Ok(part)
+}
+
+/// Reconstructs the completed [`CellOutcome`] one shard's [`CellShard`]
+/// implies — the single-part form of the arithmetic
+/// [`merge_campaign_cell`] performs across parts (warmup + window
+/// traffic, environment from the snapshot, report shape from the
+/// workload). `None` for deferred cells and recorded failures.
+fn shard_cell_outcome(
+    label: String,
+    protocol: String,
+    num_nodes: usize,
+    workload: &Workload,
+    part: &CellShard,
+) -> Option<CellOutcome> {
+    match part {
+        CellShard::Campaign {
+            snapshot,
+            runs,
+            failures,
+            window_traffic,
+            ..
+        } => {
+            let mut traffic = snapshot.warmup_traffic.clone();
+            traffic.merge(window_traffic);
+            let campaign = CampaignResult {
+                protocol: snapshot.protocol.clone(),
+                runs: runs.clone(),
+                traffic,
+                warmup_traffic: snapshot.warmup_traffic.clone(),
+                cluster_sizes: snapshot.cluster_sizes.clone(),
+                num_nodes: snapshot.num_nodes,
+                failures: failures.clone(),
+            };
+            let report = match workload {
+                Workload::OverheadProbe => CellReport::Overhead {
+                    report: OverheadReport::from_campaign(&campaign),
+                },
+                _ => CellReport::Campaign { campaign },
+            };
+            Some(CellOutcome::new(label, protocol, num_nodes, report))
+        }
+        CellShard::Whole { report } => {
+            Some(CellOutcome::new(label, protocol, num_nodes, report.clone()))
+        }
+        CellShard::Deferred | CellShard::Failed { .. } => None,
+    }
+}
+
+/// Reconstructs the [`RunEvent`] prefix a resumed shard run does *not*
+/// re-emit: the full per-cell streams of every completed cell in
+/// `checkpoint.cells_done`, plus the in-flight cell's `CellStarted` and
+/// the run events of its persisted prefix. Feeding these to a subscriber
+/// and then continuing with [`ShardRunOptions::observe`] on the resumed
+/// run yields a stream byte-identical to an uninterrupted run's — run
+/// stats are refolded from the checkpoint's run stream bit-identically.
+///
+/// # Errors
+///
+/// Rejects a checkpoint that fails [`Checkpoint::verify`] or does not
+/// belong to `scenario` (same checks as resuming through
+/// [`run_shard_with`]).
+pub fn checkpoint_replay_events(
+    scenario: &Scenario,
+    checkpoint: &Checkpoint,
+) -> Result<Vec<RunEvent>, String> {
+    let plan = checkpoint.plan;
+    let digest = scenario_digest(scenario);
+    let all_cells = scenario.cells();
+    let shardable = is_shardable_campaign(&scenario.workload);
+    let (cells_done, current) = validate_resume(
+        checkpoint.clone(),
+        scenario,
+        digest,
+        plan,
+        &all_cells,
+        shardable,
+    )?;
+    let planned_runs = if scenario.workload.is_campaign() {
+        scenario.runs
+    } else {
+        0
+    };
+    let mut events = Vec::new();
+    for (cell_index, done) in cells_done.iter().enumerate() {
+        if matches!(done.part, CellShard::Deferred) {
+            continue;
+        }
+        events.push(RunEvent::CellStarted {
+            cell: cell_index,
+            label: done.label.clone(),
+            planned_runs,
+        });
+        match &done.part {
+            CellShard::Campaign { runs, failures, .. } => {
+                replay_run_events(&mut events, cell_index, plan.run_range(), runs, failures);
+            }
+            CellShard::Failed { error } => {
+                events.push(RunEvent::CellFailed {
+                    cell: cell_index,
+                    label: done.label.clone(),
+                    error: error.clone(),
+                });
+                continue;
+            }
+            CellShard::Whole { .. } | CellShard::Deferred => {}
+        }
+        if let Some(outcome) = shard_cell_outcome(
+            done.label.clone(),
+            done.protocol.clone(),
+            done.num_nodes,
+            &scenario.workload,
+            &done.part,
+        ) {
+            events.push(RunEvent::CellCompleted {
+                cell: cell_index,
+                report: Box::new(outcome),
+                runs_used: planned_runs,
+                stopped_early: false,
+            });
+        }
+    }
+    if let Some(progress) = &current {
+        let label = all_cells
+            .get(progress.cell_index)
+            .map(|c| c.label.clone())
+            .unwrap_or_default();
+        events.push(RunEvent::CellStarted {
+            cell: progress.cell_index,
+            label,
+            planned_runs,
+        });
+        replay_run_events(
+            &mut events,
+            progress.cell_index,
+            plan.run_start..progress.next_run,
+            &progress.runs,
+            &progress.failures,
+        );
+    }
+    Ok(events)
+}
+
+/// Replays the per-run events of one cell's persisted run stream over
+/// `range`: folds the pooled-delta accumulator in run-index order (the
+/// same fold the live campaign performed, so the emitted [`RunStats`] are
+/// bit-identical), with indices absent from both `runs` and `failures`
+/// reported as skipped runs — exactly what the live stream emitted.
+fn replay_run_events(
+    events: &mut Vec<RunEvent>,
+    cell: usize,
+    range: Range<usize>,
+    runs: &[RunResult],
+    failures: &[RunFailure],
+) {
+    let mut deltas = StreamingSummary::new();
+    let mut measured = 0usize;
+    let mut run_iter = runs.iter().peekable();
+    let mut failure_iter = failures.iter().peekable();
+    for run_index in range {
+        if failure_iter
+            .peek()
+            .is_some_and(|f| f.run_index == run_index)
+        {
+            let failure = failure_iter.next().expect("just peeked");
+            events.push(RunEvent::RunFailed {
+                cell,
+                run_index,
+                payload: failure.payload.clone(),
+            });
+            continue;
+        }
+        let result = if run_iter.peek().is_some_and(|r| r.run_index == run_index) {
+            run_iter.next()
+        } else {
+            None
+        };
+        if let Some(result) = result {
+            deltas.extend(result.deltas_ms.iter().copied());
+            measured += 1;
+        }
+        events.push(RunEvent::RunCompleted {
+            cell,
+            run_index,
+            run_stats: RunStats::folded(result, &deltas, measured),
+        });
+    }
 }
 
 /// Checks a resume [`Checkpoint`] against the scenario and shard
@@ -855,6 +1125,8 @@ fn run_cell_shard(
     resume: Option<CellProgress>,
     checkpoint_every: usize,
     sink: &mut Option<&mut CheckpointSink<'_>>,
+    observer: &mut Option<&mut ShardObserver<'_>>,
+    warm: Option<&WarmCache>,
     scenario_digest: u64,
     cells_done: &[PartialCell],
 ) -> Result<CellShard, CellError> {
@@ -882,11 +1154,45 @@ fn run_cell_shard(
     let mut inspect = |net: &Network| {
         *snapshot_slot.lock().expect("snapshot slot") = Some(WarmSnapshot::capture(&cfg, net));
     };
+    // The observer's pooled-prefix accumulator: seeded by refolding the
+    // resumed prefix (the fold inside `run_campaign_range` restarts empty
+    // at `start_run`, which is correct for the part but would understate
+    // the pooled stats of continuation events), then extended run by run —
+    // bit-identical to the fold an uninterrupted run performed.
+    let mut obs_deltas = StreamingSummary::new();
+    let mut obs_measured = 0usize;
+    if observer.is_some() {
+        for run in &prefix_runs {
+            obs_deltas.extend(run.deltas_ms.iter().copied());
+            obs_measured += 1;
+        }
+    }
     let mut seen_runs: Vec<RunResult> = Vec::new();
     let mut seen_failures: Vec<RunFailure> = Vec::new();
     let mut sink_error: Option<String> = None;
     let mut control = |checkpoint: &RunCheckpoint<'_>| {
         let mut stop = false;
+        if let Some(observer) = observer.as_mut() {
+            let event = match checkpoint.failure {
+                Some(failure) => RunEvent::RunFailed {
+                    cell: cell_index,
+                    run_index: checkpoint.run_index,
+                    payload: failure.payload.clone(),
+                },
+                None => {
+                    if let Some(result) = checkpoint.result {
+                        obs_deltas.extend(result.deltas_ms.iter().copied());
+                        obs_measured += 1;
+                    }
+                    RunEvent::RunCompleted {
+                        cell: cell_index,
+                        run_index: checkpoint.run_index,
+                        run_stats: RunStats::folded(checkpoint.result, &obs_deltas, obs_measured),
+                    }
+                }
+            };
+            observer(&event);
+        }
         if sink.is_some() {
             if let Some(result) = checkpoint.result {
                 seen_runs.push(result.clone());
@@ -949,6 +1255,7 @@ fn run_cell_shard(
             registry,
             threads,
             None,
+            warm,
             Some(&mut inspect),
             Some(&mut control),
             start_run..plan.run_end,
@@ -1804,5 +2111,144 @@ mod tests {
         let mut renamed = a.clone();
         renamed.name = "other-name".to_string();
         assert_ne!(scenario_digest(&a), scenario_digest(&renamed));
+    }
+
+    fn session_events(scenario: &Scenario) -> Vec<RunEvent> {
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&events);
+        scenario
+            .session()
+            .observe_fn(move |event: &RunEvent| sink.lock().unwrap().push(event.clone()))
+            .block()
+            .unwrap();
+        std::sync::Arc::try_unwrap(events)
+            .unwrap()
+            .into_inner()
+            .unwrap()
+    }
+
+    #[test]
+    fn one_shard_observer_stream_matches_the_session() {
+        // The service's live-streaming contract: a 1-shard run observed
+        // through ShardRunOptions::observe emits exactly the event stream
+        // a ScenarioSession observer sees — same events, same order, same
+        // folded stats.
+        let scenario = tiny(4);
+        let reference = session_events(&scenario);
+        let mut observed: Vec<RunEvent> = Vec::new();
+        let mut observe = |event: &RunEvent| observed.push(event.clone());
+        let part = run_shard_with(
+            &scenario,
+            ShardSpec::new(0, 1).unwrap(),
+            &ProtocolRegistry::builtins(),
+            ShardRunOptions {
+                observe: Some(&mut observe),
+                ..ShardRunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(observed, reference);
+        // Observing changed nothing about the part itself.
+        assert_eq!(
+            part,
+            run_shard(&scenario, ShardSpec::new(0, 1).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn observed_warm_cached_shard_is_byte_identical() {
+        let scenario = tiny(3);
+        let spec = ShardSpec::new(0, 1).unwrap();
+        let plain = run_shard(&scenario, spec).unwrap();
+        let cache = WarmCache::new(2);
+        let registry = ProtocolRegistry::builtins();
+        for expected_hits in [0u64, 1] {
+            let part = run_shard_with(
+                &scenario,
+                spec,
+                &registry,
+                ShardRunOptions {
+                    warm_cache: Some(&cache),
+                    ..ShardRunOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(part, plain);
+            assert_eq!(cache.hits(), expected_hits);
+        }
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn checkpoint_replay_plus_continuation_matches_uninterrupted_stream() {
+        // Kill-and-resume must not tear the event stream: replaying the
+        // checkpoint's prefix and observing the resumed run concatenates
+        // to the exact uninterrupted stream (pooled stats included, which
+        // the resumed fold alone could not know).
+        let scenario = tiny(5);
+        let spec = ShardSpec::new(0, 1).unwrap();
+        let registry = ProtocolRegistry::builtins();
+        let reference = session_events(&scenario);
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let mut sink = |checkpoint: &Checkpoint| -> Result<(), String> {
+            checkpoints.push(checkpoint.clone());
+            Ok(())
+        };
+        let uninterrupted = run_shard_with(
+            &scenario,
+            spec,
+            &registry,
+            ShardRunOptions {
+                sink: Some(&mut sink),
+                ..ShardRunOptions::default()
+            },
+        )
+        .unwrap();
+        // Resume from a mid-cell checkpoint (2 runs folded).
+        let resume_from = checkpoints
+            .iter()
+            .find(|c| c.current.as_ref().is_some_and(|p| p.next_run == 2))
+            .expect("mid-cell checkpoint at run 2")
+            .clone();
+        let mut stream = checkpoint_replay_events(&scenario, &resume_from).unwrap();
+        let mut observe = |event: &RunEvent| stream.push(event.clone());
+        let resumed = run_shard_with(
+            &scenario,
+            spec,
+            &registry,
+            ShardRunOptions {
+                resume: Some(resume_from),
+                observe: Some(&mut observe),
+                ..ShardRunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed, uninterrupted);
+        assert_eq!(stream, reference);
+    }
+
+    #[test]
+    fn checkpoint_replay_rejects_a_foreign_checkpoint() {
+        let scenario = tiny(4);
+        let registry = ProtocolRegistry::builtins();
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let mut sink = |checkpoint: &Checkpoint| -> Result<(), String> {
+            checkpoints.push(checkpoint.clone());
+            Ok(())
+        };
+        run_shard_with(
+            &scenario,
+            ShardSpec::new(0, 1).unwrap(),
+            &registry,
+            ShardRunOptions {
+                sink: Some(&mut sink),
+                ..ShardRunOptions::default()
+            },
+        )
+        .unwrap();
+        let mut other = tiny(4);
+        other.seed += 1;
+        let err = checkpoint_replay_events(&other, &checkpoints[0]).unwrap_err();
+        assert!(err.contains("digest"), "{err}");
     }
 }

@@ -1,0 +1,177 @@
+//! The per-job event log: an append-only list of serialized
+//! [`RunEvent`](bcbpt_core::RunEvent) lines with blocking fan-out to any
+//! number of subscribers.
+//!
+//! Every subscriber replays the log from line zero and then tails it, so a
+//! reader that connects after the job finished sees exactly the same
+//! byte stream as one that watched live — the service's streaming
+//! contract (each stream ends in `scenario_completed` unless the job was
+//! parked or failed, in which case the chunked stream is cut without a
+//! terminator).
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a subscriber gets back from [`EventLog::next`].
+pub enum Next {
+    /// The next line of the stream (without trailing newline).
+    Line(Arc<str>),
+    /// The log is complete: every line was delivered and the producer
+    /// called [`EventLog::finish`].
+    Done,
+    /// The log was aborted (job parked or failed, or the service shut
+    /// down): every line so far was delivered but no terminator follows.
+    Aborted,
+}
+
+struct LogState {
+    lines: Vec<Arc<str>>,
+    done: bool,
+    aborted: bool,
+}
+
+/// An append-once, read-many log of serialized event lines. Producers
+/// [`push`](Self::push) then [`finish`](Self::finish) (or
+/// [`abort`](Self::abort)); each subscriber walks its own cursor through
+/// [`next`](Self::next).
+pub struct EventLog {
+    state: Mutex<LogState>,
+    wake: Condvar,
+}
+
+impl EventLog {
+    /// An empty, open log.
+    pub fn new() -> Self {
+        EventLog {
+            state: Mutex::new(LogState {
+                lines: Vec::new(),
+                done: false,
+                aborted: false,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// A log pre-seeded with `lines` and already finished — how cache
+    /// hits replay a stored stream.
+    pub fn completed(lines: Vec<String>) -> Self {
+        let log = EventLog::new();
+        {
+            let mut state = log.state.lock().expect("event log lock");
+            state.lines = lines.into_iter().map(Arc::from).collect();
+            state.done = true;
+        }
+        log
+    }
+
+    /// Appends one line (no trailing newline) and wakes subscribers.
+    /// Ignored after `finish`/`abort`.
+    pub fn push(&self, line: String) {
+        let mut state = self.state.lock().expect("event log lock");
+        if state.done || state.aborted {
+            return;
+        }
+        state.lines.push(Arc::from(line));
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// Marks the log complete: subscribers drain the remaining lines and
+    /// then see [`Next::Done`].
+    pub fn finish(&self) {
+        let mut state = self.state.lock().expect("event log lock");
+        state.done = true;
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// Marks the log aborted: subscribers drain the remaining lines and
+    /// then see [`Next::Aborted`]. A `finish`ed log stays finished.
+    pub fn abort(&self) {
+        let mut state = self.state.lock().expect("event log lock");
+        if !state.done {
+            state.aborted = true;
+        }
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// `true` once [`finish`] was called.
+    ///
+    /// [`finish`]: Self::finish
+    pub fn is_done(&self) -> bool {
+        self.state.lock().expect("event log lock").done
+    }
+
+    /// Blocks until line `cursor` exists (returning it) or the log ended.
+    pub fn next(&self, cursor: usize) -> Next {
+        let mut state = self.state.lock().expect("event log lock");
+        loop {
+            if let Some(line) = state.lines.get(cursor) {
+                return Next::Line(Arc::clone(line));
+            }
+            if state.done {
+                return Next::Done;
+            }
+            if state.aborted {
+                return Next::Aborted;
+            }
+            state = self.wake.wait(state).expect("event log lock");
+        }
+    }
+
+    /// A snapshot of every line pushed so far (the persisted stream).
+    pub fn lines(&self) -> Vec<Arc<str>> {
+        self.state.lock().expect("event log lock").lines.clone()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn subscribers_replay_then_tail_then_terminate() {
+        let log = Arc::new(EventLog::new());
+        log.push("a".to_string());
+        let tail = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                let mut cursor = 0;
+                loop {
+                    match log.next(cursor) {
+                        Next::Line(line) => {
+                            seen.push(line.to_string());
+                            cursor += 1;
+                        }
+                        Next::Done => return (seen, true),
+                        Next::Aborted => return (seen, false),
+                    }
+                }
+            })
+        };
+        log.push("b".to_string());
+        log.finish();
+        log.push("ignored after finish".to_string());
+        let (seen, done) = tail.join().expect("subscriber thread");
+        assert_eq!(seen, ["a", "b"]);
+        assert!(done);
+    }
+
+    #[test]
+    fn abort_delivers_the_prefix_without_a_terminator() {
+        let log = EventLog::new();
+        log.push("a".to_string());
+        log.abort();
+        assert!(matches!(log.next(0), Next::Line(_)));
+        assert!(matches!(log.next(1), Next::Aborted));
+        assert!(!log.is_done());
+    }
+}

@@ -1,0 +1,215 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`] — just
+//! enough protocol for the campaign service and its tests: one request per
+//! connection (`Connection: close`), `Content-Length` bodies on the way in,
+//! and either a `Content-Length` response or a `Transfer-Encoding: chunked`
+//! stream on the way out. No keep-alive, no pipelining, no TLS — the
+//! service binds loopback by default and the build environment has no
+//! registry access, so a hand-rolled reader beats a vendored framework.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (a scenario JSON is a few KB; a megabyte
+/// of headroom keeps hand-written sweeps comfortable while bounding what a
+/// stray client can make the service buffer).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request: method, path (query split off), body.
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target, percent-decoding not applied
+    /// (the service's routes use none).
+    pub path: String,
+    /// Raw query string after `?`, without the `?`; empty when absent.
+    pub query: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of query parameter `key` (`k=v` pairs joined by `&`).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Malformed request line or headers, a body larger than
+/// [`MAX_BODY_BYTES`], or the underlying I/O error.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or("empty request line")?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or("request line has no target")?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("content-length: {e}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("body: {e}"))?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// The reason phrase for the handful of status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Content-Length` response and flushes it.
+///
+/// # Errors
+///
+/// The underlying I/O error (the peer usually just went away).
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> Result<(), String> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("response: {e}"))
+}
+
+/// [`respond`] with a JSON body.
+///
+/// # Errors
+///
+/// See [`respond`].
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), String> {
+    respond(stream, status, "application/json", body.as_bytes())
+}
+
+/// [`respond`] with the service's error shape, `{"error": message}`.
+///
+/// # Errors
+///
+/// See [`respond`].
+pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> Result<(), String> {
+    let body = serde_json::to_string(&serde::Value::Map(vec![(
+        "error".to_string(),
+        serde::Value::Str(message.to_string()),
+    )]))
+    .expect("error body serializes");
+    respond_json(stream, status, &body)
+}
+
+/// A `Transfer-Encoding: chunked` response in progress: one chunk per
+/// payload handed to [`write_chunk`](Self::write_chunk), closed by the
+/// zero-length terminator only when [`finish`](Self::finish) is called —
+/// dropping the writer mid-stream leaves the chunk stream visibly
+/// truncated, which is exactly how the service signals an aborted
+/// event stream to its subscribers.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the status line + chunked headers and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error.
+    pub fn begin(stream: &'a mut TcpStream, content_type: &str) -> Result<Self, String> {
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("chunked head: {e}"))?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk and flushes it (subscribers tail the stream live).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error.
+    pub fn write_chunk(&mut self, payload: &[u8]) -> Result<(), String> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        let head = format!("{:x}\r\n", payload.len());
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| self.stream.write_all(payload))
+            .and_then(|()| self.stream.write_all(b"\r\n"))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("chunk: {e}"))
+    }
+
+    /// Writes the zero-length terminating chunk — the stream completed.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error.
+    pub fn finish(self) -> Result<(), String> {
+        self.stream
+            .write_all(b"0\r\n\r\n")
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("chunk terminator: {e}"))
+    }
+}

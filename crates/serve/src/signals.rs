@@ -1,0 +1,46 @@
+//! SIGINT/SIGTERM → a process-wide drain flag.
+//!
+//! The only unsafe code in the workspace lives here: a two-line `signal(2)`
+//! binding (no external crates are available, so no `signal-hook`). The
+//! handler does the one thing that is async-signal-safe — store to a
+//! static atomic — and the service's worker and accept loops poll
+//! [`drain_requested`] to turn that into a graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    extern "C" fn mark(_signum: i32) {
+        super::DRAIN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, mark);
+            signal(SIGTERM, mark);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent; no-op off unix).
+/// Call once, before [`Server::start`](crate::Server::start) with
+/// `poll_signals` enabled.
+pub fn install() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+/// `true` once a handled signal arrived (sticky).
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}

@@ -1,0 +1,329 @@
+//! End-to-end tests of the campaign service (`bcbpt-serve`): in-process
+//! server, real TCP, real HTTP — the same path `scenario serve` exposes.
+//!
+//! The service's three core contracts are pinned here:
+//!
+//! 1. **Stream fidelity** — N concurrent `GET /jobs/:id/events`
+//!    subscribers each receive a gap-free, ascending, byte-identical copy
+//!    of the session's event stream, terminated by `scenario_completed`
+//!    (exactly what `scenario run --jsonl` writes for the same seed).
+//! 2. **Digest-keyed caching** — resubmitting an already-computed
+//!    scenario is answered from the outcome store: byte-identical bytes,
+//!    zero additional runs executed.
+//! 3. **Drain/park/resume** — a drained service parks running jobs at a
+//!    durable checkpoint; a service restarted on the same spool resumes
+//!    them and completes with a byte-identical outcome and stream.
+
+use bcbpt_core::Scenario;
+use bcbpt_serve::{client, ServeConfig, Server};
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A fresh spool directory per test (removed up front so a rerun never
+/// resumes a previous run's jobs).
+fn temp_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bcbpt-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(spool: &Path, workers: usize) -> (Server, String) {
+    let mut config = ServeConfig::new(spool);
+    config.workers = workers;
+    let server = Server::start(config).expect("server starts");
+    let addr = server.local_addr().to_string();
+    client::wait_healthy(&addr, Duration::from_secs(5)).expect("healthy");
+    (server, addr)
+}
+
+/// CI-scale fig3 — 3 protocol cells, a few runs each.
+fn fig3_quick() -> Scenario {
+    Scenario::builtin("fig3").expect("builtin").quick_scaled()
+}
+
+/// A slower single-cell campaign with enough runs that a drain reliably
+/// lands mid-cell.
+fn drainable() -> Scenario {
+    let mut scenario = fig3_quick();
+    scenario.name = "drainable".to_string();
+    scenario.sweep = None;
+    scenario.runs = 24;
+    scenario
+}
+
+/// The reference event stream: what a `ScenarioSession` observer (and
+/// thus `scenario run --jsonl`) serializes for this scenario.
+fn session_lines(scenario: &Scenario) -> Vec<String> {
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&lines);
+    scenario
+        .session()
+        .observe_fn(move |event| {
+            sink.lock()
+                .unwrap()
+                .push(serde_json::to_string(event).expect("event serializes"));
+        })
+        .block()
+        .expect("session runs");
+    Arc::try_unwrap(lines)
+        .expect("observers dropped")
+        .into_inner()
+        .unwrap()
+}
+
+/// The reference outcome bytes: what `scenario run --json` prints.
+fn direct_outcome_bytes(scenario: &Scenario) -> String {
+    format!("{}\n", scenario.run().expect("direct run").to_json())
+}
+
+fn str_field(json: &str, key: &str) -> String {
+    let value: Value = serde_json::from_str(json).expect("response parses");
+    value
+        .as_map()
+        .map(|entries| serde::map_get(entries, key))
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("no string {key:?} in {json}"))
+        .to_string()
+}
+
+fn u64_field(json: &str, key: &str) -> u64 {
+    let value: Value = serde_json::from_str(json).expect("response parses");
+    match value.as_map().map(|entries| serde::map_get(entries, key)) {
+        Some(Value::U64(n)) => *n,
+        other => panic!("no numeric {key:?} in {json} ({other:?})"),
+    }
+}
+
+fn bool_field(json: &str, key: &str) -> bool {
+    let value: Value = serde_json::from_str(json).expect("response parses");
+    match value.as_map().map(|entries| serde::map_get(entries, key)) {
+        Some(Value::Bool(b)) => *b,
+        other => panic!("no boolean {key:?} in {json} ({other:?})"),
+    }
+}
+
+/// Submits a scenario; returns (job id, cached).
+fn submit(addr: &str, scenario: &Scenario, query: &str) -> (String, bool) {
+    let response =
+        client::post(addr, &format!("/scenarios{query}"), &scenario.to_json()).expect("submit");
+    assert!(
+        response.status == 202 || response.status == 200,
+        "submit status {}: {}",
+        response.status,
+        response.text()
+    );
+    let body = response.text();
+    (str_field(&body, "job"), bool_field(&body, "cached"))
+}
+
+fn stats(addr: &str) -> String {
+    let response = client::get(addr, "/stats").expect("stats");
+    assert_eq!(response.status, 200);
+    response.text()
+}
+
+#[test]
+fn concurrent_subscribers_all_see_the_exact_session_stream() {
+    let expected = session_lines(&fig3_quick());
+    let spool = temp_spool("subscribers");
+    let (server, addr) = start_server(&spool, 1);
+    let (job, cached) = submit(&addr, &fig3_quick(), "");
+    assert!(!cached);
+    let subscribers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let path = format!("/jobs/{job}/events");
+            std::thread::spawn(move || {
+                let mut lines = Vec::new();
+                let clean = client::stream_lines(&addr, &path, |line| {
+                    lines.push(line.to_string());
+                })
+                .expect("stream");
+                (lines, clean)
+            })
+        })
+        .collect();
+    client::wait_job(&addr, &job, Duration::from_secs(300)).expect("job settles");
+    for subscriber in subscribers {
+        let (lines, clean) = subscriber.join().expect("subscriber thread");
+        assert!(clean, "stream should end with the chunked terminator");
+        assert_eq!(lines, expected, "live stream must match the session's");
+    }
+    // A late subscriber (job already done) replays the identical stream.
+    let mut replay = Vec::new();
+    let clean = client::stream_lines(&addr, &format!("/jobs/{job}/events"), |line| {
+        replay.push(line.to_string());
+    })
+    .expect("replay stream");
+    assert!(clean);
+    assert_eq!(replay, expected);
+    assert!(
+        expected
+            .last()
+            .expect("events")
+            .contains("ScenarioCompleted"),
+        "session stream ends in scenario_completed"
+    );
+    server.request_drain();
+    server.wait().expect("drain");
+}
+
+#[test]
+fn resubmission_is_served_from_the_digest_keyed_store() {
+    let scenario = fig3_quick();
+    let direct = direct_outcome_bytes(&scenario);
+    let spool = temp_spool("cache");
+    let (server, addr) = start_server(&spool, 1);
+    let (job, cached) = submit(&addr, &scenario, "");
+    assert!(!cached);
+    client::wait_job(&addr, &job, Duration::from_secs(300)).expect("job settles");
+    let outcome = client::get(&addr, &format!("/jobs/{job}/outcome")).expect("outcome");
+    assert_eq!(outcome.status, 200);
+    assert_eq!(
+        outcome.text(),
+        direct,
+        "served outcome must be byte-identical to `scenario run --json`"
+    );
+    let before = stats(&addr);
+    let runs_before = u64_field(&before, "runs_executed");
+    assert!(runs_before > 0, "the first submission executed runs");
+    assert_eq!(u64_field(&before, "cache_hits"), 0);
+    // Resubmit: same digest, answered from the store without executing.
+    let (job2, cached2) = submit(&addr, &scenario, "");
+    assert!(cached2, "second submission must be a cache hit");
+    assert_ne!(job2, job, "a cache hit is still a fresh job id");
+    let outcome2 = client::get(&addr, &format!("/jobs/{job2}/outcome")).expect("outcome");
+    assert_eq!(outcome2.text(), direct);
+    let after = stats(&addr);
+    assert_eq!(
+        u64_field(&after, "runs_executed"),
+        runs_before,
+        "a cache hit must not execute any runs"
+    );
+    assert_eq!(u64_field(&after, "cache_hits"), 1);
+    // The cached job replays the stored event stream, terminator and all.
+    let mut lines = Vec::new();
+    let clean = client::stream_lines(&addr, &format!("/jobs/{job2}/events"), |line| {
+        lines.push(line.to_string());
+    })
+    .expect("cached stream");
+    assert!(clean);
+    assert!(lines.last().expect("events").contains("ScenarioCompleted"));
+    server.request_drain();
+    server.wait().expect("drain");
+}
+
+#[test]
+fn multi_shard_jobs_merge_to_the_same_bytes() {
+    let scenario = fig3_quick();
+    let direct = direct_outcome_bytes(&scenario);
+    let spool = temp_spool("shards");
+    let (server, addr) = start_server(&spool, 2);
+    let (job, cached) = submit(&addr, &scenario, "?shards=2");
+    assert!(!cached);
+    client::wait_job(&addr, &job, Duration::from_secs(300)).expect("job settles");
+    let outcome = client::get(&addr, &format!("/jobs/{job}/outcome")).expect("outcome");
+    assert_eq!(outcome.status, 200);
+    assert_eq!(
+        outcome.text(),
+        direct,
+        "merged shard outcome must equal the unsharded run"
+    );
+    // Multi-shard streams are synthesized at cell granularity but still
+    // close every cell and terminate in scenario_completed.
+    let mut lines = Vec::new();
+    let clean = client::stream_lines(&addr, &format!("/jobs/{job}/events"), |line| {
+        lines.push(line.to_string());
+    })
+    .expect("stream");
+    assert!(clean);
+    assert_eq!(lines.len(), fig3_quick().cells().len() * 2 + 1);
+    assert!(lines.last().expect("events").contains("ScenarioCompleted"));
+    server.request_drain();
+    server.wait().expect("drain");
+}
+
+#[test]
+fn drain_parks_at_a_checkpoint_and_a_restart_resumes_byte_identically() {
+    let scenario = drainable();
+    let expected_lines = session_lines(&scenario);
+    let direct = direct_outcome_bytes(&scenario);
+    let spool = temp_spool("drain");
+    let (server, addr) = start_server(&spool, 1);
+    let (job, cached) = submit(&addr, &scenario, "");
+    assert!(!cached);
+    // A live subscriber, to witness the cut stream on park.
+    let subscriber = {
+        let addr = addr.clone();
+        let path = format!("/jobs/{job}/events");
+        std::thread::spawn(move || {
+            let mut lines = Vec::new();
+            let clean = client::stream_lines(&addr, &path, |line| lines.push(line.to_string()))
+                .expect("stream");
+            (lines, clean)
+        })
+    };
+    // Wait for real progress, then drain mid-cell.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    while u64_field(&stats(&addr), "runs_executed") < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no runs folded in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let response = client::post(&addr, "/shutdown", "").expect("shutdown");
+    assert_eq!(response.status, 200);
+    server.wait().expect("drain");
+    let (partial_lines, clean) = subscriber.join().expect("subscriber");
+    if clean {
+        // The job finished in the drain window before parking (rare on a
+        // fast machine): the stream is complete and the outcome stored —
+        // nothing left to resume, so just verify the stored result.
+        assert_eq!(partial_lines, expected_lines);
+        let spool2 = spool.clone();
+        let (server2, addr2) = start_server(&spool2, 1);
+        let (_, cached2) = submit(&addr2, &scenario, "");
+        assert!(cached2, "completed-before-park job must be stored");
+        server2.request_drain();
+        server2.wait().expect("drain");
+        return;
+    }
+    assert!(
+        !partial_lines.is_empty(),
+        "the subscriber saw the folded prefix before the park"
+    );
+    assert!(
+        partial_lines.len() < expected_lines.len(),
+        "a parked stream is a strict prefix"
+    );
+    assert_eq!(
+        partial_lines[..],
+        expected_lines[..partial_lines.len()],
+        "the folded prefix matches the session stream byte for byte"
+    );
+    // Restart on the same spool: the job is re-queued, resumes from its
+    // checkpoint, and completes as if never interrupted.
+    let (server2, addr2) = start_server(&spool, 1);
+    client::wait_job(&addr2, &job, Duration::from_secs(300)).expect("resumed job settles");
+    let outcome = client::get(&addr2, &format!("/jobs/{job}/outcome")).expect("outcome");
+    assert_eq!(outcome.status, 200);
+    assert_eq!(
+        outcome.text(),
+        direct,
+        "a parked-and-resumed job must produce byte-identical output"
+    );
+    // The resumed job's stream = replayed prefix + live continuation —
+    // indistinguishable from an uninterrupted run.
+    let mut lines = Vec::new();
+    let clean = client::stream_lines(&addr2, &format!("/jobs/{job}/events"), |line| {
+        lines.push(line.to_string())
+    })
+    .expect("resumed stream");
+    assert!(clean);
+    assert_eq!(lines, expected_lines);
+    server2.request_drain();
+    server2.wait().expect("drain");
+}
