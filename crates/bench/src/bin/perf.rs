@@ -7,12 +7,15 @@
 //!   serially vs through the thread pool, with the determinism check;
 //! * the campaign service: submit→complete wall-clock through an
 //!   in-process `bcbpt-serve` daemon vs a direct `Scenario::run`, plus
-//!   the response latency of a digest-keyed cache hit.
+//!   the response latency of a digest-keyed cache hit;
+//! * the observability layer: the same campaign with no trace sink
+//!   installed vs with span recording armed, bounding the disabled-path
+//!   overhead the always-on metrics impose.
 //!
 //! Usage: `cargo run --release -p bcbpt-bench --bin perf [--quick] [OUT.json]`
 //!
 //! `--quick` shrinks the campaign for CI smoke runs. The output path
-//! defaults to `BENCH_PR7.json` in the current directory; the checked-in
+//! defaults to `BENCH_PR8.json` in the current directory; the checked-in
 //! `BENCH_PR<k>.json` files (same shape since PR 1) are the campaign-runner
 //! performance trajectory EXPERIMENTS.md tracks.
 
@@ -60,12 +63,25 @@ struct ServiceMetrics {
 }
 
 #[derive(Debug, Serialize)]
+struct ObsMetrics {
+    runs: usize,
+    baseline_secs: f64,
+    traced_secs: f64,
+    traced_spans: usize,
+    /// `traced_secs / baseline_secs` — the full-recording cost, an upper
+    /// bound on the disabled-path (no sink installed) overhead the
+    /// ISSUE's ≤2 % budget constrains.
+    overhead_ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct PerfReport {
     host_cores: usize,
     engine: EngineMetrics,
     flood: FloodMetrics,
     campaign: CampaignMetrics,
     service: ServiceMetrics,
+    obs: ObsMetrics,
 }
 
 fn bench_engine() -> EngineMetrics {
@@ -197,6 +213,41 @@ fn bench_service() -> ServiceMetrics {
     }
 }
 
+/// The instrumentation cost question, answered A/B: the same serial
+/// campaign with nothing armed (the shipped default — metrics counters
+/// still tick, spans are one relaxed atomic load) vs with full span
+/// recording installed. Interleaved, best-of-four each, so machine
+/// noise hits both sides equally and the minima converge.
+fn bench_obs(quick: bool) -> ObsMetrics {
+    let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+    cfg.net.num_nodes = 150;
+    cfg.warmup_ms = 2_000.0;
+    cfg.window_ms = 20_000.0;
+    cfg.runs = if quick { 20 } else { 200 };
+
+    let mut baseline_secs = f64::INFINITY;
+    let mut traced_secs = f64::INFINITY;
+    let mut traced_spans = 0usize;
+    for _ in 0..4 {
+        let start = Instant::now();
+        black_box(cfg.run_serial().expect("campaign runs"));
+        baseline_secs = baseline_secs.min(start.elapsed().as_secs_f64());
+
+        bcbpt_obs::install_trace();
+        let start = Instant::now();
+        black_box(cfg.run_serial().expect("campaign runs"));
+        traced_secs = traced_secs.min(start.elapsed().as_secs_f64());
+        traced_spans = bcbpt_obs::take_trace().len();
+    }
+    ObsMetrics {
+        runs: cfg.runs,
+        baseline_secs,
+        traced_secs,
+        traced_spans,
+        overhead_ratio: traced_secs / baseline_secs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -204,7 +255,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
 
     eprintln!("perf: engine microbenchmarks...");
     let engine = bench_engine();
@@ -247,12 +298,20 @@ fn main() {
     );
     assert!(service.cache_hit, "resubmission missed the outcome store");
 
+    eprintln!("perf: observability overhead...");
+    let obs = bench_obs(quick);
+    eprintln!(
+        "perf: obs baseline {:.2}s vs traced {:.2}s ({} spans) — ratio {:.4}",
+        obs.baseline_secs, obs.traced_secs, obs.traced_spans, obs.overhead_ratio
+    );
+
     let report = PerfReport {
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         engine,
         flood,
         campaign,
         service,
+        obs,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, format!("{json}\n")).expect("write report");

@@ -69,6 +69,8 @@ struct Options {
     jsonl: Option<String>,
     stop_ci: Option<f64>,
     threads: Option<usize>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
     shard: Option<String>,
     out: Option<String>,
     checkpoint: Option<String>,
@@ -100,6 +102,16 @@ impl Options {
             }
         }
         Ok(())
+    }
+
+    /// The observability output flags, honoured by `run`, `quick` and
+    /// `shard run` (the subcommands that execute campaigns in-process)
+    /// and rejected everywhere else.
+    fn obs_flags(&self) -> [(&'static str, bool); 2] {
+        [
+            ("--metrics-out", self.metrics_out.is_some()),
+            ("--trace-out", self.trace_out.is_some()),
+        ]
     }
 
     /// The service flags, rejected by everything except `serve`/`submit`.
@@ -135,6 +147,7 @@ impl Options {
     /// The inspection subcommands (`list`, `export`, `parse`, `events`)
     /// take no flags at all.
     fn reject_every_flag(&self, command: &str) -> Result<(), String> {
+        self.reject_unused(command, &self.obs_flags())?;
         self.reject_unused(
             command,
             &[
@@ -176,6 +189,8 @@ fn main() -> Result<(), String> {
                     .map_err(|e| format!("--threads {n:?}: {e}"))
             })
             .transpose()?,
+        metrics_out: take_value(&mut args, "--metrics-out")?,
+        trace_out: take_value(&mut args, "--trace-out")?,
         shard: take_value(&mut args, "--shard")?,
         out: take_value(&mut args, "--out")?,
         checkpoint: take_value(&mut args, "--checkpoint")?,
@@ -286,6 +301,7 @@ fn usage(problem: &str) -> String {
         "{problem}\n\
          usage: scenario run <file.json|name>... [--quick] [--json] [--progress]\n\
          \x20                [--jsonl <path>] [--stop-ci <rel_width>] [--threads <n>]\n\
+         \x20                [--metrics-out <path>] [--trace-out <path>]\n\
          \x20      scenario quick <name> [same options]\n\
          \x20      scenario list\n\
          \x20      scenario export <dir>\n\
@@ -294,6 +310,7 @@ fn usage(problem: &str) -> String {
          \x20      scenario shard run <file.json|name> --shard i/N --out part-i.json\n\
          \x20                [--quick] [--threads <n>] [--checkpoint <path>]\n\
          \x20                [--checkpoint-every <n>] [--resume] [--inject-fault <json>]\n\
+         \x20                [--metrics-out <path>] [--trace-out <path>]\n\
          \x20      scenario shard merge <part.json>... [--json] [--salvage]\n\
          \x20      scenario serve [--addr host:port] [--spool <dir>] [--workers <n>]\n\
          \x20                [--queue <n>] [--warm <n>] [--checkpoint-every <n>]\n\
@@ -311,11 +328,46 @@ fn with_io_retry<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Resu
         match op() {
             Ok(value) => return Ok(value),
             Err(e) => match backoff_ms.next() {
-                Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+                Some(ms) => {
+                    bcbpt_obs::debug!("transient I/O failure ({e}); retrying in {ms} ms");
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
                 None => return Err(e),
             },
         }
     }
+}
+
+/// Arms the observability outputs a campaign-executing subcommand asked
+/// for: pre-registers every metric family (so `--metrics-out` lists the
+/// full set even for families the run never touches) and starts span
+/// recording for `--trace-out`.
+fn obs_begin(options: &Options) {
+    if options.metrics_out.is_some() {
+        bcbpt_core::obs::register_metrics();
+    }
+    if options.trace_out.is_some() {
+        bcbpt_obs::install_trace();
+    }
+}
+
+/// Writes the outputs [`obs_begin`] armed: the metrics snapshot as JSON
+/// and the recorded spans as a Chrome-trace document (`chrome://tracing`
+/// / Perfetto). Called after the campaign completed — worker threads are
+/// joined by then, so every thread-local span buffer has flushed.
+fn obs_finish(options: &Options) -> Result<(), String> {
+    if let Some(path) = options.trace_out.as_deref() {
+        let spans = bcbpt_obs::take_trace();
+        atomic_write(path, bcbpt_obs::chrome_trace_json(&spans).as_bytes())?;
+        bcbpt_obs::info!("wrote {} span(s) to {path}", spans.len());
+    }
+    if let Some(path) = options.metrics_out.as_deref() {
+        let snapshot = bcbpt_obs::global().snapshot();
+        let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+        atomic_write(path, json.as_bytes())?;
+        bcbpt_obs::info!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
 }
 
 /// Durable file write: temp file next to the target, then atomic rename —
@@ -368,6 +420,7 @@ fn run_all(specs: &[String], options: Options) -> Result<(), String> {
         ));
     }
     let jsonl = options.jsonl.as_deref().map(JsonlSink::open).transpose()?;
+    obs_begin(&options);
     for spec in specs {
         let mut scenario = load(spec)?;
         if options.quick {
@@ -381,7 +434,7 @@ fn run_all(specs: &[String], options: Options) -> Result<(), String> {
     if let Some(sink) = jsonl {
         sink.finalize()?;
     }
-    Ok(())
+    obs_finish(&options)
 }
 
 /// Live progress observer: one stderr line per cell, updated in place as
@@ -632,6 +685,7 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
     if options.quick {
         scenario = scenario.quick_scaled();
     }
+    obs_begin(options);
     let threads = options
         .threads
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
@@ -643,11 +697,11 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
             Ok(text) => {
                 let checkpoint =
                     Checkpoint::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-                eprintln!("resuming shard {shard} of {} from {path}", scenario.name);
+                bcbpt_obs::info!("resuming shard {shard} of {} from {path}", scenario.name);
                 Some(checkpoint)
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                eprintln!("--resume: no checkpoint at {path} yet — starting fresh");
+                bcbpt_obs::warn!("--resume: no checkpoint at {path} yet — starting fresh");
                 None
             }
             Err(e) => return Err(format!("{path}: {e}")),
@@ -696,7 +750,7 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
     )
     .map_err(|e| format!("{spec}: {e}"))?;
     if warm.hits() > 0 {
-        eprintln!(
+        bcbpt_obs::info!(
             "warm cache: {} re-warm(s) skipped ({} built)",
             warm.hits(),
             warm.misses()
@@ -744,7 +798,7 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
             scenario.workload.kind(),
         );
     }
-    Ok(())
+    obs_finish(options)
 }
 
 /// `shard merge <part.json>...`: merge shard parts — passed in ascending
@@ -754,6 +808,7 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
 /// parts are quarantined instead of failing the merge; an incomplete
 /// surviving set prints a machine-readable repair plan and exits nonzero.
 fn shard_merge(paths: &[String], options: &Options) -> Result<(), String> {
+    options.reject_unused("shard merge", &options.obs_flags())?;
     options.reject_unused(
         "shard merge",
         &[
@@ -850,6 +905,7 @@ fn shard_salvage(paths: &[String], options: &Options) -> Result<(), String> {
 /// SIGTERM or `POST /shutdown`). Running shards park at a durable
 /// checkpoint on drain; restarting on the same `--spool` resumes them.
 fn serve(options: &Options) -> Result<(), String> {
+    options.reject_unused("serve", &options.obs_flags())?;
     options.reject_unused(
         "serve",
         &[
@@ -909,6 +965,7 @@ fn serve(options: &Options) -> Result<(), String> {
 /// completion and print its outcome (`--json` for the raw stored bytes,
 /// byte-identical to `scenario run --json`).
 fn submit(spec: &str, options: &Options) -> Result<(), String> {
+    options.reject_unused("submit", &options.obs_flags())?;
     options.reject_unused(
         "submit",
         &[

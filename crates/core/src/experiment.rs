@@ -280,7 +280,11 @@ impl CampaignFold<'_, '_> {
         if index > self.stop_at {
             return;
         }
+        let _fold_span = bcbpt_obs::span("fold");
         self.pending.insert(index, outcome);
+        // Wall-clock side channel: how far ahead of the fold frontier the
+        // workers ran (ROADMAP's fold-contention question). Never read back.
+        crate::obs::fold_park_depth().record_max(self.pending.len() as i64);
         while self.next <= self.stop_at {
             let Some(outcome) = self.pending.remove(&self.next) else {
                 break;
@@ -515,6 +519,8 @@ impl ExperimentConfig {
         run_range: std::ops::Range<usize>,
     ) -> Result<CampaignResult, String> {
         let build = |adversary: Option<Box<dyn Adversary>>| -> Result<Network, String> {
+            let _span = bcbpt_obs::span("warmup");
+            let _timer = crate::obs::warmup_seconds().start_timer();
             let policy = registry.build(&self.protocol)?;
             let mut base = Network::build(self.net.clone(), policy, self.seed)?;
             if let Some(adversary) = adversary {
@@ -549,6 +555,8 @@ impl ExperimentConfig {
             measured: 0,
             control,
         });
+        let measure_span = bcbpt_obs::span("measure");
+        let measure_timer = std::time::Instant::now();
         if threads <= 1 || run_range.len() <= 1 {
             for i in run_range.clone() {
                 if i > stop_signal.load(Ordering::Relaxed) {
@@ -584,6 +592,8 @@ impl ExperimentConfig {
                 }
             });
         }
+        crate::obs::measure_seconds().observe(measure_timer.elapsed());
+        drop(measure_span);
         let fold = fold.into_inner().expect("fold lock");
 
         let cluster_sizes = cluster_sizes(&base);
@@ -610,6 +620,8 @@ impl ExperimentConfig {
         warmup_traffic: &MessageStats,
         run_index: usize,
     ) -> RunOutcome {
+        let _span = bcbpt_obs::span("run");
+        let _timer = crate::obs::run_seconds().start_timer();
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             #[cfg(feature = "fault-injection")]
             crate::resilience::fault::maybe_panic(run_index);

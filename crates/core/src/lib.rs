@@ -65,6 +65,7 @@ mod degree;
 mod experiment;
 mod figures;
 mod forks;
+pub mod obs;
 mod overhead;
 mod resilience;
 mod scenario;

@@ -1,0 +1,118 @@
+//! Campaign-runner and shard metrics, published through the `bcbpt-obs`
+//! global registry.
+//!
+//! All instruments here are wall-clock side channels: they observe how
+//! long phases took and how the fold behaved, and can never feed back
+//! into RNG streams, fold order or serialized outcomes (the determinism
+//! contract in `ARCHITECTURE.md`). Handles are cached in `OnceLock`s so
+//! steady-state updates never touch the registry mutex.
+
+use bcbpt_obs::{Counter, Gauge, WallHistogram};
+use std::sync::{Arc, OnceLock};
+
+/// Wall-clock time to build + warm a cell's base network (cache misses
+/// and adversarial campaigns; cache hits skip this entirely).
+pub(crate) fn warmup_seconds() -> &'static Arc<WallHistogram> {
+    static H: OnceLock<Arc<WallHistogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().histogram(
+            "bcbpt_runner_warmup_seconds",
+            "Wall-clock time to build and warm a campaign cell's base network",
+        )
+    })
+}
+
+/// Wall-clock time of the measuring phase of one campaign range (all
+/// runs, serial or parallel, excluding warmup).
+pub(crate) fn measure_seconds() -> &'static Arc<WallHistogram> {
+    static H: OnceLock<Arc<WallHistogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().histogram(
+            "bcbpt_runner_measure_seconds",
+            "Wall-clock time of a campaign range's measuring phase (warmup excluded)",
+        )
+    })
+}
+
+/// Wall-clock time of one measuring run (clone, reseed, window, harvest).
+pub(crate) fn run_seconds() -> &'static Arc<WallHistogram> {
+    static H: OnceLock<Arc<WallHistogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().histogram(
+            "bcbpt_runner_run_seconds",
+            "Wall-clock time of one measuring run",
+        )
+    })
+}
+
+/// High-water mark of out-of-order runs parked in the campaign fold.
+pub(crate) fn fold_park_depth() -> &'static Arc<Gauge> {
+    static H: OnceLock<Arc<Gauge>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().gauge(
+            "bcbpt_runner_fold_park_depth_highwater",
+            "Largest number of out-of-order run outcomes parked in the fold",
+        )
+    })
+}
+
+/// Warm-snapshot cache lookups that found a warmed network.
+pub(crate) fn warm_cache_hits() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().counter(
+            "bcbpt_runner_warm_cache_hits_total",
+            "Warm-snapshot cache lookups served from cache",
+        )
+    })
+}
+
+/// Warm-snapshot cache lookups that had to build + warm from scratch.
+pub(crate) fn warm_cache_misses() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().counter(
+            "bcbpt_runner_warm_cache_misses_total",
+            "Warm-snapshot cache lookups that built and warmed from scratch",
+        )
+    })
+}
+
+/// Wall-clock latency of persisting one shard checkpoint through a sink.
+pub(crate) fn checkpoint_write_seconds() -> &'static Arc<WallHistogram> {
+    static H: OnceLock<Arc<WallHistogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().histogram(
+            "bcbpt_shard_checkpoint_write_seconds",
+            "Wall-clock latency of writing one shard checkpoint",
+        )
+    })
+}
+
+/// Wall-clock time `merge_shards` spends validating parts (seal digests,
+/// plan recomputation, snapshot agreement) before any accumulator math.
+pub(crate) fn merge_verify_seconds() -> &'static Arc<WallHistogram> {
+    static H: OnceLock<Arc<WallHistogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().histogram(
+            "bcbpt_shard_merge_verify_seconds",
+            "Wall-clock time merge_shards spends verifying parts before merging",
+        )
+    })
+}
+
+/// Touches every `bcbpt-core` (and transitively `bcbpt-sim`) metric so
+/// expositions and `--metrics-out` snapshots list them even before first
+/// use. The serve daemon calls this at startup; the scenario driver calls
+/// it before writing a snapshot.
+pub fn register_metrics() {
+    bcbpt_sim::obs::register_metrics();
+    let _ = warmup_seconds();
+    let _ = measure_seconds();
+    let _ = run_seconds();
+    let _ = fold_park_depth();
+    let _ = warm_cache_hits();
+    let _ = warm_cache_misses();
+    let _ = checkpoint_write_seconds();
+    let _ = merge_verify_seconds();
+}

@@ -756,6 +756,8 @@ pub fn run_shard_with(
                 digest: 0,
             };
             boundary.seal();
+            let _span = bcbpt_obs::span("checkpoint");
+            let _timer = crate::obs::checkpoint_write_seconds().start_timer();
             sink(&boundary).map_err(|e| format!("checkpoint write failed: {e}"))?;
         }
     }
@@ -1237,6 +1239,8 @@ fn run_cell_shard(
                 envelope.seal();
                 drop(snapshot_guard);
                 if let Some(sink) = sink.as_mut() {
+                    let _span = bcbpt_obs::span("checkpoint");
+                    let _timer = crate::obs::checkpoint_write_seconds().start_timer();
                     if let Err(e) = sink(&envelope) {
                         sink_error = Some(e);
                         stop = true;
@@ -1333,6 +1337,8 @@ pub fn merge_shards(mut parts: Vec<PartialOutcome>) -> Result<ScenarioOutcome, S
             parts.len()
         ));
     }
+    let verify_span = bcbpt_obs::span("merge_verify");
+    let verify_timer = std::time::Instant::now();
     for (position, part) in parts.iter().enumerate() {
         if part.version != SHARD_FORMAT_VERSION {
             return Err(format!(
@@ -1389,6 +1395,8 @@ pub fn merge_shards(mut parts: Vec<PartialOutcome>) -> Result<ScenarioOutcome, S
             ));
         }
     }
+    crate::obs::merge_verify_seconds().observe(verify_timer.elapsed());
+    drop(verify_span);
     let mut cells = Vec::with_capacity(cell_count);
     for cell_index in 0..cell_count {
         cells.push(merge_cell(&mut parts, cell_index, &workload)?);

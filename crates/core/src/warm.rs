@@ -111,12 +111,14 @@ impl WarmCache {
                 let warmed = entry.1.clone();
                 inner.entries.push(entry);
                 inner.hits += 1;
+                crate::obs::warm_cache_hits().inc();
                 return Ok(warmed);
             }
         }
         let warmed = build()?;
         let mut inner = self.inner.lock().expect("warm cache lock");
         inner.misses += 1;
+        crate::obs::warm_cache_misses().inc();
         if !inner.entries.iter().any(|(k, _)| *k == key) {
             if inner.entries.len() >= self.capacity {
                 inner.entries.remove(0);

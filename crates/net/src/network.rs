@@ -792,6 +792,9 @@ impl Network {
             let firing = self.engine.step().expect("peeked non-empty");
             self.handle(firing.payload);
         }
+        // This loop drives the engine through `step()` (bypassing the
+        // engine's own run loop), so publish its event/queue counts here.
+        self.engine.flush_obs();
     }
 
     /// Runs for `duration_ms` simulated milliseconds.

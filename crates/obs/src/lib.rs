@@ -1,0 +1,47 @@
+//! Observability layer for the BCBPT reproduction.
+//!
+//! Three small, dependency-free facilities shared by every layer of the
+//! workspace:
+//!
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`WallHistogram`]) —
+//!   lock-cheap, label-free instruments keyed by `&'static str` names.
+//!   Counters stripe their cells across cache lines so concurrent campaign
+//!   workers never contend; registration takes a lock once per call site,
+//!   reads fold the stripes. Snapshots serialize (for `--metrics-out`) and
+//!   render in Prometheus text exposition format (for `GET /metrics`).
+//! * **Spans** ([`span()`], [`install_trace`], [`take_trace`]) — phase-timing
+//!   guards that record wall-clock intervals into per-thread buffers and
+//!   flush to a Chrome-trace-compatible JSON file (`--trace-out`). When no
+//!   trace is installed a guard is a single relaxed atomic load — the
+//!   `NullTrace` discipline from `bcbpt-sim` generalized to wall-clock time.
+//! * **Logging** ([`warn!`], [`info!`], [`debug!`]) — a leveled stderr
+//!   logger filtered by the `BCBPT_LOG` environment variable (default
+//!   `warn`), so daemon logs are greppable and quiet by default.
+//!
+//! # The no-side-channel rule
+//!
+//! Everything in this crate is a **wall-clock side channel**: instruments
+//! observe durations and counts but must never feed back into simulation
+//! state. Instrumented code paths may not touch RNG streams, reorder folds,
+//! or alter serialized outcomes — a fully instrumented campaign is
+//! byte-identical to an uninstrumented one at any thread count. The API
+//! enforces this shape by construction: nothing here returns a value a
+//! simulation could branch on mid-run; snapshots are taken only after
+//! outcomes are sealed.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    global, Counter, CounterSnapshot, Gauge, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot,
+    Registry, WallHistogram,
+};
+pub use span::{
+    chrome_trace_json, install_trace, span, take_trace, trace_enabled, SpanEvent, SpanGuard,
+};
+
+pub use log::{level_enabled, Level};

@@ -1,0 +1,171 @@
+//! Leveled stderr logging filtered by the `BCBPT_LOG` environment variable.
+//!
+//! Replaces the ad-hoc `eprintln!` diagnostics that used to be scattered
+//! through the shard driver and serve daemon. Levels are `error`, `warn`,
+//! `info`, `debug`; the active level is parsed from `BCBPT_LOG` once per
+//! process and defaults to [`Level::Warn`], so daemons are quiet unless
+//! asked. Lines are written as `bcbpt[<level>] <message>` — stable prefixes
+//! for grepping.
+//!
+//! Use through the crate-level macros:
+//!
+//! ```
+//! bcbpt_obs::warn!("spool: {} unreadable entries skipped", 3);
+//! bcbpt_obs::debug!("retry {}/{} after {:?}", 1, 5, std::time::Duration::from_millis(2));
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems. Always shown.
+    Error = 0,
+    /// Suspicious but survivable conditions (default threshold).
+    Warn = 1,
+    /// Progress and lifecycle messages.
+    Info = 2,
+    /// Per-operation detail: retries, cache decisions, queue movement.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case name, as accepted in `BCBPT_LOG` and shown in output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel meaning "not yet parsed from the environment".
+const UNSET: u8 = u8::MAX;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active threshold: messages at this level or more severe are emitted.
+pub fn max_level() -> Level {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return match raw {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        };
+    }
+    let parsed = std::env::var("BCBPT_LOG")
+        .ok()
+        .as_deref()
+        .and_then(Level::parse)
+        .unwrap_or(Level::Warn);
+    MAX_LEVEL.store(parsed as u8, Ordering::Relaxed);
+    parsed
+}
+
+/// Overrides the threshold (tests; takes precedence over `BCBPT_LOG`).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// `true` when a message at `level` would be emitted.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Emits one line to stderr if `level` passes the filter. Prefer the
+/// [`warn!`](crate::warn)/[`info!`](crate::info)/[`debug!`](crate::debug)
+/// macros, which skip argument formatting when filtered out.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if level_enabled(level) {
+        eprintln!("bcbpt[{}] {}", level.as_str(), args);
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_junk() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Debug));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn filter_respects_threshold() {
+        set_max_level(Level::Warn);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        set_max_level(Level::Debug);
+        assert!(level_enabled(Level::Debug));
+        set_max_level(Level::Warn);
+    }
+}

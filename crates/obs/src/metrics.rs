@@ -1,0 +1,633 @@
+//! Lock-cheap metrics: counters, gauges, wall-clock histograms, registry.
+//!
+//! Instruments are keyed by `&'static str` names (label-free by design —
+//! a label set would force per-observation allocation or hashing on hot
+//! paths). Creation goes through a [`Registry`], which takes a mutex once
+//! per call site; call sites cache the returned `Arc` in a `OnceLock` so
+//! steady-state updates are pure atomics. [`Counter`] additionally stripes
+//! its cells across cache lines so campaign worker threads do not bounce a
+//! shared line.
+//!
+//! Reads ([`Registry::snapshot`], [`Registry::render_prometheus`]) fold the
+//! stripes; they are intended for scrape/exit time, not hot paths. Snapshot
+//! values for a single instrument are internally consistent only to the
+//! extent atomics allow — fine for monitoring, not for accounting.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Number of cache-padded cells a [`Counter`] stripes over.
+const STRIPES: usize = 8;
+
+/// One cache line worth of counter cell, padded so adjacent stripes never
+/// share a line (64 bytes covers every target this workspace builds for).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Stripe(AtomicU64);
+
+static NEXT_THREAD_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's home stripe, assigned round-robin at first use.
+    static THREAD_STRIPE: usize =
+        NEXT_THREAD_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+#[inline]
+fn thread_stripe() -> usize {
+    THREAD_STRIPE.with(|s| *s)
+}
+
+/// A monotonic counter, striped across cache lines.
+///
+/// Increments land on the calling thread's home stripe (one relaxed
+/// `fetch_add`, no shared line with other stripes); [`value`](Counter::value)
+/// sums the stripes.
+#[derive(Debug, Default)]
+pub struct Counter {
+    stripes: [Stripe; STRIPES],
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[thread_stripe()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all stripes.
+    pub fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A signed gauge: a value that can go up and down, or track a high-water
+/// mark via [`record_max`](Gauge::record_max).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`sub`](Gauge::sub)).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water tracking).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default wall-clock bucket upper bounds, in microseconds.
+///
+/// Spans 50µs to 10s exponentially — wide enough for spool I/O at the low
+/// end and full-campaign cells at the high end. Observations above the last
+/// bound land in the implicit `+Inf` bucket.
+pub const DEFAULT_BOUNDS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A fixed-bucket wall-clock histogram.
+///
+/// Bucket upper bounds are microseconds, fixed at construction; recording
+/// is a linear scan over ≤18 bounds plus three relaxed atomics — no locks,
+/// no allocation. Exposition follows Prometheus conventions (cumulative
+/// `le` buckets, sum in seconds).
+#[derive(Debug)]
+pub struct WallHistogram {
+    /// Upper bounds in µs, strictly increasing; the `+Inf` bucket is
+    /// implicit at `buckets[bounds.len()]`.
+    bounds_us: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl WallHistogram {
+    /// Creates a histogram over the given µs upper bounds (must be
+    /// non-empty and strictly increasing).
+    pub fn new(bounds_us: &'static [u64]) -> Self {
+        assert!(!bounds_us.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds_us.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        WallHistogram {
+            bounds_us,
+            buckets: (0..=bounds_us.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a duration.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records a raw microsecond value.
+    pub fn observe_us(&self, us: u64) {
+        let idx = self
+            .bounds_us
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(self.bounds_us.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a timer that records into this histogram when dropped.
+    pub fn start_timer(self: &Arc<Self>) -> HistTimer {
+        HistTimer {
+            hist: Arc::clone(self),
+            start: Instant::now(),
+        }
+    }
+
+    /// The configured upper bounds, in µs.
+    pub fn bounds_us(&self) -> &'static [u64] {
+        self.bounds_us
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum of all observations, in µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Guard returned by [`WallHistogram::start_timer`]; records the elapsed
+/// wall-clock time into the histogram on drop.
+#[derive(Debug)]
+pub struct HistTimer {
+    hist: Arc<WallHistogram>,
+    start: Instant,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed());
+    }
+}
+
+struct Entry<T> {
+    name: &'static str,
+    help: &'static str,
+    instrument: Arc<T>,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<Entry<Counter>>,
+    gauges: Vec<Entry<Gauge>>,
+    histograms: Vec<Entry<WallHistogram>>,
+}
+
+/// A collection of named instruments.
+///
+/// `counter`/`gauge`/`histogram` get-or-create by name under a mutex; call
+/// sites should cache the returned `Arc` (typically in a
+/// `OnceLock<Arc<Counter>>`) so the lock is taken once per process, not per
+/// update. Most code uses the process-wide [`global`] registry; the serve
+/// daemon additionally keeps one `Registry` per server instance so
+/// co-resident test servers do not bleed into each other's `/stats`.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the registration lock cannot corrupt the
+        // Vec-append-only state, so recover from poisoning.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut inner = self.lock();
+        if let Some(e) = inner.counters.iter().find(|e| e.name == name) {
+            return Arc::clone(&e.instrument);
+        }
+        let instrument = Arc::new(Counter::new());
+        inner.counters.push(Entry {
+            name,
+            help,
+            instrument: Arc::clone(&instrument),
+        });
+        instrument
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut inner = self.lock();
+        if let Some(e) = inner.gauges.iter().find(|e| e.name == name) {
+            return Arc::clone(&e.instrument);
+        }
+        let instrument = Arc::new(Gauge::new());
+        inner.gauges.push(Entry {
+            name,
+            help,
+            instrument: Arc::clone(&instrument),
+        });
+        instrument
+    }
+
+    /// Gets or creates the histogram `name` with [`DEFAULT_BOUNDS_US`].
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<WallHistogram> {
+        self.histogram_with_bounds(name, help, DEFAULT_BOUNDS_US)
+    }
+
+    /// Gets or creates the histogram `name` with explicit µs bounds. Bounds
+    /// are fixed by whichever call registers the name first.
+    pub fn histogram_with_bounds(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        bounds_us: &'static [u64],
+    ) -> Arc<WallHistogram> {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut inner = self.lock();
+        if let Some(e) = inner.histograms.iter().find(|e| e.name == name) {
+            return Arc::clone(&e.instrument);
+        }
+        let instrument = Arc::new(WallHistogram::new(bounds_us));
+        inner.histograms.push(Entry {
+            name,
+            help,
+            instrument: Arc::clone(&instrument),
+        });
+        instrument
+    }
+
+    /// Snapshots every instrument, sorted by name for stable output.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        let mut counters: Vec<CounterSnapshot> = inner
+            .counters
+            .iter()
+            .map(|e| CounterSnapshot {
+                name: e.name.to_string(),
+                value: e.instrument.value(),
+            })
+            .collect();
+        let mut gauges: Vec<GaugeSnapshot> = inner
+            .gauges
+            .iter()
+            .map(|e| GaugeSnapshot {
+                name: e.name.to_string(),
+                value: e.instrument.value(),
+            })
+            .collect();
+        let mut histograms: Vec<HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|e| HistogramSnapshot {
+                name: e.name.to_string(),
+                bounds_us: e.instrument.bounds_us().to_vec(),
+                buckets: e.instrument.bucket_counts(),
+                sum_us: e.instrument.sum_us(),
+                count: e.instrument.count(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Renders every instrument in Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` per family, cumulative `le`
+    /// buckets and sum-in-seconds for histograms.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        self.render_prometheus_into(&mut out);
+        out
+    }
+
+    /// Appends the Prometheus exposition to `out` (used by the daemon to
+    /// concatenate the global and per-server registries).
+    pub fn render_prometheus_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let inner = self.lock();
+
+        let mut counters: Vec<(&str, &str, u64)> = inner
+            .counters
+            .iter()
+            .map(|e| (e.name, e.help, e.instrument.value()))
+            .collect();
+        counters.sort_by_key(|&(name, _, _)| name);
+        for (name, help, value) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+
+        let mut gauges: Vec<(&str, &str, i64)> = inner
+            .gauges
+            .iter()
+            .map(|e| (e.name, e.help, e.instrument.value()))
+            .collect();
+        gauges.sort_by_key(|&(name, _, _)| name);
+        for (name, help, value) in gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+
+        let mut hists: Vec<&Entry<WallHistogram>> = inner.histograms.iter().collect();
+        hists.sort_by_key(|e| e.name);
+        for e in hists {
+            let name = e.name;
+            let _ = writeln!(out, "# HELP {name} {}", e.help);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let counts = e.instrument.bucket_counts();
+            let mut cumulative = 0u64;
+            for (i, &bound) in e.instrument.bounds_us().iter().enumerate() {
+                cumulative += counts[i];
+                let le = bound as f64 / 1e6;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let total = e.instrument.count();
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+            let sum_secs = e.instrument.sum_us() as f64 / 1e6;
+            let _ = writeln!(out, "{name}_sum {sum_secs}");
+            let _ = writeln!(out, "{name}_count {total}");
+        }
+    }
+}
+
+/// The process-wide registry. Instruments registered here surface in
+/// `scenario run --metrics-out` snapshots and in the daemon's `/metrics`.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Point-in-time copy of a [`Registry`], serializable for `--metrics-out`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: i64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Bucket upper bounds, µs.
+    pub bounds_us: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds_us` (the `+Inf` bucket).
+    pub buckets: Vec<u64>,
+    /// Sum of observations, µs.
+    pub sum_us: u64,
+    /// Observation count.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::new();
+        g.record_max(5);
+        g.record_max(3);
+        assert_eq!(g.value(), 5);
+        g.set(-2);
+        g.add(10);
+        g.sub(4);
+        assert_eq!(g.value(), 4);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        static BOUNDS: &[u64] = &[10, 100, 1000];
+        let h = WallHistogram::new(BOUNDS);
+        h.observe_us(0); // -> le=10
+        h.observe_us(10); // boundary value lands in its own bucket (le)
+        h.observe_us(11); // -> le=100
+        h.observe_us(100); // -> le=100
+        h.observe_us(1000); // -> le=1000
+        h.observe_us(1001); // -> +Inf
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum_us(), 2122);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        static BAD: &[u64] = &[10, 10];
+        let _ = WallHistogram::new(BAD);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("test_total", "help");
+        let b = r.counter("test_total", "help");
+        a.inc();
+        assert_eq!(b.value(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_round_trips() {
+        let r = Registry::new();
+        r.counter("zzz_total", "last").add(7);
+        r.counter("aaa_total", "first").add(3);
+        r.gauge("depth", "queue depth").set(-4);
+        static BOUNDS: &[u64] = &[100, 1000];
+        r.histogram_with_bounds("lat_seconds", "latency", BOUNDS)
+            .observe_us(150);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].name, "aaa_total");
+        assert_eq!(snap.counter("zzz_total"), Some(7));
+        assert_eq!(snap.gauge("depth"), Some(-4));
+        let h = snap.histogram("lat_seconds").unwrap();
+        assert_eq!(h.buckets, vec![0, 1, 0]);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("reqs_total", "requests").add(2);
+        r.gauge("busy", "busy workers").set(1);
+        static BOUNDS: &[u64] = &[1_000_000];
+        r.histogram_with_bounds("dur_seconds", "duration", BOUNDS)
+            .observe_us(500_000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP reqs_total requests\n"));
+        assert!(text.contains("# TYPE reqs_total counter\nreqs_total 2\n"));
+        assert!(text.contains("# TYPE busy gauge\nbusy 1\n"));
+        assert!(text.contains("# TYPE dur_seconds histogram\n"));
+        assert!(text.contains("dur_seconds_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("dur_seconds_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("dur_seconds_sum 0.5\n"));
+        assert!(text.contains("dur_seconds_count 1\n"));
+    }
+
+    #[test]
+    fn hist_timer_records_on_drop() {
+        let r = Registry::new();
+        let h = r.histogram("t_seconds", "timer");
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Phase-timing spans with per-thread buffering and Chrome-trace export.
+//!
+//! A [`span`] guard times a named phase (`"warmup"`, `"run"`, `"fold"`,
+//! `"merge_verify"`, …) between construction and drop. When no trace is
+//! installed the guard is inert — construction is one relaxed atomic load
+//! and drop does nothing — so instrumented code costs effectively nothing
+//! in normal operation (the `NullTrace` discipline from `bcbpt-sim`,
+//! applied to wall-clock time).
+//!
+//! With [`install_trace`] active, finished spans are appended to a
+//! per-thread buffer (no locks on the hot path) and flushed to a shared
+//! list when the buffer fills or the thread exits. [`take_trace`] collects
+//! everything recorded so far; [`chrome_trace_json`] renders the result as
+//! a Chrome-trace-compatible JSON document (`chrome://tracing`, Perfetto,
+//! or any viewer that reads `traceEvents`).
+//!
+//! Campaign worker threads are scoped and joined before the driver writes
+//! the trace file, so their thread-local buffers are always flushed by the
+//! time [`take_trace`] runs; spans still open on *live* foreign threads at
+//! collection time are not included.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-thread buffer size before flushing to the shared list.
+const FLUSH_THRESHOLD: usize = 64;
+
+/// A finished span, resolved to µs offsets from the trace origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name (static, as passed to [`span`]).
+    pub name: &'static str,
+    /// Recording thread's trace id (small integers, assigned at first span).
+    pub tid: u64,
+    /// Start offset from [`install_trace`], µs.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+}
+
+/// A raw record as buffered per-thread (Instants, not yet offset-resolved).
+#[derive(Debug, Clone, Copy)]
+struct RawSpan {
+    name: &'static str,
+    tid: u64,
+    start: Instant,
+    end: Instant,
+}
+
+struct TraceShared {
+    enabled: AtomicBool,
+    next_tid: AtomicU64,
+    /// Origin instant + flushed records; both behind one mutex since they
+    /// are only touched at install/flush/take time.
+    state: Mutex<TraceState>,
+}
+
+#[derive(Default)]
+struct TraceState {
+    origin: Option<Instant>,
+    records: Vec<RawSpan>,
+}
+
+fn shared() -> &'static TraceShared {
+    static SHARED: OnceLock<TraceShared> = OnceLock::new();
+    SHARED.get_or_init(|| TraceShared {
+        enabled: AtomicBool::new(false),
+        next_tid: AtomicU64::new(0),
+        state: Mutex::new(TraceState::default()),
+    })
+}
+
+fn lock_state() -> std::sync::MutexGuard<'static, TraceState> {
+    shared().state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Thread-local span buffer that flushes on overflow and on thread exit.
+struct ThreadBuffer {
+    tid: u64,
+    spans: Vec<RawSpan>,
+}
+
+impl ThreadBuffer {
+    fn flush(&mut self) {
+        if self.spans.is_empty() {
+            return;
+        }
+        lock_state().records.append(&mut self.spans);
+    }
+}
+
+impl Drop for ThreadBuffer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUFFER: RefCell<ThreadBuffer> = RefCell::new(ThreadBuffer {
+        tid: shared().next_tid.fetch_add(1, Ordering::Relaxed),
+        spans: Vec::new(),
+    });
+}
+
+/// `true` while a trace collection is active.
+#[inline]
+pub fn trace_enabled() -> bool {
+    shared().enabled.load(Ordering::Relaxed)
+}
+
+/// Starts collecting spans process-wide, discarding anything recorded by a
+/// previous collection. Spans created after this call are buffered until
+/// [`take_trace`].
+pub fn install_trace() {
+    let sh = shared();
+    {
+        let mut st = lock_state();
+        st.origin = Some(Instant::now());
+        st.records.clear();
+    }
+    sh.enabled.store(true, Ordering::SeqCst);
+}
+
+/// Stops collecting and returns every recorded span, ordered by start time.
+///
+/// Flushes the calling thread's buffer first; worker threads flush when
+/// they exit (scoped threads are joined before their campaign returns, so
+/// their spans are always present here).
+pub fn take_trace() -> Vec<SpanEvent> {
+    let sh = shared();
+    sh.enabled.store(false, Ordering::SeqCst);
+    BUFFER.with(|b| b.borrow_mut().flush());
+    let mut st = lock_state();
+    let origin = match st.origin.take() {
+        Some(o) => o,
+        None => return Vec::new(),
+    };
+    let mut events: Vec<SpanEvent> = st
+        .records
+        .drain(..)
+        .map(|r| SpanEvent {
+            name: r.name,
+            tid: r.tid,
+            start_us: r.start.saturating_duration_since(origin).as_micros() as u64,
+            dur_us: r.end.saturating_duration_since(r.start).as_micros() as u64,
+        })
+        .collect();
+    drop(st);
+    events.sort_by_key(|e| (e.start_us, e.tid, e.name));
+    events
+}
+
+/// Times the phase `name` until the returned guard drops.
+///
+/// Inert (a single relaxed load, `start: None`) unless a trace is
+/// installed, so it is safe to leave in hot paths.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: if trace_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+/// Guard created by [`span`]; records the elapsed interval on drop when a
+/// trace is active.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let end = Instant::now();
+        BUFFER.with(|b| {
+            let mut buf = b.borrow_mut();
+            let tid = buf.tid;
+            buf.spans.push(RawSpan {
+                name: self.name,
+                tid,
+                start,
+                end,
+            });
+            if buf.spans.len() >= FLUSH_THRESHOLD {
+                buf.flush();
+            }
+        });
+    }
+}
+
+/// Renders spans as a Chrome-trace JSON document.
+///
+/// Complete (`ph: "X"`) events with µs timestamps; open the file in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Names are static identifiers (no quotes/backslashes), so plain
+        // interpolation produces valid JSON.
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            e.name, e.tid, e.start_us, e.dur_us
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    // Span tests share one process-global trace; run them under a lock so
+    // `cargo test` parallelism cannot interleave collections.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = serial();
+        let _ = take_trace();
+        {
+            let _s = span("ghost");
+        }
+        install_trace();
+        let events = take_trace();
+        assert!(events.iter().all(|e| e.name != "ghost"));
+    }
+
+    #[test]
+    fn spans_record_name_and_duration() {
+        let _g = serial();
+        install_trace();
+        {
+            let _s = span("phase_a");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let events = take_trace();
+        let a = events.iter().find(|e| e.name == "phase_a").unwrap();
+        assert!(a.dur_us >= 1_000, "slept 2ms, recorded {}us", a.dur_us);
+    }
+
+    #[test]
+    fn worker_thread_spans_flush_on_join() {
+        let _g = serial();
+        install_trace();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let _s = span("worker");
+                });
+            }
+        });
+        let events = take_trace();
+        assert_eq!(events.iter().filter(|e| e.name == "worker").count(), 3);
+    }
+
+    #[test]
+    fn take_without_install_is_empty() {
+        let _g = serial();
+        let _ = take_trace();
+        assert!(take_trace().is_empty());
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed() {
+        let events = vec![
+            SpanEvent {
+                name: "warmup",
+                tid: 0,
+                start_us: 0,
+                dur_us: 100,
+            },
+            SpanEvent {
+                name: "run",
+                tid: 1,
+                start_us: 100,
+                dur_us: 50,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        let list = serde::map_get(v.as_map().unwrap(), "traceEvents");
+        assert_eq!(list.as_seq().unwrap().len(), 2);
+    }
+}

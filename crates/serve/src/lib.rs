@@ -21,6 +21,7 @@
 //! | `GET /jobs/:id/outcome` | the raw stored outcome bytes |
 //! | `GET /healthz` | liveness |
 //! | `GET /stats` | queue/job counters, cache hits, runs executed |
+//! | `GET /metrics` | Prometheus text exposition (sim/runner/shard/serve metrics) |
 //! | `POST /shutdown` | graceful drain (running shards park at a durable checkpoint) |
 //!
 //! See [`server`] for the execution model (bounded queue, shard-
@@ -33,6 +34,7 @@
 pub mod client;
 pub mod events;
 pub mod http;
+pub mod obs;
 pub mod server;
 pub mod signals;
 pub mod spool;

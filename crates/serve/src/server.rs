@@ -57,6 +57,7 @@ use bcbpt_core::{
     checkpoint_replay_events, merge_shards, run_shard_with, Checkpoint, PartialOutcome, RunEvent,
     Scenario, ScenarioOutcome, ShardObserver, ShardPlan, ShardRunOptions, ShardSpec, WarmCache,
 };
+use bcbpt_obs::{Counter, Gauge, Registry, WallHistogram};
 use serde::Value;
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -64,7 +65,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the service is wired up; [`ServeConfig::new`] gives the defaults.
 pub struct ServeConfig {
@@ -184,6 +185,105 @@ impl Job {
 struct Task {
     job: Arc<Job>,
     shard: usize,
+    /// When the task entered the queue (feeds the queue-wait histogram).
+    enqueued: Instant,
+}
+
+/// Per-server instruments, all registered on this server's own
+/// [`Registry`] so co-resident servers (the test suite runs several per
+/// process) keep independent `/stats` and `/metrics` numbers. The
+/// process-global registry carries the sim/runner/shard/spool metrics;
+/// `GET /metrics` renders both, concatenated.
+struct ServerMetrics {
+    registry: Registry,
+    /// Submissions answered from the digest-keyed outcome store.
+    cache_hits: Arc<Counter>,
+    /// Measuring runs actually executed (cache hits execute none).
+    runs_executed: Arc<Counter>,
+    /// Shard/session tasks currently queued (set at scrape time).
+    queue_depth: Arc<Gauge>,
+    /// Workers currently executing a task (maintained by the pool).
+    workers_busy: Arc<Gauge>,
+    /// Bytes on disk under the spool (set at scrape time).
+    spool_bytes: Arc<Gauge>,
+    /// Time a task spent queued before a worker picked it up.
+    queue_wait: Arc<WallHistogram>,
+    /// Requests by endpoint: `(counter, route label)` — label-free static
+    /// names, one counter per route family.
+    requests: Vec<(Arc<Counter>, &'static str)>,
+}
+
+/// Endpoint families `/metrics` counts requests for. Registration order
+/// here fixes the `requests` index used by [`ServerMetrics::request_counter`].
+const ENDPOINTS: &[(&str, &str)] = &[
+    ("bcbpt_serve_req_healthz_total", "/healthz"),
+    ("bcbpt_serve_req_stats_total", "/stats"),
+    ("bcbpt_serve_req_metrics_total", "/metrics"),
+    ("bcbpt_serve_req_shutdown_total", "/shutdown"),
+    ("bcbpt_serve_req_scenarios_total", "/scenarios"),
+    ("bcbpt_serve_req_jobs_total", "/jobs"),
+    ("bcbpt_serve_req_other_total", "other"),
+];
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        let cache_hits = registry.counter(
+            "bcbpt_serve_cache_hits_total",
+            "Submissions answered from the digest-keyed outcome store",
+        );
+        let runs_executed = registry.counter(
+            "bcbpt_serve_runs_executed_total",
+            "Measuring runs executed by this server's workers",
+        );
+        let queue_depth = registry.gauge(
+            "bcbpt_serve_queue_depth",
+            "Shard/session tasks waiting in the queue",
+        );
+        let workers_busy = registry.gauge(
+            "bcbpt_serve_workers_busy",
+            "Workers currently executing a task",
+        );
+        let spool_bytes = registry.gauge(
+            "bcbpt_serve_spool_bytes",
+            "Bytes on disk under the spool directory",
+        );
+        let queue_wait = registry.histogram(
+            "bcbpt_serve_queue_wait_seconds",
+            "Time a task waited in the queue before a worker picked it up",
+        );
+        let requests = ENDPOINTS
+            .iter()
+            .map(|&(name, route)| {
+                (
+                    registry.counter(name, "HTTP requests routed to this endpoint"),
+                    route,
+                )
+            })
+            .collect();
+        ServerMetrics {
+            registry,
+            cache_hits,
+            runs_executed,
+            queue_depth,
+            workers_busy,
+            spool_bytes,
+            queue_wait,
+            requests,
+        }
+    }
+
+    /// The request counter for a route family (`"/jobs"`, `"other"`, …).
+    fn count_request(&self, route: &str) {
+        let counter = self
+            .requests
+            .iter()
+            .find(|(_, r)| *r == route)
+            .or_else(|| self.requests.last())
+            .map(|(c, _)| c)
+            .expect("endpoint table is non-empty");
+        counter.inc();
+    }
 }
 
 struct ServerState {
@@ -196,8 +296,7 @@ struct ServerState {
     drain: AtomicBool,
     stopping: AtomicBool,
     next_job: AtomicU64,
-    cache_hits: AtomicU64,
-    runs_executed: AtomicU64,
+    metrics: ServerMetrics,
     connections: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -244,6 +343,9 @@ impl Server {
     ///
     /// Bind or spool I/O failures.
     pub fn start(config: ServeConfig) -> Result<Server, String> {
+        // Register the process-global sim/runner/shard/spool metrics up
+        // front so the first `/metrics` scrape already lists every family.
+        crate::obs::register_metrics();
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
         let addr = listener
@@ -266,8 +368,7 @@ impl Server {
             drain: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
             next_job: AtomicU64::new(next_job),
-            cache_hits: AtomicU64::new(0),
-            runs_executed: AtomicU64::new(0),
+            metrics: ServerMetrics::new(),
             connections: Mutex::new(Vec::new()),
         });
         restore_spooled_jobs(&state);
@@ -342,7 +443,7 @@ impl Server {
 fn restore_spooled_jobs(state: &Arc<ServerState>) {
     let (spooled, warnings) = state.spool.scan_jobs();
     for warning in warnings {
-        eprintln!("spool: {warning}");
+        bcbpt_obs::warn!("spool: {warning}");
     }
     for SpooledJob {
         id,
@@ -391,6 +492,7 @@ fn restore_spooled_jobs(state: &Arc<ServerState>) {
             queue.push_back(Task {
                 job: Arc::clone(&job),
                 shard,
+                enqueued: Instant::now(),
             });
         }
         drop(queue);
@@ -420,11 +522,14 @@ fn worker_loop(state: &Arc<ServerState>) {
                 queue = guard;
             }
         };
+        state.metrics.queue_wait.observe(task.enqueued.elapsed());
+        state.metrics.workers_busy.add(1);
         if task.job.adaptive {
             run_session_task(state, &task.job);
         } else {
             run_shard_task(state, &task.job, task.shard);
         }
+        state.metrics.workers_busy.sub(1);
     }
 }
 
@@ -482,7 +587,7 @@ fn run_shard_task(state: &Arc<ServerState>, job: &Arc<Job>, shard: usize) {
             event,
             RunEvent::RunCompleted { .. } | RunEvent::RunFailed { .. }
         ) {
-            observe_state.runs_executed.fetch_add(1, Ordering::SeqCst);
+            observe_state.metrics.runs_executed.inc();
         }
         observe_job
             .events
@@ -511,9 +616,7 @@ fn run_shard_task(state: &Arc<ServerState>, job: &Arc<Job>, shard: usize) {
             if !live_stream {
                 // Multi-shard runs synthesize their stream at merge time,
                 // but the executed run count is real either way.
-                state
-                    .runs_executed
-                    .fetch_add(part.runs_used() as u64, Ordering::SeqCst);
+                state.metrics.runs_executed.add(part.runs_used() as u64);
             }
             if let Err(e) = state.spool.write_part(&job.id, shard, &part.to_json()) {
                 return fail_job(state, job, format!("part store: {e}"));
@@ -547,7 +650,7 @@ fn run_session_task(state: &Arc<ServerState>, job: &Arc<Job>) {
                 event,
                 RunEvent::RunCompleted { .. } | RunEvent::RunFailed { .. }
             ) {
-                observe_state.runs_executed.fetch_add(1, Ordering::SeqCst);
+                observe_state.metrics.runs_executed.inc();
             }
             observe_job
                 .events
@@ -696,9 +799,25 @@ fn route(
     stream: &mut TcpStream,
     request: &Request,
 ) -> Result<(), String> {
+    let family = match request.path.as_str() {
+        "/healthz" => "/healthz",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/shutdown" => "/shutdown",
+        "/scenarios" => "/scenarios",
+        path if path.starts_with("/jobs/") => "/jobs",
+        _ => "other",
+    };
+    state.metrics.count_request(family);
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => http::respond_json(stream, 200, "{\"ok\": true}"),
         ("GET", "/stats") => http::respond_json(stream, 200, &stats_json(state)),
+        ("GET", "/metrics") => http::respond(
+            stream,
+            200,
+            "text/plain; version=0.0.4",
+            metrics_text(state).as_bytes(),
+        ),
         ("POST", "/shutdown") => {
             state.request_drain();
             http::respond_json(stream, 200, "{\"draining\": true}")
@@ -711,6 +830,7 @@ fn route(
 }
 
 fn stats_json(state: &ServerState) -> String {
+    refresh_scrape_gauges(state);
     let mut queued = 0u64;
     let mut running = 0u64;
     let mut done = 0u64;
@@ -733,7 +853,7 @@ fn stats_json(state: &ServerState) -> String {
         ("jobs_parked".to_string(), Value::U64(parked)),
         (
             "cache_hits".to_string(),
-            Value::U64(state.cache_hits.load(Ordering::SeqCst)),
+            Value::U64(state.metrics.cache_hits.value()),
         ),
         ("warm_hits".to_string(), Value::U64(state.warm.hits())),
         ("warm_misses".to_string(), Value::U64(state.warm.misses())),
@@ -743,7 +863,7 @@ fn stats_json(state: &ServerState) -> String {
         ),
         (
             "runs_executed".to_string(),
-            Value::U64(state.runs_executed.load(Ordering::SeqCst)),
+            Value::U64(state.metrics.runs_executed.value()),
         ),
         (
             "workers".to_string(),
@@ -757,8 +877,44 @@ fn stats_json(state: &ServerState) -> String {
             "draining".to_string(),
             Value::Bool(state.drain.load(Ordering::SeqCst)),
         ),
+        (
+            "queue_depth".to_string(),
+            Value::U64(state.metrics.queue_depth.value().max(0) as u64),
+        ),
+        (
+            "workers_busy".to_string(),
+            Value::U64(state.metrics.workers_busy.value().max(0) as u64),
+        ),
+        (
+            "spool_bytes".to_string(),
+            Value::U64(state.metrics.spool_bytes.value().max(0) as u64),
+        ),
     ];
     serde_json::to_string(&Value::Map(entries)).expect("stats serialize")
+}
+
+/// Refreshes the gauges that are sampled at scrape time rather than
+/// maintained continuously: queue depth (the queue knows its length) and
+/// spool size (a directory walk — the spool is small).
+fn refresh_scrape_gauges(state: &ServerState) {
+    state
+        .metrics
+        .queue_depth
+        .set(state.queue.lock().expect("queue lock").len() as i64);
+    state
+        .metrics
+        .spool_bytes
+        .set(state.spool.disk_bytes() as i64);
+}
+
+/// Refreshes the scrape-time gauges and renders the process-global
+/// registry followed by this server's own: one Prometheus text document
+/// covering sim, runner, shard and service metrics.
+fn metrics_text(state: &ServerState) -> String {
+    refresh_scrape_gauges(state);
+    let mut out = bcbpt_obs::global().render_prometheus();
+    state.metrics.registry.render_prometheus_into(&mut out);
+    out
 }
 
 /// Parses a `POST /scenarios` body: either a full [`Scenario`] JSON
@@ -830,7 +986,7 @@ fn submit(
     // Digest-keyed store: an already-computed scenario is answered from
     // disk — stored bytes, stored stream, zero runs executed.
     if let Some(outcome) = state.spool.load_outcome(digest, &canonical) {
-        state.cache_hits.fetch_add(1, Ordering::SeqCst);
+        state.metrics.cache_hits.inc();
         let lines = state.spool.load_events(digest).unwrap_or_else(|| {
             match ScenarioOutcome::from_json(&outcome) {
                 Ok(parsed) => synthesized_events(&parsed, scenario.runs)
@@ -907,12 +1063,14 @@ fn submit(
             queue.push_back(Task {
                 job: Arc::clone(&job),
                 shard: 0,
+                enqueued: Instant::now(),
             });
         } else {
             for shard in 0..shards {
                 queue.push_back(Task {
                     job: Arc::clone(&job),
                     shard,
+                    enqueued: Instant::now(),
                 });
             }
         }

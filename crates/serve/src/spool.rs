@@ -73,10 +73,17 @@ impl Spool {
     }
 
     fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), String> {
+        let _timer = crate::obs::spool_write_seconds().start_timer();
         let tmp = path.with_extension("tmp");
         fs::write(&tmp, contents).map_err(|e| format!("{}: {e}", tmp.display()))?;
         fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
         Ok(())
+    }
+
+    /// `read_to_string` with the spool-read latency histogram around it.
+    fn read_timed(path: &Path) -> std::io::Result<String> {
+        let _timer = crate::obs::spool_read_seconds().start_timer();
+        fs::read_to_string(path)
     }
 
     fn outcome_path(&self, digest: u64) -> PathBuf {
@@ -139,14 +146,14 @@ impl Spool {
     /// canonical scenario JSON — a 64-bit collision (or a torn guard)
     /// reads as a miss, not as somebody else's result.
     pub fn load_outcome(&self, digest: u64, canonical_scenario: &str) -> Option<String> {
-        let outcome = fs::read_to_string(self.outcome_path(digest)).ok()?;
-        let stored = fs::read_to_string(self.scenario_path(digest)).ok()?;
+        let outcome = Self::read_timed(&self.outcome_path(digest)).ok()?;
+        let stored = Self::read_timed(&self.scenario_path(digest)).ok()?;
         (stored == canonical_scenario).then_some(outcome)
     }
 
     /// The stored event stream for `digest`, one line per event.
     pub fn load_events(&self, digest: u64) -> Option<Vec<String>> {
-        let text = fs::read_to_string(self.events_path(digest)).ok()?;
+        let text = Self::read_timed(&self.events_path(digest)).ok()?;
         Some(text.lines().map(str::to_string).collect())
     }
 
@@ -194,7 +201,7 @@ impl Spool {
 
     /// The checkpoint shard `shard` of job `id` last sealed, if any.
     pub fn load_checkpoint(&self, id: &str, shard: usize) -> Option<String> {
-        fs::read_to_string(self.checkpoint_path(id, shard)).ok()
+        Self::read_timed(&self.checkpoint_path(id, shard)).ok()
     }
 
     /// Every job directory still on disk, with whatever parts its shards
@@ -221,7 +228,7 @@ impl Spool {
 
     fn load_job(&self, id: &str) -> Result<Option<SpooledJob>, String> {
         let path = self.job_dir(id).join("job.json");
-        let text = match fs::read_to_string(&path) {
+        let text = match Self::read_timed(&path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(format!("{}: {e}", path.display())),
@@ -235,7 +242,7 @@ impl Spool {
         let scenario = Scenario::from_value(serde::map_get(entries, "scenario"))
             .map_err(|e| format!("job.json scenario: {e}"))?;
         let parts = (0..shards)
-            .map(|shard| fs::read_to_string(self.part_path(id, shard)).ok())
+            .map(|shard| Self::read_timed(&self.part_path(id, shard)).ok())
             .collect();
         Ok(Some(SpooledJob {
             id: id.to_string(),
@@ -243,6 +250,26 @@ impl Spool {
             scenario,
             parts,
         }))
+    }
+
+    /// Total bytes of every file under the spool (outcomes, events, job
+    /// ledgers). Walks the directory on each call — the spool is small and
+    /// this only runs at `/stats` / `/metrics` scrape time.
+    pub fn disk_bytes(&self) -> u64 {
+        fn walk(dir: &Path) -> u64 {
+            let Ok(entries) = fs::read_dir(dir) else {
+                return 0;
+            };
+            entries
+                .flatten()
+                .map(|entry| match entry.metadata() {
+                    Ok(meta) if meta.is_dir() => walk(&entry.path()),
+                    Ok(meta) => meta.len(),
+                    Err(_) => 0,
+                })
+                .sum()
+        }
+        walk(&self.root)
     }
 
     /// The largest numeric suffix among `job-<n>` directories, so a

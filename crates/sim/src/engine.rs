@@ -75,6 +75,15 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    /// Cancellations that hit a live event (tombstones created).
+    cancelled: u64,
+    /// Largest live queue length seen since the last metrics flush.
+    queue_hw: usize,
+    /// `processed` / `cancelled` values already published to the metrics
+    /// registry; cloned with the engine so warmed-snapshot replays report
+    /// only the events they drain themselves.
+    obs_processed: u64,
+    obs_cancelled: u64,
 }
 
 impl<E> Default for Engine<E> {
@@ -90,6 +99,10 @@ impl<E> Engine<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            cancelled: 0,
+            queue_hw: 0,
+            obs_processed: 0,
+            obs_cancelled: 0,
         }
     }
 
@@ -100,6 +113,10 @@ impl<E> Engine<E> {
             queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             processed: 0,
+            cancelled: 0,
+            queue_hw: 0,
+            obs_processed: 0,
+            obs_cancelled: 0,
         }
     }
 
@@ -134,18 +151,26 @@ impl<E> Engine<E> {
     /// zero-latency messages safe without letting the clock run backwards.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
         let at = at.max(self.now);
-        self.queue.schedule(at, payload)
+        let id = self.queue.schedule(at, payload);
+        self.queue_hw = self.queue_hw.max(self.queue.len());
+        id
     }
 
     /// Schedules `payload` after delay `d`.
     pub fn schedule_in(&mut self, d: SimDuration, payload: E) -> EventId {
-        self.queue.schedule(self.now + d, payload)
+        let id = self.queue.schedule(self.now + d, payload);
+        self.queue_hw = self.queue_hw.max(self.queue.len());
+        id
     }
 
     /// Cancels a pending event. Returns `false` if it already fired or was
     /// already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.queue.cancel(id)
+        let hit = self.queue.cancel(id);
+        if hit {
+            self.cancelled += 1;
+        }
+        hit
     }
 
     /// Pops the next event, advancing the clock to its firing time.
@@ -191,7 +216,16 @@ impl<E> Engine<E> {
         self.run_inner(horizon, budget, handler)
     }
 
-    fn run_inner<F>(&mut self, horizon: SimTime, budget: u64, mut handler: F) -> StopReason
+    fn run_inner<F>(&mut self, horizon: SimTime, budget: u64, handler: F) -> StopReason
+    where
+        F: FnMut(&mut Engine<E>, E) -> Control,
+    {
+        let reason = self.run_loop(horizon, budget, handler);
+        self.flush_obs();
+        reason
+    }
+
+    fn run_loop<F>(&mut self, horizon: SimTime, budget: u64, mut handler: F) -> StopReason
     where
         F: FnMut(&mut Engine<E>, E) -> Control,
     {
@@ -222,6 +256,33 @@ impl<E> Engine<E> {
     /// Drops all pending events (the clock and counters are kept).
     pub fn clear_pending(&mut self) {
         self.queue.clear();
+    }
+
+    /// Publishes locally accumulated counts (events drained, cancellations,
+    /// queue high-water) to the `bcbpt-obs` global registry.
+    ///
+    /// The run loops call this on exit; external steppers that drive the
+    /// engine through [`step`](Engine::step) (like `bcbpt-net`'s warmup
+    /// loop) should call it once after their loop finishes. Idempotent:
+    /// each count is published exactly once, and flush markers clone with
+    /// the engine so warmed-snapshot replays report only their own events.
+    /// Publishing is a wall-clock side channel — it never feeds back into
+    /// simulation state.
+    pub fn flush_obs(&mut self) {
+        let drained = self.processed - self.obs_processed;
+        if drained > 0 {
+            crate::obs::events_drained().add(drained);
+            self.obs_processed = self.processed;
+        }
+        let cancelled = self.cancelled - self.obs_cancelled;
+        if cancelled > 0 {
+            crate::obs::cancellations().add(cancelled);
+            self.obs_cancelled = self.cancelled;
+        }
+        if self.queue_hw > 0 {
+            crate::obs::queue_depth_highwater().record_max(self.queue_hw as i64);
+            self.queue_hw = self.queue.len();
+        }
     }
 }
 

@@ -15,6 +15,9 @@
 //!   seed, so campaigns are reproducible and protocol A/B comparisons are
 //!   paired.
 //! * [`TraceSink`] and friends — optional event tracing.
+//! * [`obs`] — engine counters (events drained, queue high-water,
+//!   cancellations) published through the `bcbpt-obs` metrics registry, so
+//!   release builds are observable without installing a custom sink.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod obs;
 mod queue;
 mod rng;
 mod time;

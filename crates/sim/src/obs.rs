@@ -1,0 +1,54 @@
+//! Engine metrics, published through the `bcbpt-obs` global registry.
+//!
+//! The engine never touches an atomic per event: it counts locally (the
+//! `processed` counter it already keeps, plus queue high-water and
+//! cancellation tallies) and [`Engine::flush_obs`](crate::Engine::flush_obs)
+//! publishes the deltas — once per run loop, or wherever an external
+//! stepper (like `bcbpt-net`'s warmup loop) chooses to call it. This keeps
+//! `events_drained` observable without installing a custom
+//! [`TraceSink`](crate::TraceSink), which previously was the only way to
+//! count events in release paths.
+
+use bcbpt_obs::{Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+
+/// Total events popped and handed to handlers, across all engines.
+pub(crate) fn events_drained() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().counter(
+            "bcbpt_sim_events_drained_total",
+            "Events popped from the queue and dispatched to handlers",
+        )
+    })
+}
+
+/// Total cancellations that found a live event (tombstones created).
+pub(crate) fn cancellations() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().counter(
+            "bcbpt_sim_cancellations_total",
+            "Pending events cancelled into tombstones before firing",
+        )
+    })
+}
+
+/// High-water mark of live pending events, across all engines.
+pub(crate) fn queue_depth_highwater() -> &'static Arc<Gauge> {
+    static H: OnceLock<Arc<Gauge>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().gauge(
+            "bcbpt_sim_queue_depth_highwater",
+            "Largest live pending-event count observed by any engine",
+        )
+    })
+}
+
+/// Touches every `bcbpt-sim` metric so it appears in expositions and
+/// snapshots even before the first event fires.
+pub fn register_metrics() {
+    let _ = events_drained();
+    let _ = cancellations();
+    let _ = queue_depth_highwater();
+}

@@ -4,6 +4,17 @@
 //! requires seeing the event stream. A [`TraceSink`] receives `(time, event)`
 //! pairs; the engine-agnostic sinks here cover the common cases: discard,
 //! count, and record.
+//!
+//! # Relation to the metrics registry
+//!
+//! Release paths never install a sink (the network fabric defaults to
+//! [`NullTrace`]), so sinks are a *debugging* facility: they see individual
+//! events and their payloads. For production counting the engine publishes
+//! aggregates straight to the `bcbpt-obs` registry — see [`crate::obs`] and
+//! [`Engine::flush_obs`](crate::Engine::flush_obs); `events_drained` is
+//! observable there without wiring a [`CountingTrace`] through the fabric.
+//! Use a sink when you need per-event detail (payload inspection, filtered
+//! recording); use the registry when you need totals.
 
 use crate::time::SimTime;
 
