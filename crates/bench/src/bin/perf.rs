@@ -10,14 +10,18 @@
 //!   the response latency of a digest-keyed cache hit;
 //! * the observability layer: the same campaign with no trace sink
 //!   installed vs with span recording armed, bounding the disabled-path
-//!   overhead the always-on metrics impose.
+//!   overhead the always-on metrics impose;
+//! * the relay layer: the same proof-of-work experiment through the
+//!   legacy relay-free path and each registered block-relay strategy
+//!   (full / compact / RLNC), recording wall-clock, propagation delay
+//!   and the wire-level bandwidth-waste accounting.
 //!
 //! Usage: `cargo run --release -p bcbpt-bench --bin perf [--quick] [OUT.json]`
 //!
 //! `--quick` shrinks the campaign for CI smoke runs. The output path
-//! defaults to `BENCH_PR8.json` in the current directory; the checked-in
-//! `BENCH_PR<k>.json` files (same shape since PR 1) are the campaign-runner
-//! performance trajectory EXPERIMENTS.md tracks.
+//! defaults to `BENCH_PR9.json` in the current directory; the checked-in
+//! `BENCH_PR<k>.json` files (same core shape since PR 1) are the
+//! campaign-runner performance trajectory EXPERIMENTS.md tracks.
 
 use bcbpt_cluster::Protocol;
 use bcbpt_core::ExperimentConfig;
@@ -75,6 +79,26 @@ struct ObsMetrics {
 }
 
 #[derive(Debug, Serialize)]
+struct RelayStrategyMetrics {
+    relay: String,
+    run_secs: f64,
+    block_delay_ms: f64,
+    bytes_on_wire: u64,
+    redundant_bytes: u64,
+    waste_ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct RelayMetrics {
+    nodes: usize,
+    duration_ms: f64,
+    /// Wall-clock of the relay-free legacy path — the baseline the `full`
+    /// strategy's accounting overhead is judged against.
+    legacy_secs: f64,
+    strategies: Vec<RelayStrategyMetrics>,
+}
+
+#[derive(Debug, Serialize)]
 struct PerfReport {
     host_cores: usize,
     engine: EngineMetrics,
@@ -82,6 +106,7 @@ struct PerfReport {
     campaign: CampaignMetrics,
     service: ServiceMetrics,
     obs: ObsMetrics,
+    relay: RelayMetrics,
 }
 
 fn bench_engine() -> EngineMetrics {
@@ -248,6 +273,61 @@ fn bench_obs(quick: bool) -> ObsMetrics {
     }
 }
 
+/// One proof-of-work experiment per relay path: the legacy relay-free
+/// code, then every registered strategy through the registry. Best-of-two
+/// wall-clock per path so a single scheduler hiccup cannot masquerade as
+/// a relay-layer regression.
+fn bench_relay(quick: bool) -> RelayMetrics {
+    use bcbpt_core::fork_experiment;
+
+    let mut cfg = ExperimentConfig::quick(Protocol::Bitcoin);
+    cfg.net.num_nodes = 150;
+    cfg.net.block_size_bytes = 20_000;
+    cfg.warmup_ms = 2_000.0;
+    cfg.runs = 0;
+    let duration_ms = if quick { 30_000.0 } else { 120_000.0 };
+
+    let mut legacy_secs = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        black_box(fork_experiment(&cfg, Protocol::Bitcoin, 1_500.0, duration_ms).expect("legacy"));
+        legacy_secs = legacy_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    let mut strategies = Vec::new();
+    for relay in ["full", "compact", "rlnc(chunks=16)"] {
+        let with_relay = cfg.with_relay(relay);
+        let mut run_secs = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..2 {
+            let start = Instant::now();
+            let r = fork_experiment(&with_relay, Protocol::Bitcoin, 1_500.0, duration_ms)
+                .expect("relay experiment");
+            run_secs = run_secs.min(start.elapsed().as_secs_f64());
+            report = Some(r);
+        }
+        let ext = report
+            .expect("ran twice")
+            .relay
+            .expect("relay extension present");
+        strategies.push(RelayStrategyMetrics {
+            relay: relay.to_string(),
+            run_secs,
+            block_delay_ms: ext.block_delay_ms,
+            bytes_on_wire: ext.bandwidth.bytes_on_wire,
+            redundant_bytes: ext.bandwidth.redundant_bytes,
+            waste_ratio: ext.bandwidth.waste_ratio,
+        });
+    }
+
+    RelayMetrics {
+        nodes: cfg.net.num_nodes,
+        duration_ms,
+        legacy_secs,
+        strategies,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -255,7 +335,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
 
     eprintln!("perf: engine microbenchmarks...");
     let engine = bench_engine();
@@ -305,6 +385,25 @@ fn main() {
         obs.baseline_secs, obs.traced_secs, obs.traced_spans, obs.overhead_ratio
     );
 
+    eprintln!("perf: relay strategies...");
+    let relay = bench_relay(quick);
+    eprintln!("perf: relay legacy {:.2}s", relay.legacy_secs);
+    for s in &relay.strategies {
+        eprintln!(
+            "perf: relay {} {:.2}s — delay {:.0} ms, {:.1} MB on wire, waste {:.3}",
+            s.relay,
+            s.run_secs,
+            s.block_delay_ms,
+            s.bytes_on_wire as f64 / 1e6,
+            s.waste_ratio
+        );
+        assert!(
+            s.waste_ratio.is_finite(),
+            "{}: waste must be finite",
+            s.relay
+        );
+    }
+
     let report = PerfReport {
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         engine,
@@ -312,6 +411,7 @@ fn main() {
         campaign,
         service,
         obs,
+        relay,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, format!("{json}\n")).expect("write report");

@@ -337,6 +337,12 @@ pub struct ExperimentConfig {
     /// Resolved against a [`ProtocolRegistry`] when the campaign runs, so
     /// custom registered policies work anywhere a built-in does.
     pub protocol: ProtocolSpec,
+    /// Optional block-relay strategy, named as data (e.g. `"compact"`,
+    /// `"rlnc(chunks=16)"`). Resolved against [`bcbpt_relay::registry`]
+    /// when the campaign runs; `None` keeps the legacy full-body path
+    /// with bandwidth-waste accounting off — byte-identical to builds
+    /// that predate the relay seam.
+    pub relay: Option<bcbpt_net::RelaySpec>,
     /// Cluster-formation warmup before measurements start, ms.
     pub warmup_ms: f64,
     /// Measurement window per run, ms (the tx must flood the network).
@@ -357,6 +363,7 @@ impl ExperimentConfig {
         ExperimentConfig {
             net,
             protocol: protocol.into(),
+            relay: None,
             warmup_ms: 3_000.0,
             window_ms: 20_000.0,
             runs: 10,
@@ -370,6 +377,7 @@ impl ExperimentConfig {
         ExperimentConfig {
             net: NetConfig::paper_scale(),
             protocol: protocol.into(),
+            relay: None,
             warmup_ms: 30_000.0,
             window_ms: 60_000.0,
             runs: 1000,
@@ -383,6 +391,16 @@ impl ExperimentConfig {
     pub fn with_protocol(&self, protocol: impl Into<ProtocolSpec>) -> Self {
         ExperimentConfig {
             protocol: protocol.into(),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different block-relay strategy but identical
+    /// environment — the paired-comparison knob for the relay sweeps.
+    #[must_use]
+    pub fn with_relay(&self, relay: impl Into<bcbpt_net::RelaySpec>) -> Self {
+        ExperimentConfig {
+            relay: Some(relay.into()),
             ..self.clone()
         }
     }
@@ -523,6 +541,9 @@ impl ExperimentConfig {
             let _timer = crate::obs::warmup_seconds().start_timer();
             let policy = registry.build(&self.protocol)?;
             let mut base = Network::build(self.net.clone(), policy, self.seed)?;
+            if let Some(spec) = &self.relay {
+                base.install_relay(bcbpt_relay::registry().build(spec)?);
+            }
             if let Some(adversary) = adversary {
                 base.set_adversary(adversary);
             }
@@ -595,6 +616,11 @@ impl ExperimentConfig {
         crate::obs::measure_seconds().observe(measure_timer.elapsed());
         drop(measure_span);
         let fold = fold.into_inner().expect("fold lock");
+
+        // Observability side channel only — counters never feed back into
+        // the fold or the serialized result.
+        crate::obs::net_bytes_total().add(fold.traffic.total_bytes());
+        crate::obs::net_redundant_bytes_total().add(fold.traffic.total_redundant_bytes());
 
         let cluster_sizes = cluster_sizes(&base);
         Ok(CampaignResult {

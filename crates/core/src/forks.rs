@@ -8,12 +8,25 @@
 
 use crate::experiment::ExperimentConfig;
 use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
-use bcbpt_net::Network;
+use bcbpt_net::{BandwidthReport, Network};
 use bcbpt_stats::StatTable;
 use serde::{Deserialize, Serialize};
 
-/// Outcome of the fork experiment for one protocol.
+/// The relay-strategy extension of a [`ForkReport`]: present exactly when
+/// the experiment ran with an installed block-relay strategy, pairing the
+/// propagation-delay telemetry with the wire-level bandwidth accounting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelayForkExt {
+    /// The relay spec the cell ran (e.g. `"rlnc(chunks=16)"`).
+    pub relay: String,
+    /// Mean block propagation delay (mint → network-wide adoption), ms.
+    pub block_delay_ms: f64,
+    /// Wire bytes and waste over the whole experiment.
+    pub bandwidth: BandwidthReport,
+}
+
+/// Outcome of the fork experiment for one protocol.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForkReport {
     /// Protocol label.
     pub protocol: String,
@@ -25,6 +38,44 @@ pub struct ForkReport {
     pub stale_rate: f64,
     /// Fraction of online nodes on the global best tip at the end.
     pub tip_agreement: f64,
+    /// Relay-strategy telemetry; `None` on the legacy relay-free path,
+    /// keeping those reports byte-identical to pre-relay builds.
+    pub relay: Option<RelayForkExt>,
+}
+
+// Hand-written serde: the `relay` extension is omitted when `None`, so
+// relay-free fork reports (all pre-relay outcome files) keep their exact
+// serialized form.
+impl Serialize for ForkReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("protocol".to_string(), self.protocol.to_value()),
+            ("mined".to_string(), self.mined.to_value()),
+            ("stale".to_string(), self.stale.to_value()),
+            ("stale_rate".to_string(), self.stale_rate.to_value()),
+            ("tip_agreement".to_string(), self.tip_agreement.to_value()),
+        ];
+        if let Some(relay) = &self.relay {
+            fields.push(("relay".to_string(), relay.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for ForkReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for ForkReport"))?;
+        Ok(ForkReport {
+            protocol: Deserialize::from_value(serde::map_get(m, "protocol"))?,
+            mined: Deserialize::from_value(serde::map_get(m, "mined"))?,
+            stale: Deserialize::from_value(serde::map_get(m, "stale"))?,
+            stale_rate: Deserialize::from_value(serde::map_get(m, "stale_rate"))?,
+            tip_agreement: Deserialize::from_value(serde::map_get(m, "tip_agreement"))?,
+            relay: Deserialize::from_value(serde::map_get(m, "relay"))?,
+        })
+    }
 }
 
 /// Runs proof-of-work over one protocol's topology.
@@ -76,16 +127,27 @@ pub fn fork_experiment_in(
     assert!(duration_ms > 0.0, "duration must be positive");
     let cfg = base.with_protocol(protocol);
     let mut net = Network::build(cfg.net.clone(), registry.build(&cfg.protocol)?, cfg.seed)?;
+    if let Some(spec) = &cfg.relay {
+        net.install_relay(bcbpt_relay::registry().build(spec)?);
+    }
     net.warmup_ms(cfg.warmup_ms);
     net.enable_mining(block_interval_ms);
     net.run_for_ms(duration_ms);
     let ledger = net.ledger();
+    crate::obs::net_bytes_total().add(net.stats().total_bytes());
+    crate::obs::net_redundant_bytes_total().add(net.stats().total_redundant_bytes());
+    let relay = cfg.relay.as_ref().map(|spec| RelayForkExt {
+        relay: spec.to_string(),
+        block_delay_ms: net.block_delay_mean_ms(),
+        bandwidth: net.stats().bandwidth_report(),
+    });
     Ok(ForkReport {
         protocol: cfg.protocol.to_string(),
         mined: ledger.mined_count(),
         stale: ledger.stale_count(),
         stale_rate: ledger.stale_rate(),
         tip_agreement: net.tip_agreement(),
+        relay,
     })
 }
 
@@ -167,5 +229,29 @@ mod tests {
     #[should_panic(expected = "block interval")]
     fn interval_validated() {
         let _ = fork_experiment(&tiny(), Protocol::Bitcoin, 0.0, 1_000.0);
+    }
+
+    #[test]
+    fn relay_extension_fills_and_round_trips() {
+        // Relay-free reports omit the extension and serialize without a
+        // `relay` key — the pre-relay wire format.
+        let bare = fork_experiment(&tiny(), Protocol::Bitcoin, 2_000.0, 30_000.0).unwrap();
+        assert!(bare.relay.is_none());
+        let json = serde_json::to_string(&bare).unwrap();
+        assert!(!json.contains("\"relay\""), "{json}");
+        let back: ForkReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bare);
+
+        // With a relay installed the extension carries live telemetry.
+        let cfg = tiny().with_relay("compact");
+        let report = fork_experiment(&cfg, Protocol::Bitcoin, 2_000.0, 30_000.0).unwrap();
+        let ext = report.relay.as_ref().expect("relay extension present");
+        assert_eq!(ext.relay, "compact");
+        assert!(ext.block_delay_ms > 0.0);
+        assert!(ext.bandwidth.bytes_on_wire > 0);
+        assert!(ext.bandwidth.waste_ratio.is_finite());
+        let back: ForkReport =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(back, report);
     }
 }

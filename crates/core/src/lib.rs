@@ -85,10 +85,13 @@ pub use attacks::{
 /// Re-exported so scenario authors can name attacker strategies without a
 /// direct `bcbpt-adversary` dependency.
 pub use bcbpt_adversary::AdversaryStrategy;
+/// Re-exported so scenario authors can name relay strategies without a
+/// direct `bcbpt-net` dependency.
+pub use bcbpt_net::RelaySpec;
 pub use degree::{degree_variance, degree_variance_table, DegreeVariance};
 pub use experiment::{cluster_sizes, CampaignResult, ExperimentConfig, RunResult};
 pub use figures::{fig3, fig4, threshold_sweep, FigureBundle};
-pub use forks::{fork_experiment, fork_experiment_in, fork_table, ForkReport};
+pub use forks::{fork_experiment, fork_experiment_in, fork_table, ForkReport, RelayForkExt};
 pub use overhead::{overhead_table, OverheadReport};
 #[cfg(feature = "fault-injection")]
 pub use resilience::fault;

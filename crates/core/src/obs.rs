@@ -78,6 +78,32 @@ pub(crate) fn warm_cache_misses() -> &'static Arc<Counter> {
     })
 }
 
+/// Simulated bytes put on the wire by completed campaigns and mining
+/// experiments (warmup + measurement). Simulated traffic, not host I/O —
+/// the denominator of the fleet-wide waste ratio.
+pub(crate) fn net_bytes_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().counter(
+            "bcbpt_net_bytes_total",
+            "Simulated wire bytes of completed campaigns and mining experiments",
+        )
+    })
+}
+
+/// Simulated bytes that carried nothing new (redundant deliveries), as
+/// counted by the relay layer's waste accounting. Zero unless a relay
+/// strategy is installed.
+pub(crate) fn net_redundant_bytes_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().counter(
+            "bcbpt_net_redundant_bytes_total",
+            "Simulated redundant wire bytes (duplicate or dependent deliveries)",
+        )
+    })
+}
+
 /// Wall-clock latency of persisting one shard checkpoint through a sink.
 pub(crate) fn checkpoint_write_seconds() -> &'static Arc<WallHistogram> {
     static H: OnceLock<Arc<WallHistogram>> = OnceLock::new();
@@ -113,6 +139,8 @@ pub fn register_metrics() {
     let _ = fold_park_depth();
     let _ = warm_cache_hits();
     let _ = warm_cache_misses();
+    let _ = net_bytes_total();
+    let _ = net_redundant_bytes_total();
     let _ = checkpoint_write_seconds();
     let _ = merge_verify_seconds();
 }

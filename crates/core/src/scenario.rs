@@ -27,7 +27,7 @@ use crate::session::{ScenarioSession, StopRule};
 use bcbpt_adversary::AdversaryStrategy;
 use bcbpt_cluster::{Protocol, ProtocolRegistry, ProtocolSpec};
 use bcbpt_geo::ChurnModel;
-use bcbpt_net::NetConfig;
+use bcbpt_net::{NetConfig, RelaySpec};
 use bcbpt_stats::{Ecdf, Figure, Series, StatTable, Summary};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
@@ -189,9 +189,10 @@ impl Workload {
 ///
 /// At most one of `protocols` / `thresholds_ms` may be non-empty (a
 /// threshold sweep *is* a protocol sweep over `bcbpt(dt=…)`); `num_nodes`
-/// composes with either. Empty axes fall back to the scenario's base
-/// protocol / network size, so an absent sweep means a single cell.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// and `relays` compose with either. Empty axes fall back to the
+/// scenario's base protocol / network size / relay strategy, so an absent
+/// sweep means a single cell.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Sweep {
     /// Protocol axis: one cell per spec (Fig. 3's protocol comparison,
     /// Fig. 4's threshold set).
@@ -200,6 +201,45 @@ pub struct Sweep {
     pub thresholds_ms: Vec<f64>,
     /// Network-size axis: one cell per population.
     pub num_nodes: Vec<usize>,
+    /// Block-relay axis: one cell per relay spec (e.g. `"full"`,
+    /// `"compact"`, `"rlnc(chunks=16)"`), resolved through
+    /// [`bcbpt_relay::registry`]. Empty means the scenario's base relay.
+    pub relays: Vec<RelaySpec>,
+}
+
+// Hand-written serde: the `relays` axis is omitted when empty so every
+// pre-relay scenario file (and its content digest) stays byte-identical,
+// and files without the key still parse.
+impl Serialize for Sweep {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("protocols".to_string(), self.protocols.to_value()),
+            ("thresholds_ms".to_string(), self.thresholds_ms.to_value()),
+            ("num_nodes".to_string(), self.num_nodes.to_value()),
+        ];
+        if !self.relays.is_empty() {
+            fields.push(("relays".to_string(), self.relays.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for Sweep {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Sweep"))?;
+        let relays = match serde::map_get(m, "relays") {
+            serde::Value::Null => Vec::new(),
+            other => Deserialize::from_value(other)?,
+        };
+        Ok(Sweep {
+            protocols: Deserialize::from_value(serde::map_get(m, "protocols"))?,
+            thresholds_ms: Deserialize::from_value(serde::map_get(m, "thresholds_ms"))?,
+            num_nodes: Deserialize::from_value(serde::map_get(m, "num_nodes"))?,
+            relays,
+        })
+    }
 }
 
 impl Sweep {
@@ -227,6 +267,14 @@ impl Sweep {
         }
     }
 
+    /// A sweep over block-relay strategies.
+    pub fn over_relays<R: Into<RelaySpec>>(relays: impl IntoIterator<Item = R>) -> Self {
+        Sweep {
+            relays: relays.into_iter().map(Into::into).collect(),
+            ..Sweep::default()
+        }
+    }
+
     /// Human-readable summary of the active axes, e.g.
     /// `"3 protocols"` or `"8 thresholds × 2 sizes"` (`"single cell"`
     /// when every axis is empty) — what `scenario list` prints.
@@ -240,6 +288,9 @@ impl Sweep {
         }
         if !self.num_nodes.is_empty() {
             parts.push(format!("{} sizes", self.num_nodes.len()));
+        }
+        if !self.relays.is_empty() {
+            parts.push(format!("{} relays", self.relays.len()));
         }
         if parts.is_empty() {
             "single cell".to_string()
@@ -259,6 +310,9 @@ pub struct ScenarioCell {
     pub protocol: ProtocolSpec,
     /// The network size of this cell.
     pub num_nodes: usize,
+    /// The block-relay strategy of this cell (`None` keeps the legacy
+    /// full-body path with waste accounting off).
+    pub relay: Option<RelaySpec>,
 }
 
 /// A declarative experiment description — the unit the `scenario` driver
@@ -278,7 +332,7 @@ pub struct ScenarioCell {
 /// println!("{}", outcome.render());
 /// # Ok::<(), String>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Scenario name; used as the report caption and the `scenarios/` file
     /// stem.
@@ -287,6 +341,10 @@ pub struct Scenario {
     pub net: NetConfig,
     /// Base protocol (used when the sweep has no protocol axis).
     pub protocol: ProtocolSpec,
+    /// Optional base block-relay strategy (used when the sweep has no
+    /// relay axis); `None` keeps the legacy full-body path with waste
+    /// accounting off.
+    pub relay: Option<RelaySpec>,
     /// What to drive the network with.
     pub workload: Workload,
     /// Optional sweep over protocol / threshold / size axes.
@@ -307,6 +365,54 @@ pub struct Scenario {
     pub seed: u64,
 }
 
+// Hand-written serde: the optional `relay` field is omitted when `None`,
+// so every pre-relay scenario file — and, crucially, its canonical
+// content digest — stays byte-identical. Field order matches declaration
+// order (the digest's canonicality contract).
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("net".to_string(), self.net.to_value()),
+            ("protocol".to_string(), self.protocol.to_value()),
+        ];
+        if let Some(relay) = &self.relay {
+            fields.push(("relay".to_string(), relay.to_value()));
+        }
+        fields.extend([
+            ("workload".to_string(), self.workload.to_value()),
+            ("sweep".to_string(), self.sweep.to_value()),
+            ("stop".to_string(), self.stop.to_value()),
+            ("runs".to_string(), self.runs.to_value()),
+            ("warmup_ms".to_string(), self.warmup_ms.to_value()),
+            ("window_ms".to_string(), self.window_ms.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ]);
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Scenario"))?;
+        Ok(Scenario {
+            name: Deserialize::from_value(serde::map_get(m, "name"))?,
+            net: Deserialize::from_value(serde::map_get(m, "net"))?,
+            protocol: Deserialize::from_value(serde::map_get(m, "protocol"))?,
+            relay: Deserialize::from_value(serde::map_get(m, "relay"))?,
+            workload: Deserialize::from_value(serde::map_get(m, "workload"))?,
+            sweep: Deserialize::from_value(serde::map_get(m, "sweep"))?,
+            stop: Deserialize::from_value(serde::map_get(m, "stop"))?,
+            runs: Deserialize::from_value(serde::map_get(m, "runs"))?,
+            warmup_ms: Deserialize::from_value(serde::map_get(m, "warmup_ms"))?,
+            window_ms: Deserialize::from_value(serde::map_get(m, "window_ms"))?,
+            seed: Deserialize::from_value(serde::map_get(m, "seed"))?,
+        })
+    }
+}
+
 impl Scenario {
     /// Wraps an [`ExperimentConfig`] environment into a named scenario.
     pub fn from_experiment(
@@ -318,6 +424,7 @@ impl Scenario {
             name: name.into(),
             net: base.net.clone(),
             protocol: base.protocol.clone(),
+            relay: base.relay.clone(),
             workload,
             sweep: None,
             stop: None,
@@ -429,7 +536,19 @@ impl Scenario {
                     ));
                 }
             }
+            let mut seen_relays = std::collections::BTreeSet::new();
+            for relay in &sweep.relays {
+                if relay.to_string().trim().is_empty() {
+                    return Err("sweep relay spec must not be empty".to_string());
+                }
+                if !seen_relays.insert(relay.clone()) {
+                    return Err(format!(
+                        "sweep relay {relay:?} appears twice — relay labels must be unique"
+                    ));
+                }
+            }
         }
+        let relay_registry = bcbpt_relay::registry();
         for cell in self.cells() {
             let cfg = self.cell_config(&cell);
             cfg.net
@@ -438,6 +557,11 @@ impl Scenario {
             registry
                 .build(&cell.protocol)
                 .map_err(|e| format!("cell {:?}: {e}", cell.label))?;
+            if let Some(relay) = &cell.relay {
+                relay_registry
+                    .build(relay)
+                    .map_err(|e| format!("cell {:?}: {e}", cell.label))?;
+            }
             // Population-relative workload constraints are per cell: a size
             // sweep may shrink the network below the attacker/victim count.
             match self.workload {
@@ -478,20 +602,33 @@ impl Scenario {
         } else {
             sweep.num_nodes.clone()
         };
+        let relays: Vec<Option<RelaySpec>> = if sweep.relays.is_empty() {
+            vec![self.relay.clone()]
+        } else {
+            sweep.relays.iter().cloned().map(Some).collect()
+        };
         let size_axis = !sweep.num_nodes.is_empty();
-        let mut cells = Vec::with_capacity(protocols.len() * sizes.len());
+        let relay_axis = !sweep.relays.is_empty();
+        let mut cells = Vec::with_capacity(protocols.len() * relays.len() * sizes.len());
         for protocol in &protocols {
-            for &num_nodes in &sizes {
-                let label = if size_axis {
-                    format!("{protocol} @n={num_nodes}")
-                } else {
-                    protocol.to_string()
-                };
-                cells.push(ScenarioCell {
-                    label,
-                    protocol: protocol.clone(),
-                    num_nodes,
-                });
+            for relay in &relays {
+                for &num_nodes in &sizes {
+                    let mut label = protocol.to_string();
+                    if relay_axis {
+                        if let Some(relay) = relay {
+                            label.push_str(&format!(" × {relay}"));
+                        }
+                    }
+                    if size_axis {
+                        label.push_str(&format!(" @n={num_nodes}"));
+                    }
+                    cells.push(ScenarioCell {
+                        label,
+                        protocol: protocol.clone(),
+                        num_nodes,
+                        relay: relay.clone(),
+                    });
+                }
             }
         }
         cells
@@ -517,6 +654,7 @@ impl Scenario {
         ExperimentConfig {
             net,
             protocol: cell.protocol.clone(),
+            relay: cell.relay.clone(),
             warmup_ms: self.warmup_ms,
             window_ms: self.window_ms,
             runs: self.runs,
@@ -1052,21 +1190,46 @@ impl ScenarioOutcome {
                 table
             }
             Workload::Mining { .. } => {
-                let mut table = StatTable::new(
-                    format!("{title} — proof-of-work forks"),
-                    &["mined", "stale", "stale_rate", "tip_agreement"],
-                );
+                // When any cell ran an instrumented relay strategy, the
+                // table pairs the fork statistics with propagation delay
+                // and wire-level waste — the delay-vs-waste trade-off the
+                // relay sweep exists to expose.
+                let relay_columns = self.cells.iter().any(|cell| {
+                    matches!(&cell.report, CellReport::Forks { report } if report.relay.is_some())
+                });
+                let columns: &[&str] = if relay_columns {
+                    &[
+                        "mined",
+                        "stale",
+                        "stale_rate",
+                        "tip_agreement",
+                        "delay_ms",
+                        "wire_mb",
+                        "waste",
+                    ]
+                } else {
+                    &["mined", "stale", "stale_rate", "tip_agreement"]
+                };
+                let mut table = StatTable::new(format!("{title} — proof-of-work forks"), columns);
                 for cell in &self.cells {
                     if let CellReport::Forks { report } = &cell.report {
-                        table.push_row(
-                            cell.label.clone(),
-                            vec![
-                                report.mined as f64,
-                                report.stale as f64,
-                                report.stale_rate,
-                                report.tip_agreement,
-                            ],
-                        );
+                        let mut row = vec![
+                            report.mined as f64,
+                            report.stale as f64,
+                            report.stale_rate,
+                            report.tip_agreement,
+                        ];
+                        if relay_columns {
+                            match &report.relay {
+                                Some(ext) => row.extend([
+                                    ext.block_delay_ms,
+                                    ext.bandwidth.bytes_on_wire as f64 / 1e6,
+                                    ext.bandwidth.waste_ratio,
+                                ]),
+                                None => row.extend([0.0, 0.0, 0.0]),
+                            }
+                        }
+                        table.push_row(cell.label.clone(), row);
                     }
                 }
                 table
@@ -1184,6 +1347,7 @@ fn demo_environment(num_nodes: usize, runs: usize) -> Scenario {
         name: String::new(),
         net,
         protocol: ProtocolSpec::from(Protocol::Bitcoin),
+        relay: None,
         workload: Workload::TxFlood,
         sweep: None,
         stop: None,
@@ -1209,6 +1373,7 @@ impl Scenario {
             "churn",
             "pingspoof",
             "withhold",
+            "relay",
         ]
     }
 
@@ -1225,6 +1390,7 @@ impl Scenario {
             "churn" => "Extension: tx-flood campaign under burst churn",
             "pingspoof" => "§V.C behavioural: attackers forge RTT probes to infiltrate clusters",
             "withhold" => "§V.C behavioural: attackers blackhole half the relays they owe",
+            "relay" => "Extension: propagation delay vs bandwidth waste per relay strategy",
             _ => return None,
         })
     }
@@ -1314,6 +1480,30 @@ impl Scenario {
                     attackers: 30,
                 };
                 s.with_sweep(Sweep::over_protocols(paper_protocols()))
+            }
+            "relay" => {
+                // The delay-vs-waste grid: both clustering regimes under
+                // every relay family. Same mining environment as "forks"
+                // so the delay columns compare against a known baseline.
+                let mut s = demo_environment(400, 0);
+                s.net.block_size_bytes = 20_000;
+                s.workload = Workload::Mining {
+                    block_interval_ms: 1_000.0,
+                    duration_ms: 300_000.0,
+                };
+                s.with_sweep(Sweep {
+                    protocols: vec![
+                        ProtocolSpec::from(Protocol::Bitcoin),
+                        ProtocolSpec::from(Protocol::bcbpt_paper()),
+                    ],
+                    thresholds_ms: vec![],
+                    num_nodes: vec![],
+                    relays: vec![
+                        RelaySpec::new("full"),
+                        RelaySpec::new("compact"),
+                        RelaySpec::new("rlnc(chunks=16)"),
+                    ],
+                })
             }
             _ => return None,
         };
@@ -1458,6 +1648,7 @@ mod tests {
             protocols: vec![ProtocolSpec::from(Protocol::Bitcoin)],
             thresholds_ms: vec![],
             num_nodes: vec![40, 60],
+            relays: vec![],
         });
         let cells = sizes.cells();
         assert_eq!(cells.len(), 2);
@@ -1480,6 +1671,7 @@ mod tests {
             protocols: paper_protocols(),
             thresholds_ms: vec![25.0],
             num_nodes: vec![],
+            relays: vec![],
         });
         assert!(conflicting.validate().unwrap_err().contains("sweep"));
 
@@ -1563,6 +1755,79 @@ mod tests {
     }
 
     #[test]
+    fn relay_field_and_relay_sweep_round_trip() {
+        // Base-level relay.
+        let mut pinned = tiny(Workload::TxFlood);
+        pinned.relay = Some(RelaySpec::new("compact"));
+        let back = Scenario::from_json(&pinned.to_json()).unwrap();
+        assert_eq!(back, pinned);
+        assert!(pinned.to_json().contains("\"relay\""));
+
+        // Relay sweep axis.
+        let swept = tiny(Workload::Mining {
+            block_interval_ms: 800.0,
+            duration_ms: 30_000.0,
+        })
+        .with_sweep(Sweep::over_relays(["full", "rlnc(chunks=8)"]));
+        let back = Scenario::from_json(&swept.to_json()).unwrap();
+        assert_eq!(back, swept);
+        let labels: Vec<String> = swept.cells().into_iter().map(|c| c.label).collect();
+        assert_eq!(labels, vec!["bitcoin × full", "bitcoin × rlnc(chunks=8)"]);
+
+        // Legacy JSON predating the relay seam parses to the relay-free
+        // form, and that form serializes without a relay key — so every
+        // pre-relay scenario file and its digest stay byte-identical.
+        let legacy = tiny(Workload::TxFlood);
+        let json = legacy.to_json();
+        assert!(!json.contains("\"relay\""), "{json}");
+        assert!(!json.contains("\"relays\""), "{json}");
+        let parsed = Scenario::from_json(&json).unwrap();
+        assert_eq!(parsed.relay, None);
+        assert_eq!(parsed, legacy);
+    }
+
+    #[test]
+    fn validation_rejects_bad_relay_configurations() {
+        let empty = tiny(Workload::TxFlood).with_sweep(Sweep::over_relays([""]));
+        assert!(empty.validate().unwrap_err().contains("must not be empty"));
+
+        let duplicated =
+            tiny(Workload::TxFlood).with_sweep(Sweep::over_relays(["compact", "compact"]));
+        assert!(duplicated.validate().unwrap_err().contains("appears twice"));
+
+        let mut unknown = tiny(Workload::TxFlood);
+        unknown.relay = Some(RelaySpec::new("carrier-pigeon"));
+        let err = unknown.validate().unwrap_err();
+        assert!(err.contains("unknown relay family"), "{err}");
+        assert!(err.contains("carrier-pigeon"), "{err}");
+
+        let bad_params = tiny(Workload::TxFlood).with_sweep(Sweep::over_relays(["rlnc(chunks=0)"]));
+        assert!(bad_params.validate().is_err());
+
+        // An adaptive stop rule composes with a relay sweep only on
+        // streaming campaign workloads: Mining cells fold no run means.
+        let adaptive = StopRule::CiHalfWidth {
+            level: 0.95,
+            rel_width: 0.1,
+            min_runs: 2,
+        };
+        let mining = tiny(Workload::Mining {
+            block_interval_ms: 800.0,
+            duration_ms: 30_000.0,
+        })
+        .with_sweep(Sweep::over_relays(["full", "compact"]))
+        .with_stop(adaptive);
+        let err = mining.validate().unwrap_err();
+        assert!(err.contains("adaptive stop rule"), "{err}");
+
+        tiny(Workload::TxFlood)
+            .with_sweep(Sweep::over_relays(["full", "compact"]))
+            .with_stop(adaptive)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
     fn tx_flood_scenario_matches_direct_campaigns() {
         // The declarative path must reproduce the hand-wired path
         // byte-for-byte: same seed, same cells, same campaigns.
@@ -1572,6 +1837,7 @@ mod tests {
         let base = ExperimentConfig {
             net: scenario.net.clone(),
             protocol: scenario.protocol.clone(),
+            relay: None,
             warmup_ms: scenario.warmup_ms,
             window_ms: scenario.window_ms,
             runs: scenario.runs,
@@ -1790,6 +2056,7 @@ mod tests {
                 protocols: vec![],
                 thresholds_ms: vec![10.0, 20.0],
                 num_nodes: vec![100, 200, 400],
+                relays: vec![],
             }
             .describe(),
             "2 thresholds × 3 sizes"

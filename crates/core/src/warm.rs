@@ -33,12 +33,20 @@ use std::sync::Mutex;
 /// `window_ms` and `runs` are excluded on purpose — they only shape the
 /// measurement phase, so campaigns differing only there share warm state.
 pub fn warm_recipe_digest(cfg: &ExperimentConfig) -> u64 {
-    let recipe = Value::Map(vec![
+    let mut fields = vec![
         ("net".to_string(), cfg.net.to_value()),
         ("protocol".to_string(), Value::Str(cfg.protocol.to_string())),
         ("seed".to_string(), Value::U64(cfg.seed)),
         ("warmup_ms".to_string(), Value::F64(cfg.warmup_ms)),
-    ]);
+    ];
+    // The relay strategy shapes warmup traffic accounting (and, for coded
+    // relays, the relay RNG draw order), so it is part of the recipe — but
+    // only when set, keeping every relay-free digest identical to builds
+    // that predate the relay seam.
+    if let Some(relay) = &cfg.relay {
+        fields.push(("relay".to_string(), Value::Str(relay.to_string())));
+    }
+    let recipe = Value::Map(fields);
     let json = serde_json::to_string(&recipe).expect("recipe serializes");
     crate::shard::fnv1a64(json.as_bytes())
 }
@@ -163,9 +171,15 @@ mod tests {
         proto.protocol = Protocol::Lbc.into();
         let mut net = base.clone();
         net.net.num_nodes += 1;
-        for other in [seed, warm, proto, net] {
+        let relay = base.with_relay("compact");
+        for other in [seed, warm, proto, net, relay] {
             assert_ne!(warm_recipe_digest(&base), warm_recipe_digest(&other));
         }
+        // Distinct relay strategies warm distinct state.
+        assert_ne!(
+            warm_recipe_digest(&base.with_relay("compact")),
+            warm_recipe_digest(&base.with_relay("rlnc(chunks=8)"))
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod network;
 mod node;
 mod online;
 mod policy;
+mod relay;
 mod routes;
 mod stats;
 mod tx;
@@ -68,7 +69,11 @@ pub use network::{InjectError, NetEvent, Network, RandomPolicy};
 pub use node::{NodeMeta, ProtoState};
 pub use online::OnlineSet;
 pub use policy::{NeighborPolicy, NetView, TopologyActions};
+pub use relay::{
+    FullRelay, RelayFactory, RelayNet, RelayRegistry, RelaySpec, RelayStrategy,
+    DEFAULT_KNOWN_TX_FRACTION,
+};
 pub use routes::RouteTable;
-pub use stats::MessageStats;
+pub use stats::{BandwidthReport, MessageStats};
 pub use tx::{Transaction, TxFactory, VerifyCost};
 pub use watch::TxWatch;

@@ -96,6 +96,49 @@ pub enum Message {
         /// Members of the responder's cluster.
         members: Vec<NodeId>,
     },
+    /// Compact-block announcement (BIP152 high-bandwidth mode): the block
+    /// header plus one short id per transaction in the block body.
+    CmpctBlock {
+        /// The announced block.
+        block: Block,
+        /// Number of short transaction ids in the announcement.
+        short_ids: u32,
+    },
+    /// Request for the transactions a compact-block receiver is missing.
+    GetBlockTxn {
+        /// The block whose transactions are requested.
+        block: BlockId,
+        /// Number of requested transaction indexes.
+        indexes: u32,
+    },
+    /// The missing transactions a [`Message::GetBlockTxn`] asked for.
+    BlockTxn {
+        /// The block the transactions belong to.
+        block: BlockId,
+        /// Number of transactions carried.
+        tx_count: u32,
+        /// Total serialized size of the carried transactions.
+        tx_bytes: u32,
+    },
+    /// One GF(256) random-linear network-coded piece of a chunked block:
+    /// the coding-coefficient vector (one byte per chunk) plus the coded
+    /// payload.
+    CodedPiece {
+        /// The block the piece codes over.
+        block: Block,
+        /// GF(256) coding coefficients, one per chunk.
+        coeffs: Vec<u8>,
+        /// Size of the coded payload in bytes.
+        piece_bytes: u32,
+    },
+    /// Request for more coded pieces of a block the sender is still
+    /// decoding (its decode-rank deficit).
+    GetPiece {
+        /// The block being decoded.
+        block: BlockId,
+        /// Number of additional pieces requested.
+        pieces: u32,
+    },
 }
 
 /// Coarse message classification for statistics.
@@ -129,11 +172,21 @@ pub enum MessageKind {
     Join,
     /// CLUSTERLIST.
     ClusterList,
+    /// CMPCTBLOCK.
+    CmpctBlock,
+    /// GETBLOCKTXN.
+    GetBlockTxn,
+    /// BLOCKTXN.
+    BlockTxn,
+    /// Coded piece.
+    CodedPiece,
+    /// GETPIECE.
+    GetPiece,
 }
 
 impl MessageKind {
     /// All kinds, for iteration in reports.
-    pub const ALL: [MessageKind; 14] = [
+    pub const ALL: [MessageKind; 19] = [
         MessageKind::Version,
         MessageKind::Verack,
         MessageKind::Ping,
@@ -148,6 +201,11 @@ impl MessageKind {
         MessageKind::Block,
         MessageKind::Join,
         MessageKind::ClusterList,
+        MessageKind::CmpctBlock,
+        MessageKind::GetBlockTxn,
+        MessageKind::BlockTxn,
+        MessageKind::CodedPiece,
+        MessageKind::GetPiece,
     ];
 }
 
@@ -168,6 +226,11 @@ impl fmt::Display for MessageKind {
             MessageKind::Block => "block",
             MessageKind::Join => "join",
             MessageKind::ClusterList => "clusterlist",
+            MessageKind::CmpctBlock => "cmpctblock",
+            MessageKind::GetBlockTxn => "getblocktxn",
+            MessageKind::BlockTxn => "blocktxn",
+            MessageKind::CodedPiece => "codedpiece",
+            MessageKind::GetPiece => "getpiece",
         };
         f.write_str(s)
     }
@@ -176,9 +239,15 @@ impl fmt::Display for MessageKind {
 /// Bitcoin wire overhead: 24-byte header on every message.
 const HEADER_BYTES: usize = 24;
 /// Bytes per inventory vector entry (type + hash).
-const INV_ENTRY_BYTES: usize = 36;
+pub(crate) const INV_ENTRY_BYTES: usize = 36;
 /// Bytes per address entry (time + services + IP + port).
 const ADDR_ENTRY_BYTES: usize = 30;
+/// Serialized block header (BIP152 `cmpctblock` prefix).
+const BLOCK_HEADER_BYTES: usize = 80;
+/// Bytes per BIP152 short transaction id.
+const SHORT_ID_BYTES: usize = 6;
+/// Bytes per differentially-encoded `getblocktxn` index.
+const TXN_INDEX_BYTES: usize = 3;
 
 impl Message {
     /// The statistics kind of this message.
@@ -198,6 +267,11 @@ impl Message {
             Message::BlockData { .. } => MessageKind::Block,
             Message::Join => MessageKind::Join,
             Message::ClusterList { .. } => MessageKind::ClusterList,
+            Message::CmpctBlock { .. } => MessageKind::CmpctBlock,
+            Message::GetBlockTxn { .. } => MessageKind::GetBlockTxn,
+            Message::BlockTxn { .. } => MessageKind::BlockTxn,
+            Message::CodedPiece { .. } => MessageKind::CodedPiece,
+            Message::GetPiece { .. } => MessageKind::GetPiece,
         }
     }
 
@@ -223,6 +297,19 @@ impl Message {
                 Message::BlockData { block } => block.size_bytes as usize,
                 Message::Join => 8,
                 Message::ClusterList { members } => 1 + members.len() * ADDR_ENTRY_BYTES,
+                Message::CmpctBlock { short_ids, .. } => {
+                    BLOCK_HEADER_BYTES + 8 + 1 + *short_ids as usize * SHORT_ID_BYTES
+                }
+                Message::GetBlockTxn { indexes, .. } => {
+                    INV_ENTRY_BYTES + 1 + *indexes as usize * TXN_INDEX_BYTES
+                }
+                Message::BlockTxn { tx_bytes, .. } => INV_ENTRY_BYTES + 1 + *tx_bytes as usize,
+                Message::CodedPiece {
+                    coeffs,
+                    piece_bytes,
+                    ..
+                } => BLOCK_HEADER_BYTES + coeffs.len() + *piece_bytes as usize,
+                Message::GetPiece { .. } => INV_ENTRY_BYTES + 4,
             }
     }
 }
@@ -231,6 +318,16 @@ impl Message {
 mod tests {
     use super::*;
     use crate::ids::TxId;
+
+    fn test_block() -> Block {
+        Block {
+            id: BlockId::from_raw(1),
+            parent: None,
+            height: 0,
+            miner: NodeId::from_index(0),
+            size_bytes: 1000,
+        }
+    }
 
     #[test]
     fn kind_mapping_is_total() {
@@ -259,6 +356,28 @@ mod tests {
             },
             Message::Join,
             Message::ClusterList { members: vec![] },
+            Message::CmpctBlock {
+                block: test_block(),
+                short_ids: 40,
+            },
+            Message::GetBlockTxn {
+                block: BlockId::from_raw(1),
+                indexes: 2,
+            },
+            Message::BlockTxn {
+                block: BlockId::from_raw(1),
+                tx_count: 2,
+                tx_bytes: 1000,
+            },
+            Message::CodedPiece {
+                block: test_block(),
+                coeffs: vec![1, 2, 3],
+                piece_bytes: 64,
+            },
+            Message::GetPiece {
+                block: BlockId::from_raw(1),
+                pieces: 4,
+            },
         ];
         let kinds: Vec<MessageKind> = msgs.iter().map(Message::kind).collect();
         assert_eq!(kinds, MessageKind::ALL.to_vec());
@@ -310,6 +429,86 @@ mod tests {
         for (vec_form, one_form) in pairs {
             assert_eq!(vec_form.kind(), one_form.kind());
             assert_eq!(vec_form.wire_size_bytes(), one_form.wire_size_bytes());
+        }
+    }
+
+    #[test]
+    fn relay_wire_sizes_scale_with_content() {
+        let small = Message::CmpctBlock {
+            block: test_block(),
+            short_ids: 10,
+        };
+        let large = Message::CmpctBlock {
+            block: test_block(),
+            short_ids: 20,
+        };
+        assert_eq!(
+            large.wire_size_bytes() - small.wire_size_bytes(),
+            10 * SHORT_ID_BYTES
+        );
+        // A compact announcement of a 1000-byte block is smaller than the
+        // full body; the combined compact exchange stays competitive.
+        let full = Message::BlockData {
+            block: test_block(),
+        };
+        assert!(small.wire_size_bytes() < full.wire_size_bytes());
+
+        let txn = Message::BlockTxn {
+            block: BlockId::from_raw(1),
+            tx_count: 3,
+            tx_bytes: 1500,
+        };
+        assert_eq!(
+            txn.wire_size_bytes(),
+            HEADER_BYTES + INV_ENTRY_BYTES + 1 + 1500
+        );
+
+        let piece = Message::CodedPiece {
+            block: test_block(),
+            coeffs: vec![0; 16],
+            piece_bytes: 63,
+        };
+        assert_eq!(
+            piece.wire_size_bytes(),
+            HEADER_BYTES + BLOCK_HEADER_BYTES + 16 + 63
+        );
+        let pull = Message::GetPiece {
+            block: BlockId::from_raw(1),
+            pieces: 7,
+        };
+        assert_eq!(pull.wire_size_bytes(), HEADER_BYTES + INV_ENTRY_BYTES + 4);
+    }
+
+    #[test]
+    fn relay_messages_round_trip_through_serde() {
+        let msgs = vec![
+            Message::CmpctBlock {
+                block: test_block(),
+                short_ids: 40,
+            },
+            Message::GetBlockTxn {
+                block: BlockId::from_raw(9),
+                indexes: 2,
+            },
+            Message::BlockTxn {
+                block: BlockId::from_raw(9),
+                tx_count: 2,
+                tx_bytes: 1000,
+            },
+            Message::CodedPiece {
+                block: test_block(),
+                coeffs: vec![7, 0, 255],
+                piece_bytes: 64,
+            },
+            Message::GetPiece {
+                block: BlockId::from_raw(9),
+                pieces: 4,
+            },
+        ];
+        for msg in msgs {
+            let json = serde_json::to_string(&msg).expect("serializes");
+            let back: Message = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, msg, "round trip failed for {json}");
         }
     }
 

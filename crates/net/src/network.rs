@@ -8,14 +8,15 @@
 //! (§V.B: every 100 ms), and the measuring-node instrumentation (Fig. 2).
 
 use crate::adversary::{Adversary, TapVerdict};
-use crate::block::{BlockId, BlockLedger, ChainState};
+use crate::block::{Block, BlockId, BlockLedger, ChainState};
 use crate::config::NetConfig;
 use crate::ids::{NodeId, TxId};
 use crate::links::Links;
-use crate::msg::Message;
+use crate::msg::{Message, MessageKind, INV_ENTRY_BYTES};
 use crate::node::{NodeMeta, ProtoState};
 use crate::online::OnlineSet;
 use crate::policy::{NeighborPolicy, NetView, TopologyActions};
+use crate::relay::{FullRelay, RelayNet, RelayStrategy};
 use crate::routes::RouteTable;
 use crate::stats::MessageStats;
 use crate::tx::{Transaction, TxFactory};
@@ -173,6 +174,21 @@ pub struct Network {
     /// In-loop behavioural adversary, if one is installed.
     adversary: Option<Box<dyn Adversary>>,
     adversary_rng: ChaCha12Rng,
+    /// How block bodies travel once announced. Always installed (the
+    /// default [`FullRelay`] replicates the legacy hard-wired path);
+    /// `Option` only so the dispatch can lend `self` to the strategy.
+    relay: Option<Box<dyn RelayStrategy>>,
+    relay_rng: ChaCha12Rng,
+    /// Whether redundant-delivery accounting (and block-arrival telemetry)
+    /// is armed. Off by default — enabled by [`Network::install_relay`] —
+    /// so runs without an explicit relay stay byte-identical to the
+    /// pre-relay-subsystem output.
+    waste_accounting: bool,
+    /// Mint times of blocks (ms), kept only under waste accounting to
+    /// measure block propagation delay.
+    block_mint_ms: BTreeMap<BlockId, f64>,
+    block_delay_sum_ms: f64,
+    block_delay_count: u64,
     /// Reused fan-out buffer: every relay hop collects the peers to
     /// announce to, and this scratch space keeps that collection
     /// allocation-free on the hot path.
@@ -186,6 +202,7 @@ impl fmt::Debug for Network {
             .field("online", &self.online.len())
             .field("edges", &self.links.edge_count())
             .field("policy", &self.policy.name())
+            .field("relay", &self.relay_name())
             .field("now", &self.engine.now())
             .finish()
     }
@@ -250,6 +267,12 @@ impl Network {
             mining_interval_ms: 0.0,
             adversary: None,
             adversary_rng: hub.stream("adversary"),
+            relay: Some(Box::new(FullRelay::default())),
+            relay_rng: hub.stream("relay"),
+            waste_accounting: false,
+            block_mint_ms: BTreeMap::new(),
+            block_delay_sum_ms: 0.0,
+            block_delay_count: 0,
             scratch_nodes: Vec::new(),
             config,
         };
@@ -390,6 +413,41 @@ impl Network {
         self.inject_rng = hub.stream("inject");
         self.mining_rng = hub.stream("mining");
         self.adversary_rng = hub.stream("adversary");
+        self.relay_rng = hub.stream("relay");
+    }
+
+    /// Installs a block-relay strategy (replacing the default
+    /// [`FullRelay`]) and arms bandwidth-waste accounting: from here on,
+    /// redundant deliveries are recorded per [`MessageKind`] and block
+    /// arrival delays are measured.
+    ///
+    /// Installing `FullRelay` itself is meaningful: the relay behaviour is
+    /// identical to the default, but waste accounting turns on — the
+    /// baseline the compact/coded strategies are compared against.
+    pub fn install_relay(&mut self, relay: Box<dyn RelayStrategy>) {
+        self.relay = Some(relay);
+        self.waste_accounting = true;
+    }
+
+    /// The installed relay strategy's name.
+    pub fn relay_name(&self) -> &'static str {
+        self.relay.as_deref().map_or("full", RelayStrategy::name)
+    }
+
+    /// Whether redundant-delivery accounting is armed.
+    pub fn waste_accounting(&self) -> bool {
+        self.waste_accounting
+    }
+
+    /// Mean delay (ms) from a block's mint to its adoption by another
+    /// node, over every adoption observed since waste accounting was
+    /// armed; 0 when no block has propagated.
+    pub fn block_delay_mean_ms(&self) -> f64 {
+        if self.block_delay_count == 0 {
+            0.0
+        } else {
+            self.block_delay_sum_ms / self.block_delay_count as f64
+        }
     }
 
     /// Installs a behavioural adversary (replacing any previous one). Its
@@ -633,7 +691,11 @@ impl Network {
     /// Callers iterate it and hand it back by assigning to
     /// `self.scratch_nodes` (forgetting to restore only costs the reuse,
     /// never correctness).
-    fn take_peer_scratch(&mut self, node: NodeId, exclude: Option<NodeId>) -> Vec<NodeId> {
+    pub(crate) fn take_peer_scratch(
+        &mut self,
+        node: NodeId,
+        exclude: Option<NodeId>,
+    ) -> Vec<NodeId> {
         let mut peers = std::mem::take(&mut self.scratch_nodes);
         peers.clear();
         peers.extend(
@@ -646,10 +708,73 @@ impl Network {
         peers
     }
 
+    /// Returns the fan-out buffer taken by
+    /// [`take_peer_scratch`](Self::take_peer_scratch).
+    pub(crate) fn restore_peer_scratch(&mut self, peers: Vec<NodeId>) {
+        self.scratch_nodes = peers;
+    }
+
     /// Schedules delivery of `msg` from `from` to `to` with sampled link
     /// latency plus serialization delay.
-    fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+    pub(crate) fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
         self.send_with_extra_delay(from, to, msg, 0.0);
+    }
+
+    /// Mutable access to `node`'s chain view (relay strategies).
+    pub(crate) fn chain_state_mut(&mut self, node: NodeId) -> &mut ChainState {
+        &mut self.chain[node.index()]
+    }
+
+    /// The dedicated relay RNG stream.
+    pub(crate) fn relay_rng_mut(&mut self) -> &mut ChaCha12Rng {
+        &mut self.relay_rng
+    }
+
+    /// Records a redundant delivery when waste accounting is armed; a
+    /// no-op otherwise so legacy runs never grow new serialized state.
+    pub(crate) fn record_redundant_gated(&mut self, kind: MessageKind, bytes: u64) {
+        if self.waste_accounting {
+            self.stats.record_redundant(kind, bytes);
+        }
+    }
+
+    /// Schedules the give-up timer for an outstanding block pull.
+    pub(crate) fn schedule_block_timeout(&mut self, node: NodeId, block: BlockId) {
+        let timeout = SimDuration::from_millis_f64(self.config.getdata_timeout_ms);
+        self.engine
+            .schedule_in(timeout, NetEvent::GetBlockTimeout { node, block });
+    }
+
+    /// Schedules block verification at `to` with the size-proportional
+    /// cost the legacy BLOCK arm used, scaled by the node's verify factor.
+    pub(crate) fn schedule_block_verify(&mut self, to: NodeId, block: &Block, relayer: NodeId) {
+        let tx_stand_in = Transaction::new(TxId::from_raw(0), block.size_bytes);
+        let verify = SimDuration::from_millis_f64(
+            self.config.block_verify.verify_ms(&tx_stand_in) * self.meta[to.index()].verify_factor,
+        );
+        self.engine.schedule_in(
+            verify,
+            NetEvent::BlockVerifyDone {
+                node: to,
+                block: block.id,
+                relayer,
+            },
+        );
+    }
+
+    /// Routes a block-plane message through the installed relay strategy.
+    fn relay_dispatch(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        let mut relay = self.relay.take().expect("relay strategy installed");
+        relay.on_message(from, to, msg, &mut RelayNet::new(self));
+        self.relay = Some(relay);
+    }
+
+    /// Announces a newly adopted block through the installed relay
+    /// strategy.
+    fn relay_announce(&mut self, node: NodeId, block: &Block, exclude: Option<NodeId>) {
+        let mut relay = self.relay.take().expect("relay strategy installed");
+        relay.announce(node, block, exclude, &mut RelayNet::new(self));
+        self.relay = Some(relay);
     }
 
     /// [`send`](Self::send) with an additional sender-side delay (used for
@@ -868,11 +993,17 @@ impl Network {
             Message::Inv { txids } => {
                 let proto = &mut self.proto[to.index()];
                 let mut wanted = Vec::new();
+                let mut known = 0u64;
                 for txid in txids {
                     if !proto.knows(txid) {
                         proto.inflight.insert(txid);
                         wanted.push(txid);
+                    } else {
+                        known += 1;
                     }
+                }
+                if known > 0 {
+                    self.record_redundant_gated(MessageKind::Inv, known * INV_ENTRY_BYTES as u64);
                 }
                 if !wanted.is_empty() {
                     let timeout = SimDuration::from_millis_f64(self.config.getdata_timeout_ms);
@@ -892,6 +1023,9 @@ impl Network {
                     self.engine
                         .schedule_in(timeout, NetEvent::GetDataTimeout { node: to, tx: txid });
                     self.send(to, from, Message::GetDataOne { txid });
+                } else {
+                    let wire = Message::InvOne { txid }.wire_size_bytes() as u64;
+                    self.record_redundant_gated(MessageKind::Inv, wire);
                 }
             }
             Message::GetData { txids } => {
@@ -913,6 +1047,8 @@ impl Network {
             Message::TxData { tx } => {
                 let proto = &mut self.proto[to.index()];
                 if proto.mempool.contains(&tx.id) || proto.verifying.contains(&tx.id) {
+                    let wire = Message::TxData { tx }.wire_size_bytes() as u64;
+                    self.record_redundant_gated(MessageKind::Tx, wire);
                     return;
                 }
                 proto.inflight.remove(&tx.id);
@@ -929,81 +1065,17 @@ impl Network {
                     },
                 );
             }
-            Message::BlockInv { ids } => {
-                let chain = &mut self.chain[to.index()];
-                let mut wanted = Vec::new();
-                for id in ids {
-                    if !chain.knows(id) {
-                        chain.inflight.insert(id);
-                        wanted.push(id);
-                    }
-                }
-                if !wanted.is_empty() {
-                    let timeout = SimDuration::from_millis_f64(self.config.getdata_timeout_ms);
-                    for &id in &wanted {
-                        self.engine.schedule_in(
-                            timeout,
-                            NetEvent::GetBlockTimeout {
-                                node: to,
-                                block: id,
-                            },
-                        );
-                    }
-                    self.send(to, from, Message::GetBlocks { ids: wanted });
-                }
-            }
-            Message::BlockInvOne { id } => {
-                let chain = &mut self.chain[to.index()];
-                if !chain.knows(id) {
-                    chain.inflight.insert(id);
-                    let timeout = SimDuration::from_millis_f64(self.config.getdata_timeout_ms);
-                    self.engine.schedule_in(
-                        timeout,
-                        NetEvent::GetBlockTimeout {
-                            node: to,
-                            block: id,
-                        },
-                    );
-                    self.send(to, from, Message::GetBlocksOne { id });
-                }
-            }
-            Message::GetBlocks { ids } => {
-                for id in ids {
-                    if self.chain[to.index()].known.contains(&id) {
-                        if let Some(&block) = self.ledger.get(id) {
-                            self.send(to, from, Message::BlockData { block });
-                        }
-                    }
-                }
-            }
-            Message::GetBlocksOne { id } => {
-                if self.chain[to.index()].known.contains(&id) {
-                    if let Some(&block) = self.ledger.get(id) {
-                        self.send(to, from, Message::BlockData { block });
-                    }
-                }
-            }
-            Message::BlockData { block } => {
-                let chain = &mut self.chain[to.index()];
-                if chain.known.contains(&block.id) || chain.verifying.contains(&block.id) {
-                    return;
-                }
-                chain.inflight.remove(&block.id);
-                chain.verifying.insert(block.id);
-                let tx_stand_in = Transaction::new(TxId::from_raw(0), block.size_bytes);
-                let verify = SimDuration::from_millis_f64(
-                    self.config.block_verify.verify_ms(&tx_stand_in)
-                        * self.meta[to.index()].verify_factor,
-                );
-                self.engine.schedule_in(
-                    verify,
-                    NetEvent::BlockVerifyDone {
-                        node: to,
-                        block: block.id,
-                        relayer: from,
-                    },
-                );
-            }
+            // The block plane belongs to the installed relay strategy.
+            Message::BlockInv { .. }
+            | Message::BlockInvOne { .. }
+            | Message::GetBlocks { .. }
+            | Message::GetBlocksOne { .. }
+            | Message::BlockData { .. }
+            | Message::CmpctBlock { .. }
+            | Message::GetBlockTxn { .. }
+            | Message::BlockTxn { .. }
+            | Message::CodedPiece { .. }
+            | Message::GetPiece { .. } => self.relay_dispatch(from, to, msg),
             // Handshake and cluster control are applied synchronously at
             // the topology layer; their traffic is accounted there.
             Message::Version | Message::Verack | Message::Join | Message::ClusterList { .. } => {}
@@ -1062,6 +1134,9 @@ impl Network {
             self.online.remove(node);
             self.links.drop_all(node);
             self.proto[node.index()].clear();
+            if let Some(relay) = &mut self.relay {
+                relay.on_leave(node);
+            }
             self.policy_leave(node);
         }
         let offline = self.config.churn.sample_offline_ms(&mut self.churn_rng);
@@ -1115,11 +1190,11 @@ impl Network {
             .ledger
             .mint(parent, miner, self.config.block_size_bytes);
         self.chain[miner.index()].adopt(&block);
-        let peers = self.take_peer_scratch(miner, None);
-        for &p in &peers {
-            self.send(miner, p, Message::BlockInvOne { id: block.id });
+        if self.waste_accounting {
+            self.block_mint_ms
+                .insert(block.id, self.now().as_millis_f64());
         }
-        self.scratch_nodes = peers;
+        self.relay_announce(miner, &block, None);
     }
 
     fn handle_block_verified(&mut self, node: NodeId, id: BlockId, relayer: NodeId) {
@@ -1134,11 +1209,13 @@ impl Network {
             return; // Unmintable: ids only come from the ledger.
         };
         self.chain[node.index()].adopt(&block);
-        let peers = self.take_peer_scratch(node, Some(relayer));
-        for &p in &peers {
-            self.send(node, p, Message::BlockInvOne { id });
+        if self.waste_accounting {
+            if let Some(&minted) = self.block_mint_ms.get(&id) {
+                self.block_delay_sum_ms += self.now().as_millis_f64() - minted;
+                self.block_delay_count += 1;
+            }
         }
-        self.scratch_nodes = peers;
+        self.relay_announce(node, &block, Some(relayer));
     }
 }
 

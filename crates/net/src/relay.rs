@@ -1,0 +1,559 @@
+//! Pluggable block-relay strategies: how a block body travels once mined.
+//!
+//! Neighbour selection ([`crate::NeighborPolicy`]) decides *who* a node
+//! talks to; a [`RelayStrategy`] decides *how a block body crosses those
+//! links*. The legacy inv/getdata/full-body exchange is extracted here as
+//! [`FullRelay`] — byte-identical to the previously hard-wired path — and
+//! the open [`RelayRegistry`] lets downstream crates (`bcbpt-relay`) plug
+//! in compact-block and network-coded strategies without this crate
+//! knowing about them.
+//!
+//! Strategies act through a [`RelayNet`] — a deliberately narrow window
+//! over the [`Network`] exposing sends, chain state, verification
+//! scheduling, the dedicated `"relay"` RNG stream and redundancy
+//! accounting. Every byte a strategy puts on the wire is sized by
+//! [`Message::wire_size_bytes`], and every delivery whose payload the
+//! receiver already had is recorded via [`RelayNet::record_redundant`], so
+//! `waste_ratio` comparisons across strategies are honest.
+
+use crate::block::{Block, BlockId, ChainState};
+use crate::config::NetConfig;
+use crate::ids::NodeId;
+use crate::msg::{Message, MessageKind, INV_ENTRY_BYTES};
+use crate::network::Network;
+use core::fmt;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A relay strategy named as data: the string form scenario files and
+/// campaign reports share, mirroring `ProtocolSpec` in `bcbpt-cluster`.
+///
+/// The grammar is `family` or `family(k=v, ...)` — e.g. `"full"`,
+/// `"compact(known=0.95)"`, `"rlnc(chunks=16, overhead=1.05)"`. The spec
+/// carries no behaviour; a [`RelayRegistry`] resolves it into a
+/// [`RelayStrategy`].
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_net::{RelayRegistry, RelaySpec};
+///
+/// let spec = RelaySpec::new("full(known=0.9)");
+/// assert_eq!(spec.family(), "full");
+/// let relay = RelayRegistry::builtins().build(&spec)?;
+/// assert_eq!(relay.name(), "full");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelaySpec(String);
+
+impl RelaySpec {
+    /// Creates a spec from any label.
+    pub fn new(label: impl Into<String>) -> Self {
+        RelaySpec(label.into())
+    }
+
+    /// The full label, e.g. `"rlnc(chunks=16)"`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The family the registry dispatches on: everything before the first
+    /// `(`, trimmed.
+    pub fn family(&self) -> &str {
+        self.0.split('(').next().unwrap_or("").trim()
+    }
+
+    /// The `k=v` argument pairs between the parentheses, trimmed; empty
+    /// when the spec is a bare family name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed argument.
+    pub fn args(&self) -> Result<Vec<(String, String)>, String> {
+        let s = self.0.trim();
+        let Some(open) = s.find('(') else {
+            return Ok(Vec::new());
+        };
+        let inner = s[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| format!("unclosed '(' in relay spec {s:?}"))?;
+        let mut pairs = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected k=v in relay spec {s:?}, got {part:?}"))?;
+            pairs.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        Ok(pairs)
+    }
+}
+
+impl fmt::Display for RelaySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for RelaySpec {
+    fn from(label: &str) -> Self {
+        RelaySpec(label.to_string())
+    }
+}
+
+impl From<String> for RelaySpec {
+    fn from(label: String) -> Self {
+        RelaySpec(label)
+    }
+}
+
+/// The window a [`RelayStrategy`] acts through: sends, per-node chain
+/// state, verification scheduling, the `"relay"` RNG stream and redundancy
+/// accounting — nothing else, so strategies cannot perturb topology or the
+/// transaction plane.
+pub struct RelayNet<'a> {
+    net: &'a mut Network,
+}
+
+impl<'a> RelayNet<'a> {
+    pub(crate) fn new(net: &'a mut Network) -> Self {
+        RelayNet { net }
+    }
+
+    /// Sends `msg` from `from` to `to` with sampled link latency plus
+    /// serialization delay (and the adversary tap, like every send).
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        self.net.send(from, to, msg);
+    }
+
+    /// Takes the reusable fan-out buffer filled with `node`'s peers minus
+    /// `exclude`. Hand it back with [`RelayNet::restore_peers`] after
+    /// iterating (forgetting only costs the buffer reuse, never
+    /// correctness).
+    pub fn take_peers(&mut self, node: NodeId, exclude: Option<NodeId>) -> Vec<NodeId> {
+        self.net.take_peer_scratch(node, exclude)
+    }
+
+    /// Returns the fan-out buffer taken by [`RelayNet::take_peers`].
+    pub fn restore_peers(&mut self, peers: Vec<NodeId>) {
+        self.net.restore_peer_scratch(peers);
+    }
+
+    /// `node`'s chain view.
+    pub fn chain(&self, node: NodeId) -> &ChainState {
+        self.net.chain(node)
+    }
+
+    /// Mutable access to `node`'s chain view.
+    pub fn chain_mut(&mut self, node: NodeId) -> &mut ChainState {
+        self.net.chain_state_mut(node)
+    }
+
+    /// Looks up a block body in the global ledger.
+    pub fn block(&self, id: BlockId) -> Option<Block> {
+        self.net.ledger().get(id).copied()
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        self.net.config()
+    }
+
+    /// Schedules the give-up timer for an outstanding block pull, after
+    /// which the id is forgotten so a later announcement can retry.
+    pub fn schedule_block_timeout(&mut self, node: NodeId, block: BlockId) {
+        self.net.schedule_block_timeout(node, block);
+    }
+
+    /// Schedules block verification at `to` (size-proportional cost scaled
+    /// by the node's verify factor); on completion the network adopts the
+    /// block and re-announces through the installed strategy, excluding
+    /// `relayer`.
+    pub fn schedule_block_verify(&mut self, to: NodeId, block: &Block, relayer: NodeId) {
+        self.net.schedule_block_verify(to, block, relayer);
+    }
+
+    /// The dedicated `"relay"` RNG stream — coding coefficients and any
+    /// other strategy randomness draw from here, never from the streams
+    /// the rest of the fabric consumes, so installing a strategy that
+    /// ignores this stream leaves every other draw sequence untouched.
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        self.net.relay_rng_mut()
+    }
+
+    /// Records a redundant delivery of `kind` wasting `bytes` — a no-op
+    /// unless waste accounting was enabled by installing a relay strategy
+    /// explicitly, so legacy runs stay byte-identical.
+    pub fn record_redundant(&mut self, kind: MessageKind, bytes: u64) {
+        self.net.record_redundant_gated(kind, bytes);
+    }
+}
+
+impl fmt::Debug for RelayNet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RelayNet").finish_non_exhaustive()
+    }
+}
+
+/// How a block body travels once announced.
+///
+/// The network calls [`announce`](RelayStrategy::announce) when a node
+/// mints or adopts a block, and routes every block-plane message
+/// ([`Message::BlockInv`] through [`Message::GetPiece`]) to
+/// [`on_message`](RelayStrategy::on_message). Strategies own any per-node
+/// transfer state (e.g. decode matrices) — the network clones them with
+/// itself, so snapshot/resume and the parallel campaign runner work
+/// unchanged.
+pub trait RelayStrategy: fmt::Debug + Send + Sync {
+    /// Short strategy name for reports, e.g. `"full"`.
+    fn name(&self) -> &'static str;
+
+    /// Clones the strategy (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn RelayStrategy>;
+
+    /// `node` has a newly adopted `block` to offer its peers (minus
+    /// `exclude`, the peer it came from).
+    fn announce(
+        &mut self,
+        node: NodeId,
+        block: &Block,
+        exclude: Option<NodeId>,
+        net: &mut RelayNet<'_>,
+    );
+
+    /// A block-plane message arrived at `to`.
+    fn on_message(&mut self, from: NodeId, to: NodeId, msg: Message, net: &mut RelayNet<'_>);
+
+    /// `node` went offline — drop any in-progress transfer state for it.
+    fn on_leave(&mut self, _node: NodeId) {}
+}
+
+impl Clone for Box<dyn RelayStrategy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The legacy inv/getdata/full-body exchange, extracted verbatim from the
+/// network's previously hard-wired block arms: announce with `BlockInv`,
+/// pull with `GetBlocks`, ship the whole body as `BlockData`.
+///
+/// With waste accounting enabled it also measures what the full body
+/// wastes: duplicate announcements, duplicate bodies, and the
+/// `known` fraction of every delivered body — transactions the receiver
+/// already held in its mempool (the BIP152 motivation).
+#[derive(Debug, Clone)]
+pub struct FullRelay {
+    /// Fraction of a delivered block body the receiver already had.
+    known_fraction: f64,
+}
+
+impl FullRelay {
+    /// The spec family this strategy answers to.
+    pub const FAMILY: &'static str = "full";
+
+    /// Creates the strategy with the given already-known body fraction.
+    ///
+    /// # Errors
+    ///
+    /// Rejects fractions outside `[0, 1]`.
+    pub fn new(known_fraction: f64) -> Result<Self, String> {
+        if !(0.0..=1.0).contains(&known_fraction) || !known_fraction.is_finite() {
+            return Err(format!(
+                "relay known fraction must be within [0, 1], got {known_fraction}"
+            ));
+        }
+        Ok(FullRelay { known_fraction })
+    }
+
+    /// Parses `full` or `full(known=F)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid argument.
+    pub fn from_spec(spec: &RelaySpec) -> Result<Self, String> {
+        let mut known = DEFAULT_KNOWN_TX_FRACTION;
+        for (k, v) in spec.args()? {
+            match k.as_str() {
+                "known" => known = parse_f64(&k, &v)?,
+                other => return Err(format!("unknown argument {other:?} in relay spec {spec}")),
+            }
+        }
+        FullRelay::new(known)
+    }
+}
+
+impl Default for FullRelay {
+    fn default() -> Self {
+        FullRelay {
+            known_fraction: DEFAULT_KNOWN_TX_FRACTION,
+        }
+    }
+}
+
+/// Default fraction of a relayed block body the receiver already holds —
+/// BIP152's observation that mempools overlap heavily.
+pub const DEFAULT_KNOWN_TX_FRACTION: f64 = 0.95;
+
+/// Parses a float relay argument.
+pub(crate) fn parse_f64(key: &str, v: &str) -> Result<f64, String> {
+    v.parse::<f64>()
+        .map_err(|_| format!("relay argument {key}={v:?} is not a number"))
+}
+
+impl RelayStrategy for FullRelay {
+    fn name(&self) -> &'static str {
+        "full"
+    }
+
+    fn clone_box(&self) -> Box<dyn RelayStrategy> {
+        Box::new(self.clone())
+    }
+
+    fn announce(
+        &mut self,
+        node: NodeId,
+        block: &Block,
+        exclude: Option<NodeId>,
+        net: &mut RelayNet<'_>,
+    ) {
+        let peers = net.take_peers(node, exclude);
+        for &p in &peers {
+            net.send(node, p, Message::BlockInvOne { id: block.id });
+        }
+        net.restore_peers(peers);
+    }
+
+    fn on_message(&mut self, from: NodeId, to: NodeId, msg: Message, net: &mut RelayNet<'_>) {
+        match msg {
+            Message::BlockInv { ref ids } => {
+                let known_before = ids.iter().filter(|&&id| net.chain(to).knows(id)).count() as u64;
+                let chain = net.chain_mut(to);
+                let mut wanted = Vec::new();
+                for &id in ids {
+                    if !chain.knows(id) {
+                        chain.inflight.insert(id);
+                        wanted.push(id);
+                    }
+                }
+                if known_before > 0 {
+                    net.record_redundant(
+                        MessageKind::BlockInv,
+                        known_before * INV_ENTRY_BYTES as u64,
+                    );
+                }
+                if !wanted.is_empty() {
+                    for &id in &wanted {
+                        net.schedule_block_timeout(to, id);
+                    }
+                    net.send(to, from, Message::GetBlocks { ids: wanted });
+                }
+            }
+            Message::BlockInvOne { id } => {
+                if net.chain(to).knows(id) {
+                    net.record_redundant(MessageKind::BlockInv, msg.wire_size_bytes() as u64);
+                    return;
+                }
+                net.chain_mut(to).inflight.insert(id);
+                net.schedule_block_timeout(to, id);
+                net.send(to, from, Message::GetBlocksOne { id });
+            }
+            Message::GetBlocks { ids } => {
+                for id in ids {
+                    if net.chain(to).known.contains(&id) {
+                        if let Some(block) = net.block(id) {
+                            net.send(to, from, Message::BlockData { block });
+                        }
+                    }
+                }
+            }
+            Message::GetBlocksOne { id } if net.chain(to).known.contains(&id) => {
+                if let Some(block) = net.block(id) {
+                    net.send(to, from, Message::BlockData { block });
+                }
+            }
+            Message::GetBlocksOne { .. } => {}
+            Message::BlockData { block } => {
+                let wire = msg.wire_size_bytes() as u64;
+                let chain = net.chain_mut(to);
+                if chain.known.contains(&block.id) || chain.verifying.contains(&block.id) {
+                    net.record_redundant(MessageKind::Block, wire);
+                    return;
+                }
+                chain.inflight.remove(&block.id);
+                chain.verifying.insert(block.id);
+                // The receiver already held `known_fraction` of the body's
+                // transactions — that share of the full body crossed the
+                // wire for nothing.
+                let wasted = (self.known_fraction * block.size_bytes as f64).round() as u64;
+                if wasted > 0 {
+                    net.record_redundant(MessageKind::Block, wasted);
+                }
+                net.schedule_block_verify(to, &block, from);
+            }
+            // Compact/coded traffic is not ours; a mixed-strategy network
+            // is not modeled, so stray messages are dropped.
+            _ => {}
+        }
+    }
+}
+
+/// A strategy factory: receives the full spec (family + arguments) and
+/// instantiates the strategy, or explains why the arguments are invalid.
+pub type RelayFactory =
+    Box<dyn Fn(&RelaySpec) -> Result<Box<dyn RelayStrategy>, String> + Send + Sync>;
+
+/// Maps relay families to [`RelayStrategy`] factories.
+///
+/// The built-in registry covers `full` only; `bcbpt-relay` extends it with
+/// `compact` and `rlnc`, and downstream crates can register further
+/// families so scenario files can name custom strategies without this
+/// crate knowing about them.
+pub struct RelayRegistry {
+    factories: BTreeMap<String, RelayFactory>,
+}
+
+impl RelayRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        RelayRegistry {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// A registry preloaded with the strategies this crate ships: `full`.
+    pub fn builtins() -> Self {
+        let mut registry = RelayRegistry::new();
+        registry.register(FullRelay::FAMILY, |spec: &RelaySpec| {
+            Ok(Box::new(FullRelay::from_spec(spec)?))
+        });
+        registry
+    }
+
+    /// Registers (or replaces) the factory for `family`.
+    pub fn register<F>(&mut self, family: impl Into<String>, factory: F)
+    where
+        F: Fn(&RelaySpec) -> Result<Box<dyn RelayStrategy>, String> + Send + Sync + 'static,
+    {
+        self.factories.insert(family.into(), Box::new(factory));
+    }
+
+    /// Whether `family` is registered.
+    pub fn contains(&self, family: &str) -> bool {
+        self.factories.contains_key(family)
+    }
+
+    /// Registered families, sorted.
+    pub fn families(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+
+    /// Resolves a spec into a strategy instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the known families when the spec's family
+    /// is unregistered, or the factory's error when its arguments are
+    /// invalid.
+    pub fn build(&self, spec: &RelaySpec) -> Result<Box<dyn RelayStrategy>, String> {
+        let family = spec.family();
+        let factory = self.factories.get(family).ok_or_else(|| {
+            format!(
+                "unknown relay family {:?} in spec {:?} (registered: {})",
+                family,
+                spec.as_str(),
+                self.families().collect::<Vec<_>>().join(", ")
+            )
+        })?;
+        factory(spec)
+    }
+}
+
+impl Default for RelayRegistry {
+    fn default() -> Self {
+        Self::builtins()
+    }
+}
+
+impl fmt::Debug for RelayRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RelayRegistry")
+            .field("families", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_exposes_family_label_and_args() {
+        let spec = RelaySpec::new("rlnc(chunks=16, overhead=1.05)");
+        assert_eq!(spec.family(), "rlnc");
+        assert_eq!(spec.as_str(), "rlnc(chunks=16, overhead=1.05)");
+        assert_eq!(spec.to_string(), "rlnc(chunks=16, overhead=1.05)");
+        assert_eq!(
+            spec.args().unwrap(),
+            vec![
+                ("chunks".to_string(), "16".to_string()),
+                ("overhead".to_string(), "1.05".to_string()),
+            ]
+        );
+        assert_eq!(RelaySpec::new("full").args().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn malformed_specs_error() {
+        let err = RelaySpec::new("rlnc(chunks=16").args().unwrap_err();
+        assert!(err.contains("unclosed"), "{err}");
+        let err = RelaySpec::new("rlnc(chunks)").args().unwrap_err();
+        assert!(err.contains("k=v"), "{err}");
+    }
+
+    #[test]
+    fn spec_serde_is_transparent() {
+        let spec = RelaySpec::new("compact(known=0.95)");
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(json, "\"compact(known=0.95)\"");
+        let back: RelaySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn builtin_registry_builds_full() {
+        let registry = RelayRegistry::builtins();
+        assert_eq!(registry.families().collect::<Vec<_>>(), vec!["full"]);
+        assert!(registry.contains("full"));
+        let relay = registry.build(&RelaySpec::new("full")).unwrap();
+        assert_eq!(relay.name(), "full");
+        let relay = registry.build(&RelaySpec::new("full(known=0.5)")).unwrap();
+        assert_eq!(relay.name(), "full");
+        let cloned = relay.clone();
+        assert_eq!(cloned.name(), "full");
+    }
+
+    #[test]
+    fn unknown_family_errors_and_names_the_known_set() {
+        let registry = RelayRegistry::builtins();
+        let err = registry.build(&RelaySpec::new("erasure(k=3)")).unwrap_err();
+        assert!(err.contains("erasure"), "{err}");
+        assert!(err.contains("full"), "error lists known families: {err}");
+        assert!(!RelayRegistry::new().contains("full"));
+    }
+
+    #[test]
+    fn full_relay_validates_known_fraction() {
+        let err = FullRelay::from_spec(&RelaySpec::new("full(known=1.5)")).unwrap_err();
+        assert!(err.contains("within [0, 1]"), "{err}");
+        let err = FullRelay::from_spec(&RelaySpec::new("full(known=abc)")).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+        let err = FullRelay::from_spec(&RelaySpec::new("full(frac=0.5)")).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+}

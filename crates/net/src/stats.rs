@@ -22,13 +22,91 @@ use std::collections::BTreeMap;
 /// assert_eq!(stats.count(MessageKind::Ping), 1);
 /// assert_eq!(stats.total_messages(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Serde is hand-written (not derived) so the two redundancy maps are
+/// emitted only when non-empty: outcomes from runs that never record
+/// redundancy stay byte-identical to the pre-relay-subsystem format.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MessageStats {
     counts: BTreeMap<MessageKind, u64>,
     bytes: BTreeMap<MessageKind, u64>,
     /// Messages an in-loop adversary withheld (never put on the wire);
     /// tracked apart from the sent counters above.
     withheld: BTreeMap<MessageKind, u64>,
+    /// Deliveries whose payload the receiver already had (duplicate invs,
+    /// already-known txs inside a full block body, linearly-dependent coded
+    /// pieces). These messages *were* sent — they are a subset of `counts`.
+    redundant_counts: BTreeMap<MessageKind, u64>,
+    /// Wasted wire bytes corresponding to `redundant_counts`. A partially
+    /// wasted message (e.g. a full block body whose txs were mostly known)
+    /// contributes only its wasted fraction here.
+    redundant_bytes: BTreeMap<MessageKind, u64>,
+}
+
+/// Bandwidth-waste summary distilled from a [`MessageStats`]: how many
+/// bytes crossed the wire and what fraction of them carried nothing new.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthReport {
+    /// Total bytes put on the wire.
+    pub bytes_on_wire: u64,
+    /// Bytes the receivers already had (redundant deliveries).
+    pub redundant_bytes: u64,
+    /// `redundant_bytes / bytes_on_wire` (0 when nothing was sent).
+    pub waste_ratio: f64,
+}
+
+impl fmt::Display for BandwidthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bytes on wire, {} redundant (waste {:.3})",
+            self.bytes_on_wire, self.redundant_bytes, self.waste_ratio
+        )
+    }
+}
+
+impl Serialize for MessageStats {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("counts".to_string(), self.counts.to_value()),
+            ("bytes".to_string(), self.bytes.to_value()),
+            ("withheld".to_string(), self.withheld.to_value()),
+        ];
+        if !self.redundant_counts.is_empty() {
+            entries.push((
+                "redundant_counts".to_string(),
+                self.redundant_counts.to_value(),
+            ));
+        }
+        if !self.redundant_bytes.is_empty() {
+            entries.push((
+                "redundant_bytes".to_string(),
+                self.redundant_bytes.to_value(),
+            ));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for MessageStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for MessageStats"))?;
+        let optional_map = |key: &str| -> Result<BTreeMap<MessageKind, u64>, serde::Error> {
+            match serde::map_get(m, key) {
+                serde::Value::Null => Ok(BTreeMap::new()),
+                other => Deserialize::from_value(other),
+            }
+        };
+        Ok(MessageStats {
+            counts: Deserialize::from_value(serde::map_get(m, "counts"))?,
+            bytes: Deserialize::from_value(serde::map_get(m, "bytes"))?,
+            withheld: Deserialize::from_value(serde::map_get(m, "withheld"))?,
+            redundant_counts: optional_map("redundant_counts")?,
+            redundant_bytes: optional_map("redundant_bytes")?,
+        })
+    }
 }
 
 impl MessageStats {
@@ -47,6 +125,51 @@ impl MessageStats {
     /// Records one message an adversary withheld instead of sending.
     pub fn record_withheld(&mut self, msg: &Message) {
         *self.withheld.entry(msg.kind()).or_insert(0) += 1;
+    }
+
+    /// Records one redundant delivery: a message (already counted by
+    /// [`MessageStats::record`]) of which `wasted_bytes` carried data the
+    /// receiver already had. `wasted_bytes` may be less than the message's
+    /// wire size when only part of the payload was redundant.
+    pub fn record_redundant(&mut self, kind: MessageKind, wasted_bytes: u64) {
+        *self.redundant_counts.entry(kind).or_insert(0) += 1;
+        *self.redundant_bytes.entry(kind).or_insert(0) += wasted_bytes;
+    }
+
+    /// Number of redundant deliveries of `kind`.
+    pub fn redundant_count(&self, kind: MessageKind) -> u64 {
+        self.redundant_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Wasted bytes attributed to `kind`.
+    pub fn redundant_bytes(&self, kind: MessageKind) -> u64 {
+        self.redundant_bytes.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total redundant deliveries across kinds.
+    pub fn redundant_messages(&self) -> u64 {
+        self.redundant_counts.values().sum()
+    }
+
+    /// Total wasted bytes across kinds.
+    pub fn total_redundant_bytes(&self) -> u64 {
+        self.redundant_bytes.values().sum()
+    }
+
+    /// Distills the counters into a [`BandwidthReport`].
+    pub fn bandwidth_report(&self) -> BandwidthReport {
+        let bytes_on_wire = self.total_bytes();
+        let redundant_bytes = self.total_redundant_bytes();
+        let waste_ratio = if bytes_on_wire == 0 {
+            0.0
+        } else {
+            redundant_bytes as f64 / bytes_on_wire as f64
+        };
+        BandwidthReport {
+            bytes_on_wire,
+            redundant_bytes,
+            waste_ratio,
+        }
     }
 
     /// Number of messages of `kind` an adversary withheld.
@@ -108,6 +231,12 @@ impl MessageStats {
         for (k, v) in &other.withheld {
             *self.withheld.entry(*k).or_insert(0) += v;
         }
+        for (k, v) in &other.redundant_counts {
+            *self.redundant_counts.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.redundant_bytes {
+            *self.redundant_bytes.entry(*k).or_insert(0) += v;
+        }
     }
 
     /// Difference `self - baseline`, saturating at zero — used to isolate
@@ -129,6 +258,18 @@ impl MessageStats {
             }
             if w > 0 {
                 out.withheld.insert(kind, w);
+            }
+            let rc = self
+                .redundant_count(kind)
+                .saturating_sub(baseline.redundant_count(kind));
+            let rb = self
+                .redundant_bytes(kind)
+                .saturating_sub(baseline.redundant_bytes(kind));
+            if rc > 0 {
+                out.redundant_counts.insert(kind, rc);
+            }
+            if rb > 0 {
+                out.redundant_bytes.insert(kind, rb);
             }
         }
         out
@@ -244,6 +385,67 @@ mod tests {
         merged.merge(&s);
         merged.merge(&phase);
         assert_eq!(merged.withheld_messages(), 5);
+    }
+
+    #[test]
+    fn redundant_counters_track_merge_and_since() {
+        let mut s = MessageStats::new();
+        let inv = Message::InvOne {
+            txid: TxId::from_raw(1),
+        };
+        s.record(&inv);
+        s.record(&inv);
+        s.record_redundant(MessageKind::Inv, inv.wire_size_bytes() as u64);
+        assert_eq!(s.redundant_count(MessageKind::Inv), 1);
+        assert_eq!(s.redundant_messages(), 1);
+        assert_eq!(s.total_redundant_bytes(), inv.wire_size_bytes() as u64);
+        let baseline = s.clone();
+        s.record_redundant(MessageKind::Inv, inv.wire_size_bytes() as u64);
+        s.record_redundant(MessageKind::Block, 500);
+        let phase = s.since(&baseline);
+        assert_eq!(phase.redundant_messages(), 2);
+        assert_eq!(
+            phase.total_redundant_bytes(),
+            inv.wire_size_bytes() as u64 + 500
+        );
+        let mut merged = MessageStats::new();
+        merged.merge(&baseline);
+        merged.merge(&phase);
+        assert_eq!(merged, s, "merge(baseline, since) reconstructs the whole");
+    }
+
+    #[test]
+    fn bandwidth_report_ratios() {
+        let mut s = MessageStats::new();
+        assert_eq!(s.bandwidth_report().waste_ratio, 0.0, "empty stats");
+        s.record(&Message::TxData {
+            tx: Transaction::new(TxId::from_raw(1), 976),
+        });
+        s.record_redundant(MessageKind::Tx, 250);
+        let report = s.bandwidth_report();
+        assert_eq!(report.bytes_on_wire, 1000);
+        assert_eq!(report.redundant_bytes, 250);
+        assert!((report.waste_ratio - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_omits_empty_redundancy_maps() {
+        let mut s = MessageStats::new();
+        s.record(&Message::Version);
+        let json = serde_json::to_string(&s).expect("serializes");
+        assert!(
+            !json.contains("redundant"),
+            "legacy stats must not mention redundancy: {json}"
+        );
+        let back: MessageStats = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, s);
+
+        s.record_redundant(MessageKind::Version, 24);
+        let json = serde_json::to_string(&s).expect("serializes");
+        assert!(json.contains("redundant_counts"));
+        assert!(json.contains("redundant_bytes"));
+        let back: MessageStats = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, s);
     }
 
     #[test]

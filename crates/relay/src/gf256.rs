@@ -1,0 +1,224 @@
+//! GF(256) arithmetic and the incremental decode matrix RLNC rank
+//! tracking runs on.
+//!
+//! The field is GF(2⁸) with the primitive polynomial `x⁸+x⁴+x³+x²+1`
+//! (0x11d) and generator 2 — the standard Reed–Solomon/RLNC field.
+//! Multiplication goes through log/exp tables built once on first use;
+//! the decode matrix keeps received coefficient vectors in row-echelon
+//! form so deciding whether a new coded piece is innovative is one
+//! reduction pass.
+
+use std::sync::OnceLock;
+
+/// The reduction polynomial (without the leading x⁸ term).
+const POLY: u16 = 0x11d;
+
+struct Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate the exp table so mul never needs a modular reduction
+        // of the summed logs.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { log, exp }
+    })
+}
+
+/// Adds (= subtracts) two field elements.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse of a non-zero element.
+///
+/// # Panics
+///
+/// Panics on 0, which has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "0 has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Incremental Gaussian elimination over coding-coefficient vectors: feed
+/// each received piece's coefficients in, learn whether it was innovative,
+/// and read the current rank. Decoding the block succeeds exactly when the
+/// rank reaches the chunk count.
+///
+/// # Examples
+///
+/// ```
+/// use bcbpt_relay::DecodeMatrix;
+///
+/// let mut m = DecodeMatrix::new(2);
+/// assert!(m.absorb(&[1, 2]));
+/// assert!(!m.absorb(&[2, 4]), "a scalar multiple is dependent");
+/// assert!(m.absorb(&[0, 1]));
+/// assert!(m.is_complete());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecodeMatrix {
+    chunks: usize,
+    /// Row-echelon rows as `(pivot column, normalized coefficients)`.
+    rows: Vec<(usize, Vec<u8>)>,
+}
+
+impl DecodeMatrix {
+    /// An empty matrix over `chunks` coding dimensions.
+    pub fn new(chunks: usize) -> Self {
+        DecodeMatrix {
+            chunks,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Current rank: number of linearly independent pieces absorbed.
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the rank reached the chunk count — the block is decodable.
+    pub fn is_complete(&self) -> bool {
+        self.rank() == self.chunks
+    }
+
+    /// Absorbs one coefficient vector. Returns `true` when it was
+    /// innovative (increased the rank), `false` when it was linearly
+    /// dependent on what was already received — wasted bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coeffs` does not have one entry per chunk.
+    pub fn absorb(&mut self, coeffs: &[u8]) -> bool {
+        assert_eq!(
+            coeffs.len(),
+            self.chunks,
+            "coefficient vector length must equal the chunk count"
+        );
+        let mut v = coeffs.to_vec();
+        for (pivot, row) in &self.rows {
+            let factor = v[*pivot];
+            if factor != 0 {
+                for (vi, ri) in v.iter_mut().zip(row) {
+                    *vi = add(*vi, mul(factor, *ri));
+                }
+            }
+        }
+        let Some(pivot) = v.iter().position(|&c| c != 0) else {
+            return false;
+        };
+        let scale = inv(v[pivot]);
+        for c in &mut v {
+            *c = mul(*c, scale);
+        }
+        self.rows.push((pivot, v));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a * a^-1 == 1 for a={a}");
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+        // Distributivity on a sample grid.
+        for &a in &[1u8, 7, 93, 200, 255] {
+            for &b in &[2u8, 19, 144, 254] {
+                for &c in &[5u8, 77, 201] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+        // Commutativity and associativity samples.
+        assert_eq!(mul(87, 131), mul(131, 87));
+        assert_eq!(mul(mul(3, 7), 11), mul(3, mul(7, 11)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_has_no_inverse() {
+        inv(0);
+    }
+
+    #[test]
+    fn rank_grows_only_on_innovative_pieces() {
+        let mut m = DecodeMatrix::new(3);
+        assert_eq!(m.rank(), 0);
+        assert!(m.absorb(&[1, 0, 0]));
+        assert!(m.absorb(&[1, 1, 0]));
+        assert_eq!(m.rank(), 2);
+        // In the span of the first two.
+        assert!(!m.absorb(&[0, 1, 0]));
+        assert_eq!(m.rank(), 2);
+        assert!(!m.is_complete());
+        assert!(m.absorb(&[5, 6, 7]));
+        assert!(m.is_complete());
+        // Everything is dependent once complete.
+        assert!(!m.absorb(&[9, 13, 200]));
+        assert_eq!(m.rank(), 3);
+    }
+
+    #[test]
+    fn zero_vector_is_never_innovative() {
+        let mut m = DecodeMatrix::new(4);
+        assert!(!m.absorb(&[0, 0, 0, 0]));
+        assert_eq!(m.rank(), 0);
+    }
+
+    #[test]
+    fn random_combinations_of_absorbed_rows_are_dependent() {
+        let mut m = DecodeMatrix::new(4);
+        let basis = [[1u8, 2, 3, 4], [5, 6, 7, 8], [9, 10, 200, 12]];
+        for b in &basis {
+            assert!(m.absorb(b));
+        }
+        // a*b0 + b*b1 + c*b2 for a few scalar choices.
+        for (a, b, c) in [(1u8, 1u8, 1u8), (7, 0, 3), (255, 254, 253)] {
+            let combo: Vec<u8> = (0..4)
+                .map(|i| {
+                    add(
+                        add(mul(a, basis[0][i]), mul(b, basis[1][i])),
+                        mul(c, basis[2][i]),
+                    )
+                })
+                .collect();
+            assert!(!m.absorb(&combo), "combination {combo:?} must be dependent");
+        }
+        assert_eq!(m.rank(), 3);
+    }
+}

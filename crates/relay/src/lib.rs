@@ -1,0 +1,83 @@
+//! Block-relay strategies beyond the legacy full-body path.
+//!
+//! `bcbpt-net` owns the [`RelayStrategy`] seam and ships the `full`
+//! builtin (inv → getdata → full body). This crate supplies the two
+//! bandwidth-frugal alternatives the relay experiments sweep over:
+//!
+//! - [`CompactRelay`] (`compact`) — BIP152-style: announce the header plus
+//!   short transaction ids, pull only the transactions missing from the
+//!   receiver's mempool.
+//! - [`RlncRelay`] (`rlnc`) — random linear network coding over GF(256):
+//!   blocks are split into chunks, peers push coded pieces, and receivers
+//!   pull until their decode matrix reaches full rank. Linearly dependent
+//!   pieces are counted as wasted bandwidth.
+//!
+//! [`registry`] returns a [`RelayRegistry`] that resolves all three
+//! families, which is what the scenario runner uses to honor a scenario's
+//! `relay` spec:
+//!
+//! ```
+//! let registry = bcbpt_relay::registry();
+//! let relay = registry.build(&"rlnc(chunks=8)".into()).unwrap();
+//! assert_eq!(relay.name(), "rlnc");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf256;
+
+mod compact;
+mod rlnc;
+
+pub use bcbpt_net::{RelayRegistry, RelaySpec, RelayStrategy};
+pub use compact::CompactRelay;
+pub use gf256::DecodeMatrix;
+pub use rlnc::RlncRelay;
+
+/// A registry resolving every relay family this workspace ships: `full`
+/// (from `bcbpt-net`), `compact` and `rlnc` (from this crate).
+pub fn registry() -> RelayRegistry {
+    let mut registry = RelayRegistry::builtins();
+    registry.register(CompactRelay::FAMILY, |spec: &RelaySpec| {
+        Ok(Box::new(CompactRelay::from_spec(spec)?))
+    });
+    registry.register(RlncRelay::FAMILY, |spec: &RelaySpec| {
+        Ok(Box::new(RlncRelay::from_spec(spec)?))
+    });
+    registry
+}
+
+/// Parses a float-valued relay argument.
+fn parse_f64(key: &str, v: &str) -> Result<f64, String> {
+    v.parse::<f64>()
+        .map_err(|_| format!("relay argument {key}={v:?} is not a number"))
+}
+
+/// Parses an integer-valued relay argument.
+fn parse_usize(key: &str, v: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .map_err(|_| format!("relay argument {key}={v:?} is not an integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_all_three_families() {
+        let registry = registry();
+        let mut families: Vec<_> = registry.families().collect();
+        families.sort_unstable();
+        assert_eq!(families, ["compact", "full", "rlnc"]);
+        for spec in ["full", "compact", "rlnc(chunks=4)"] {
+            let relay = registry.build(&RelaySpec::new(spec)).unwrap();
+            assert_eq!(relay.name(), RelaySpec::new(spec).family());
+        }
+        let err = registry
+            .build(&RelaySpec::new("carrier_pigeon"))
+            .unwrap_err();
+        assert!(err.contains("unknown relay family"), "{err}");
+        assert!(err.contains("compact, full, rlnc"), "{err}");
+    }
+}

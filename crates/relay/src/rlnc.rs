@@ -1,0 +1,255 @@
+//! Random linear network coding relay: block bodies are split into
+//! chunks, peers exchange GF(256)-coded pieces, and a receiver decodes
+//! once it has gathered a full-rank set of coefficient vectors.
+
+use std::collections::BTreeMap;
+
+use bcbpt_net::{Block, BlockId, Message, MessageKind, NodeId, RelayNet, RelaySpec, RelayStrategy};
+use rand::RngCore;
+
+use crate::gf256::DecodeMatrix;
+
+/// Network-coded block relay (`rlnc`).
+///
+/// The sender splits each block body into `chunks` equal chunks and pushes
+/// one random linear combination (a *coded piece*) to every peer. A
+/// receiver tracks the rank of the coefficient vectors it has absorbed per
+/// block and pulls exactly `chunks - rank` more pieces when the first one
+/// arrives; linearly dependent pieces and pieces for already-decoded
+/// blocks are counted as wasted bandwidth.
+///
+/// Spec grammar: `rlnc`, `rlnc(chunks=16)`, `rlnc(chunks=16, overhead=1.05)`
+/// — `chunks` is the generation size, `overhead` the per-piece coded size
+/// inflation factor relative to `block_size / chunks`.
+#[derive(Debug, Clone)]
+pub struct RlncRelay {
+    chunks: usize,
+    overhead: f64,
+    /// Per-(receiver, block) decode state. Entries are dropped as soon as
+    /// the block decodes or the node leaves.
+    decoders: BTreeMap<(NodeId, BlockId), DecodeMatrix>,
+}
+
+impl RlncRelay {
+    /// The spec family this strategy answers to.
+    pub const FAMILY: &'static str = "rlnc";
+
+    /// Creates the strategy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a chunk count of zero or a coded overhead factor that is
+    /// not finite or below 1.
+    pub fn new(chunks: usize, overhead: f64) -> Result<Self, String> {
+        if chunks == 0 {
+            return Err("rlnc chunk count must be at least 1".to_string());
+        }
+        if chunks > 255 {
+            return Err(format!(
+                "rlnc chunk count must fit one GF(256) generation (<= 255), got {chunks}"
+            ));
+        }
+        if !overhead.is_finite() || overhead < 1.0 {
+            return Err(format!(
+                "rlnc coded overhead factor must be finite and >= 1, got {overhead}"
+            ));
+        }
+        Ok(RlncRelay {
+            chunks,
+            overhead,
+            decoders: BTreeMap::new(),
+        })
+    }
+
+    /// Parses an `rlnc(...)` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid argument.
+    pub fn from_spec(spec: &RelaySpec) -> Result<Self, String> {
+        let mut chunks = 16usize;
+        let mut overhead = 1.05f64;
+        for (k, v) in spec.args()? {
+            match k.as_str() {
+                "chunks" => chunks = crate::parse_usize(&k, &v)?,
+                "overhead" => overhead = crate::parse_f64(&k, &v)?,
+                other => return Err(format!("unknown argument {other:?} in relay spec {spec}")),
+            }
+        }
+        RlncRelay::new(chunks, overhead)
+    }
+
+    /// On-wire payload size of one coded piece of `block`.
+    fn piece_bytes(&self, block: &Block) -> u32 {
+        let chunk = block.size_bytes as f64 / self.chunks as f64;
+        (chunk * self.overhead).ceil().max(1.0) as u32
+    }
+
+    /// Draws a fresh random coefficient vector from the relay RNG stream.
+    /// The all-zero vector carries no information, so it is nudged onto
+    /// the first basis vector instead.
+    fn draw_coeffs(&self, net: &mut RelayNet<'_>) -> Vec<u8> {
+        let mut coeffs = vec![0u8; self.chunks];
+        net.rng().fill_bytes(&mut coeffs);
+        if coeffs.iter().all(|&c| c == 0) {
+            coeffs[0] = 1;
+        }
+        coeffs
+    }
+
+    /// Sends `count` freshly coded pieces of `block` from `from` to `to`.
+    fn send_pieces(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        block: &Block,
+        count: usize,
+        net: &mut RelayNet<'_>,
+    ) {
+        let piece_bytes = self.piece_bytes(block);
+        for _ in 0..count {
+            let coeffs = self.draw_coeffs(net);
+            net.send(
+                from,
+                to,
+                Message::CodedPiece {
+                    block: *block,
+                    coeffs,
+                    piece_bytes,
+                },
+            );
+        }
+    }
+}
+
+impl RelayStrategy for RlncRelay {
+    fn name(&self) -> &'static str {
+        "rlnc"
+    }
+
+    fn clone_box(&self) -> Box<dyn RelayStrategy> {
+        Box::new(self.clone())
+    }
+
+    fn announce(
+        &mut self,
+        node: NodeId,
+        block: &Block,
+        exclude: Option<NodeId>,
+        net: &mut RelayNet<'_>,
+    ) {
+        // The announcer holds the full body; any partial decode state it
+        // accumulated while pulling is obsolete.
+        self.decoders.remove(&(node, block.id));
+        let peers = net.take_peers(node, exclude);
+        for &p in &peers {
+            self.send_pieces(node, p, block, 1, net);
+        }
+        net.restore_peers(peers);
+    }
+
+    fn on_message(&mut self, from: NodeId, to: NodeId, msg: Message, net: &mut RelayNet<'_>) {
+        match msg {
+            Message::CodedPiece {
+                block, ref coeffs, ..
+            } => {
+                let chain = net.chain(to);
+                if chain.known.contains(&block.id) || chain.verifying.contains(&block.id) {
+                    // Piece for a block this node already decoded.
+                    net.record_redundant(MessageKind::CodedPiece, msg.wire_size_bytes() as u64);
+                    return;
+                }
+                let decoder = self
+                    .decoders
+                    .entry((to, block.id))
+                    .or_insert_with(|| DecodeMatrix::new(self.chunks));
+                if coeffs.len() != self.chunks {
+                    // A piece coded under a different generation size can
+                    // never help this decoder.
+                    net.record_redundant(MessageKind::CodedPiece, msg.wire_size_bytes() as u64);
+                    return;
+                }
+                if !decoder.absorb(coeffs) {
+                    // Linearly dependent on what was already received.
+                    net.record_redundant(MessageKind::CodedPiece, msg.wire_size_bytes() as u64);
+                    return;
+                }
+                if decoder.is_complete() {
+                    self.decoders.remove(&(to, block.id));
+                    let chain = net.chain_mut(to);
+                    chain.inflight.remove(&block.id);
+                    chain.verifying.insert(block.id);
+                    net.schedule_block_verify(to, &block, from);
+                } else if !net.chain(to).inflight.contains(&block.id) {
+                    // First innovative piece: pull the remainder of the
+                    // generation from whoever pushed it.
+                    let missing = self.chunks - self.decoders[&(to, block.id)].rank();
+                    net.chain_mut(to).inflight.insert(block.id);
+                    net.schedule_block_timeout(to, block.id);
+                    net.send(
+                        to,
+                        from,
+                        Message::GetPiece {
+                            block: block.id,
+                            pieces: missing as u32,
+                        },
+                    );
+                }
+            }
+            Message::GetPiece { block: id, pieces } if net.chain(to).known.contains(&id) => {
+                if let Some(block) = net.block(id) {
+                    self.send_pieces(to, from, &block, pieces as usize, net);
+                }
+            }
+            Message::GetPiece { .. } => {}
+            // Full-body and compact traffic is not ours.
+            _ => {}
+        }
+    }
+
+    fn on_leave(&mut self, node: NodeId) {
+        self.decoders.retain(|&(n, _), _| n != node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_and_validation() {
+        let relay = RlncRelay::from_spec(&RelaySpec::new("rlnc")).unwrap();
+        assert_eq!(relay.name(), "rlnc");
+        assert!(RlncRelay::from_spec(&RelaySpec::new("rlnc(chunks=4, overhead=1.2)")).is_ok());
+
+        let err = RlncRelay::from_spec(&RelaySpec::new("rlnc(chunks=0)")).unwrap_err();
+        assert!(err.contains("chunk count must be at least 1"), "{err}");
+        let err = RlncRelay::from_spec(&RelaySpec::new("rlnc(chunks=400)")).unwrap_err();
+        assert!(err.contains("<= 255"), "{err}");
+        let err = RlncRelay::from_spec(&RelaySpec::new("rlnc(overhead=0.5)")).unwrap_err();
+        assert!(err.contains("finite and >= 1"), "{err}");
+        let err = RlncRelay::from_spec(&RelaySpec::new("rlnc(overhead=inf)")).unwrap_err();
+        assert!(
+            err.contains("finite and >= 1") || err.contains("not a number"),
+            "{err}"
+        );
+        let err = RlncRelay::from_spec(&RelaySpec::new("rlnc(pieces=2)")).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+
+    #[test]
+    fn piece_bytes_reflect_chunking_and_overhead() {
+        let relay = RlncRelay::new(10, 1.05).unwrap();
+        let block = Block {
+            id: BlockId::from_raw(1),
+            parent: None,
+            height: 1,
+            miner: NodeId::from_index(0),
+            size_bytes: 10_000,
+        };
+        assert_eq!(relay.piece_bytes(&block), 1050);
+
+        let single = RlncRelay::new(1, 1.0).unwrap();
+        assert_eq!(single.piece_bytes(&block), 10_000);
+    }
+}

@@ -83,6 +83,11 @@ pub mod cluster {
     pub use bcbpt_cluster::*;
 }
 
+/// Block-relay strategies: full, compact, RLNC (`bcbpt-relay`).
+pub mod relay {
+    pub use bcbpt_relay::*;
+}
+
 /// Experiment harness (`bcbpt-core`).
 pub mod experiments {
     pub use bcbpt_core::*;
@@ -100,6 +105,6 @@ pub use bcbpt_core::{
     ShardSpec, StopRule, Sweep, WarmSnapshot, Workload,
 };
 pub use bcbpt_geo::{ChurnModel, DistanceParams, GeoPoint, LatencyConfig};
-pub use bcbpt_net::{NetConfig, Network, NodeId, Transaction, TxId, TxWatch};
+pub use bcbpt_net::{NetConfig, Network, NodeId, RelaySpec, Transaction, TxId, TxWatch};
 pub use bcbpt_sim::{SimDuration, SimTime};
 pub use bcbpt_stats::{Ecdf, EcdfBuilder, StreamingSummary, Summary};

@@ -1,0 +1,167 @@
+//! End-to-end coverage of the coded-relay subsystem: the `full` relay
+//! through the registry reproduces the legacy path's dynamics on every
+//! checked-in scenario, the frugal strategies are thread-count invariant,
+//! relay sweeps shard and merge byte-identically, and the checked-in
+//! `relay` scenario records the waste ordering the subsystem exists to
+//! expose (compact and rlnc strictly below full).
+
+use bcbpt::experiments::{merge_shards, run_shard, CellReport, RelayForkExt};
+use bcbpt::{ExperimentConfig, Protocol, RelaySpec, Scenario, ShardSpec, Sweep, Workload};
+use serde::{Serialize, Value};
+
+/// Shrinks a quick-scaled scenario further so a two-variant comparison
+/// over every builtin stays CI-sized.
+fn ci_scale(mut s: Scenario) -> Scenario {
+    s = s.quick_scaled();
+    s.net.num_nodes = s.net.num_nodes.min(60);
+    s.runs = s.runs.min(2);
+    s.warmup_ms = s.warmup_ms.min(1_000.0);
+    s.window_ms = s.window_ms.min(10_000.0);
+    if let Workload::Mining { duration_ms, .. } = &mut s.workload {
+        *duration_ms = duration_ms.min(20_000.0);
+    }
+    if let Workload::Adversarial { attackers, .. } = &mut s.workload {
+        *attackers = (*attackers).min(s.net.num_nodes / 10).max(1);
+    }
+    if let Some(sweep) = &mut s.sweep {
+        sweep.thresholds_ms.truncate(2);
+        sweep.num_nodes = sweep.num_nodes.iter().map(|&n| n.min(60)).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        sweep.num_nodes.retain(|&n| seen.insert(n));
+    }
+    s
+}
+
+/// Strips the keys that only exist because waste accounting is on — the
+/// redundant-delivery maps inside `MessageStats` and the `relay`
+/// extension of fork reports — so a relay-on outcome can be compared
+/// field-for-field against the legacy relay-free output.
+fn strip_accounting(v: &Value) -> Value {
+    match v {
+        Value::Map(entries) => Value::Map(
+            entries
+                .iter()
+                .filter(|(k, _)| k != "redundant_counts" && k != "redundant_bytes" && k != "relay")
+                .map(|(k, inner)| (k.clone(), strip_accounting(inner)))
+                .collect(),
+        ),
+        Value::Seq(items) => Value::Seq(items.iter().map(strip_accounting).collect()),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn registry_full_relay_matches_legacy_dynamics_on_every_builtin() {
+    for name in Scenario::builtin_names() {
+        if *name == "relay" {
+            // The relay builtin already sweeps strategies; it is covered by
+            // `checked_in_relay_scenario_records_the_waste_ordering`.
+            continue;
+        }
+        let legacy = ci_scale(Scenario::builtin(name).expect("builtin resolves"));
+        let mut with_full = legacy.clone();
+        // Base-level relay: every cell runs the registry `full` strategy
+        // (relay-axis builtins already sweep it; overriding the base is a
+        // no-op for them).
+        with_full.relay = Some(RelaySpec::new("full"));
+        let baseline = legacy.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let instrumented = with_full.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Waste accounting adds counters but must not perturb a single
+        // event: after stripping the accounting-only fields the outcomes
+        // are identical, cell for cell, run for run.
+        assert_eq!(
+            strip_accounting(&baseline.to_value()),
+            strip_accounting(&instrumented.to_value()),
+            "{name}: full relay through the registry drifted from the legacy path"
+        );
+    }
+}
+
+fn relay_campaign(relay: &str) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(Protocol::bcbpt_paper());
+    cfg.net.num_nodes = 60;
+    cfg.warmup_ms = 1_000.0;
+    cfg.window_ms = 10_000.0;
+    cfg.runs = 4;
+    cfg.relay = Some(RelaySpec::new(relay));
+    cfg
+}
+
+#[test]
+fn frugal_relay_campaigns_are_thread_count_invariant() {
+    for relay in ["compact", "rlnc(chunks=8)"] {
+        let cfg = relay_campaign(relay);
+        let serial = cfg.run_serial().unwrap();
+        for threads in [3, 8] {
+            let parallel = cfg.run_with_threads(threads).unwrap();
+            assert_eq!(
+                parallel, serial,
+                "{relay}: output must be byte-identical at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn relay_sweep_shards_merge_byte_identically() {
+    let mut scenario =
+        Scenario::from_experiment("relay-shards", &relay_campaign("full"), Workload::TxFlood);
+    scenario.relay = None;
+    scenario.runs = 4;
+    let scenario = scenario.with_sweep(Sweep::over_relays(["full", "compact", "rlnc(chunks=8)"]));
+    let whole = scenario.run_batch().unwrap();
+    let parts: Vec<_> = (0..2)
+        .map(|index| run_shard(&scenario, ShardSpec::new(index, 2).unwrap()).unwrap())
+        .collect();
+    let merged = merge_shards(parts).unwrap();
+    assert_eq!(merged, whole, "2-shard merge must equal the batch run");
+}
+
+#[test]
+fn checked_in_relay_scenario_records_the_waste_ordering() {
+    let scenario = ci_scale(Scenario::builtin("relay").expect("relay builtin"));
+    let outcome = scenario.run().unwrap();
+    assert_eq!(outcome.cells.len(), 6, "2 protocols × 3 relays");
+    // Per protocol: the frugal strategies waste strictly less than full.
+    for protocol in ["bitcoin", "bcbpt(dt=25ms)"] {
+        let ext = |relay: &str| -> RelayForkExt {
+            let label = format!("{protocol} × {relay}");
+            let cell = outcome
+                .cells
+                .iter()
+                .find(|c| c.label == label)
+                .unwrap_or_else(|| panic!("missing cell {label}"));
+            let CellReport::Forks { report } = &cell.report else {
+                panic!("{label}: mining cell must carry a fork report");
+            };
+            report.relay.clone().unwrap_or_else(|| {
+                panic!("{label}: relay sweep cells must carry the relay extension")
+            })
+        };
+        let full = ext("full");
+        let compact = ext("compact");
+        let rlnc = ext("rlnc(chunks=16)");
+        for e in [&full, &compact, &rlnc] {
+            assert!(e.bandwidth.waste_ratio.is_finite());
+            assert!(e.bandwidth.bytes_on_wire > 0);
+            assert!(e.block_delay_ms > 0.0, "{}: delay telemetry live", e.relay);
+        }
+        assert!(
+            compact.bandwidth.waste_ratio < full.bandwidth.waste_ratio,
+            "{protocol}: compact ({}) must waste less than full ({})",
+            compact.bandwidth.waste_ratio,
+            full.bandwidth.waste_ratio
+        );
+        assert!(
+            rlnc.bandwidth.waste_ratio < full.bandwidth.waste_ratio,
+            "{protocol}: rlnc ({}) must waste less than full ({})",
+            rlnc.bandwidth.waste_ratio,
+            full.bandwidth.waste_ratio
+        );
+    }
+    // The rendered table pairs delay with wire bytes and waste.
+    let text = outcome.render();
+    assert!(text.contains("delay_ms"), "{text}");
+    assert!(text.contains("wire_mb"), "{text}");
+    assert!(text.contains("waste"), "{text}");
+}
