@@ -19,6 +19,8 @@
 //! scenario shard run <file.json|name> --shard i/N --out part-i.json
 //!                                              # execute one shard of a campaign
 //! scenario shard merge <part.json>...          # merge shard parts (in shard order)
+//! scenario shard coordinate <file.json|name> --shards N [--addr host:port]
+//!                                              # serve the adaptive-stop coordinator
 //! scenario serve [--addr host:port] [--spool dir] [--workers n]
 //!                                              # run the campaign service (bcbpt-serve)
 //! scenario submit <file.json|name> [--wait]    # submit to a running service
@@ -43,15 +45,20 @@
 //!                       '{"DieAfterRuns":{"n":3}}' (fault-injection builds)
 //!   --salvage           shard merge only: quarantine bad parts, merge the
 //!                       rest, print a repair plan if incomplete
+//!   --coordinate <addr> shard run only: submit folded prefixes to the
+//!                       adaptive-stop coordinator at <addr> and truncate
+//!                       to its broadcast stop decision
+//!   --cadence <n>       shard coordinate only: evaluate the stop rule
+//!                       every <n> global run indices (default 1)
 //! ```
 
 use bcbpt_cluster::ProtocolRegistry;
 use bcbpt_core::{
-    merge_shards, run_shard_with, salvage_merge, CellShard, Checkpoint, CheckpointSink, FaultPlan,
-    PartialOutcome, RunEvent, Scenario, ScenarioOutcome, ShardRunOptions, ShardSpec, StopRule,
-    WarmCache,
+    merge_shards, run_shard_with, salvage_merge, Checkpoint, CheckpointSink, FaultPlan,
+    LocalCoordinator, PartialOutcome, RunEvent, Scenario, ScenarioOutcome, ShardRunOptions,
+    ShardSpec, StopCoordinator, StopRule, WarmCache,
 };
-use bcbpt_serve::{client, ServeConfig, Server};
+use bcbpt_serve::{client, CoordClient, CoordServer, ServeConfig, Server};
 use std::fs;
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};
@@ -78,6 +85,8 @@ struct Options {
     resume: bool,
     inject_fault: Option<String>,
     salvage: bool,
+    coordinate: Option<String>,
+    cadence: Option<usize>,
     addr: Option<String>,
     spool: Option<String>,
     workers: Option<usize>,
@@ -139,6 +148,8 @@ impl Options {
                 ("--resume", self.resume),
                 ("--inject-fault", self.inject_fault.is_some()),
                 ("--salvage", self.salvage),
+                ("--coordinate", self.coordinate.is_some()),
+                ("--cadence", self.cadence.is_some()),
             ],
         )?;
         self.reject_unused(command, &self.service_flags())
@@ -164,6 +175,8 @@ impl Options {
                 ("--resume", self.resume),
                 ("--inject-fault", self.inject_fault.is_some()),
                 ("--salvage", self.salvage),
+                ("--coordinate", self.coordinate.is_some()),
+                ("--cadence", self.cadence.is_some()),
             ],
         )?;
         self.reject_unused(command, &self.service_flags())
@@ -203,6 +216,13 @@ fn main() -> Result<(), String> {
         resume: take_flag(&mut args, "--resume"),
         inject_fault: take_value(&mut args, "--inject-fault")?,
         salvage: take_flag(&mut args, "--salvage"),
+        coordinate: take_value(&mut args, "--coordinate")?,
+        cadence: take_value(&mut args, "--cadence")?
+            .map(|n| {
+                n.parse::<usize>()
+                    .map_err(|e| format!("--cadence {n:?}: {e}"))
+            })
+            .transpose()?,
         addr: take_value(&mut args, "--addr")?,
         spool: take_value(&mut args, "--spool")?,
         workers: take_value(&mut args, "--workers")?
@@ -288,8 +308,15 @@ fn main() -> Result<(), String> {
                 )),
             },
             Some((sub, rest)) if sub == "merge" && !rest.is_empty() => shard_merge(rest, &options),
+            Some((sub, rest)) if sub == "coordinate" => match rest {
+                [spec] => shard_coordinate(spec, &options),
+                _ => Err(usage(
+                    "shard coordinate takes exactly one scenario file or built-in name",
+                )),
+            },
             _ => Err(usage(
-                "shard takes `run <file|name> --shard i/N --out <path>` or `merge <part>...`",
+                "shard takes `run <file|name> --shard i/N --out <path>`, `merge <part>...` \
+                 or `coordinate <file|name> --shards N`",
             )),
         },
         _ => Err(usage("missing or unknown subcommand")),
@@ -310,8 +337,12 @@ fn usage(problem: &str) -> String {
          \x20      scenario shard run <file.json|name> --shard i/N --out part-i.json\n\
          \x20                [--quick] [--threads <n>] [--checkpoint <path>]\n\
          \x20                [--checkpoint-every <n>] [--resume] [--inject-fault <json>]\n\
+         \x20                [--coordinate host:port] [--stop-ci <rel_width>]\n\
          \x20                [--metrics-out <path>] [--trace-out <path>]\n\
          \x20      scenario shard merge <part.json>... [--json] [--salvage]\n\
+         \x20      scenario shard coordinate <file.json|name> --shards <n>\n\
+         \x20                [--addr host:port] [--cadence <n>] [--quick]\n\
+         \x20                [--stop-ci <rel_width>]\n\
          \x20      scenario serve [--addr host:port] [--spool <dir>] [--workers <n>]\n\
          \x20                [--queue <n>] [--warm <n>] [--checkpoint-every <n>]\n\
          \x20      scenario submit <file.json|name> [--addr host:port] [--quick]\n\
@@ -642,10 +673,11 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
         .out
         .as_deref()
         .ok_or_else(|| usage("shard run needs --out <part.json>"))?;
-    if options.stop_ci.is_some() {
+    if options.stop_ci.is_some() && options.coordinate.is_none() {
         return Err(usage(
-            "--stop-ci cannot combine with shard run (a shard never sees the folded \
-             prefix an adaptive stop rule needs)",
+            "--stop-ci needs --coordinate <addr> under shard run (a lone shard never sees \
+             the folded prefix an adaptive stop rule decides on — point the fleet at a \
+             `scenario shard coordinate` endpoint)",
         ));
     }
     options.reject_unused(
@@ -655,6 +687,7 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
             ("--progress", options.progress),
             ("--jsonl", options.jsonl.is_some()),
             ("--salvage", options.salvage),
+            ("--cadence", options.cadence.is_some()),
         ],
     )?;
     if options.checkpoint.is_none() && (options.resume || options.checkpoint_every.is_some()) {
@@ -685,6 +718,17 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
     if options.quick {
         scenario = scenario.quick_scaled();
     }
+    // `--stop-ci` mutates the scenario's stop rule *before* the run, so
+    // the content digest the coordinator checks covers it — every shard
+    // and the coordinator must be launched with the same override.
+    if let Some(rel_width) = options.stop_ci {
+        scenario.stop = Some(StopRule::CiHalfWidth {
+            level: 0.95,
+            rel_width,
+            min_runs: 2,
+        });
+    }
+    let coordinator = options.coordinate.as_deref().map(CoordClient::new);
     obs_begin(options);
     let threads = options
         .threads
@@ -745,6 +789,9 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
             checkpoint_every: options.checkpoint_every.unwrap_or(1),
             sink,
             warm_cache: Some(&warm),
+            coordinator: coordinator
+                .as_ref()
+                .map(|client| client as &dyn StopCoordinator),
             ..ShardRunOptions::default()
         },
     )
@@ -766,38 +813,28 @@ fn shard_run(spec: &str, options: &Options) -> Result<(), String> {
         // The part is durable; the checkpoint has served its purpose.
         let _ = fs::remove_file(path);
     }
-    // Say what actually executed: for an indivisible workload the planned
-    // run range is meaningless — shard 0 ran every cell whole and other
-    // shards ran nothing.
-    let divisible = part
-        .cells
-        .iter()
-        .any(|c| matches!(c.part, CellShard::Campaign { .. }));
-    if divisible {
-        eprintln!(
-            "shard {shard} of {}: runs {}..{} ({} cell(s), {} run(s) used) -> {out}",
-            scenario.name,
-            part.plan.run_start,
-            part.plan.run_end,
-            part.cells.len(),
-            part.runs_used(),
-        );
-    } else if shard.index == 0 {
-        eprintln!(
-            "shard {shard} of {}: indivisible {} workload — executed all {} cell(s) whole \
-             on this shard -> {out}",
-            scenario.name,
-            scenario.workload.kind(),
-            part.cells.len(),
-        );
+    // One machine-grepable summary, the same shape for every workload
+    // family (all of them shard now — there is no deferred case):
+    // `stop=` carries the coordinator's per-cell stop index (`none` when
+    // a cell ran its whole budget or the run was uncoordinated).
+    let stops = part.cell_stop_indices();
+    let stop = if stops.iter().all(Option::is_none) {
+        "none".to_string()
     } else {
-        eprintln!(
-            "shard {shard} of {}: indivisible {} workload — deferred to shard 0, nothing \
-             executed here -> {out}",
-            scenario.name,
-            scenario.workload.kind(),
-        );
-    }
+        stops
+            .iter()
+            .map(|s| s.map_or_else(|| "none".to_string(), |s| s.to_string()))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    eprintln!(
+        "shard-run scenario={} shard={shard} cells={} runs={}..{} used={} stop={stop} out={out}",
+        scenario.name,
+        part.cells.len(),
+        part.plan.run_start,
+        part.plan.run_end,
+        part.runs_used(),
+    );
     obs_finish(options)
 }
 
@@ -899,6 +936,99 @@ fn shard_salvage(paths: &[String], options: &Options) -> Result<(), String> {
         }
         (None, None) => unreachable!("salvage yields an outcome or a repair plan"),
     }
+}
+
+/// `shard coordinate <file|name> --shards N`: serve the cross-shard
+/// adaptive-stop coordinator for one scenario run. The fleet's
+/// `scenario shard run --coordinate <addr>` processes submit their folded
+/// prefixes here; the subcommand exits once every cell is decided (or
+/// abandoned), printing a machine-grepable summary of the stop indices
+/// and the runs the early stops saved.
+///
+/// Launch parameters must match the fleet exactly — same scenario file,
+/// same `--quick`/`--stop-ci`, same shard count — or the shards refuse to
+/// coordinate (the config is checked by content digest).
+fn shard_coordinate(spec: &str, options: &Options) -> Result<(), String> {
+    let shards = options
+        .shards
+        .ok_or_else(|| usage("shard coordinate needs --shards <n>"))?;
+    options.reject_unused("shard coordinate", &options.obs_flags())?;
+    options.reject_unused(
+        "shard coordinate",
+        &[
+            ("--json", options.json),
+            ("--progress", options.progress),
+            ("--jsonl", options.jsonl.is_some()),
+            ("--threads", options.threads.is_some()),
+            ("--shard", options.shard.is_some()),
+            ("--out", options.out.is_some()),
+            ("--checkpoint", options.checkpoint.is_some()),
+            ("--checkpoint-every", options.checkpoint_every.is_some()),
+            ("--resume", options.resume),
+            ("--inject-fault", options.inject_fault.is_some()),
+            ("--salvage", options.salvage),
+            ("--coordinate", options.coordinate.is_some()),
+            ("--spool", options.spool.is_some()),
+            ("--workers", options.workers.is_some()),
+            ("--queue", options.queue.is_some()),
+            ("--warm", options.warm.is_some()),
+            ("--wait", options.wait),
+        ],
+    )?;
+    let mut scenario = load(spec)?;
+    if options.quick {
+        scenario = scenario.quick_scaled();
+    }
+    // The identical override order as `shard run` — the digests must
+    // agree across the fleet.
+    if let Some(rel_width) = options.stop_ci {
+        scenario.stop = Some(StopRule::CiHalfWidth {
+            level: 0.95,
+            rel_width,
+            min_runs: 2,
+        });
+    }
+    let cadence = options.cadence.unwrap_or(1);
+    let coordinator = Arc::new(
+        LocalCoordinator::new(&scenario, shards, cadence).map_err(|e| format!("{spec}: {e}"))?,
+    );
+    let addr = options
+        .addr
+        .clone()
+        .unwrap_or_else(|| "127.0.0.1:7071".to_string());
+    let server = CoordServer::start(&addr, Arc::clone(&coordinator))?;
+    eprintln!(
+        "coordinator on http://{} — scenario {}, {shards} shard(s), cadence {cadence}, rule {}",
+        server.local_addr(),
+        scenario.name,
+        scenario
+            .stop
+            .expect("constructor validated the rule")
+            .label(),
+    );
+    while !coordinator.is_complete() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // Linger briefly so shards blocked on the last decision fetch it
+    // (they poll every 25 ms) before the endpoint disappears.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    let stops: Vec<String> = coordinator
+        .decisions()
+        .iter()
+        .map(|decision| match decision {
+            Some(decision) => decision
+                .stop_at
+                .map_or_else(|| "none".to_string(), |s| s.to_string()),
+            None => "abandoned".to_string(),
+        })
+        .collect();
+    println!(
+        "shard-coordinate scenario={} shards={shards} cadence={cadence} stops={} runs-saved={}",
+        scenario.name,
+        stops.join(","),
+        coordinator.runs_saved(),
+    );
+    Ok(())
 }
 
 /// `scenario serve`: run the campaign service until drained (SIGINT,

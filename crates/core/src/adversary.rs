@@ -107,11 +107,19 @@ impl AdversaryReport {
 }
 
 /// Infiltration metrics measured on the warmed-up, attacked snapshot.
-#[derive(Debug, Clone, Copy, Default)]
-struct WarmInfiltration {
-    attacker_peer_share: f64,
-    cluster_infiltration: f64,
-    clusters: usize,
+/// Serializable (and carried inside a shard's `PairedSlice`) because the
+/// measurement happens at warm time: every shard of a paired adversarial
+/// cell warms the identical network and must report the identical
+/// infiltration, which the merge cross-checks field-for-field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WarmInfiltration {
+    /// Mean fraction of an honest online node's peers that are attackers.
+    pub attacker_peer_share: f64,
+    /// Fraction of clustered honest nodes sharing a cluster with an
+    /// attacker.
+    pub cluster_infiltration: f64,
+    /// Number of distinct clusters observed on the warmed snapshot.
+    pub clusters: usize,
 }
 
 impl WarmInfiltration {
@@ -119,7 +127,7 @@ impl WarmInfiltration {
     /// the warmed-up topology of `net`. The clean baseline carries an
     /// inert force with the identical mask, so both snapshots are measured
     /// against the same node set through [`Network::is_attacker`].
-    fn measure(net: &Network) -> Self {
+    pub(crate) fn measure(net: &Network) -> Self {
         let is_attacker = |node: NodeId| net.is_attacker(node);
         let n = net.num_nodes() as u32;
         let mut attacker_clusters = std::collections::BTreeSet::new();
@@ -260,13 +268,38 @@ pub fn adversarial_campaign_in_with_threads(
         None,
     )?;
 
-    let clean_mean_arrival_ms = mean_arrival_ms(&clean);
+    Ok(assemble_report(
+        base.protocol.to_string(),
+        strategy.label(),
+        attackers,
+        infiltration,
+        clean_infiltration,
+        &clean,
+        attacked,
+    ))
+}
+
+/// Assembles an [`AdversaryReport`] from the two campaigns and the two
+/// warm-time infiltration measurements. Every field is a pure function of
+/// the inputs, so the batch path and a cross-shard merge that reassembled
+/// the same campaigns from run-range slices produce byte-identical
+/// reports.
+pub(crate) fn assemble_report(
+    protocol: String,
+    strategy: String,
+    attackers: usize,
+    infiltration: WarmInfiltration,
+    clean_infiltration: WarmInfiltration,
+    clean: &CampaignResult,
+    attacked: CampaignResult,
+) -> AdversaryReport {
+    let clean_mean_arrival_ms = mean_arrival_ms(clean);
     let adversarial_mean_arrival_ms = mean_arrival_ms(&attacked);
     let clean_coverage = clean.mean_coverage();
     let adversarial_coverage = attacked.mean_coverage();
-    Ok(AdversaryReport {
-        protocol: base.protocol.to_string(),
-        strategy: strategy.label(),
+    AdversaryReport {
+        protocol,
+        strategy,
         attackers,
         attacker_peer_share: infiltration.attacker_peer_share,
         clean_attacker_peer_share: clean_infiltration.attacker_peer_share,
@@ -285,7 +318,7 @@ pub fn adversarial_campaign_in_with_threads(
         },
         withheld_messages: attacked.traffic.withheld_messages(),
         campaign: attacked,
-    })
+    }
 }
 
 #[cfg(test)]

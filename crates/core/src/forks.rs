@@ -8,9 +8,11 @@
 
 use crate::experiment::ExperimentConfig;
 use bcbpt_cluster::{ProtocolRegistry, ProtocolSpec};
-use bcbpt_net::{BandwidthReport, Network};
+use bcbpt_net::{BandwidthReport, MessageStats, Network};
+use bcbpt_sim::RngHub;
 use bcbpt_stats::StatTable;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// The relay-strategy extension of a [`ForkReport`]: present exactly when
 /// the experiment ran with an installed block-relay strategy, pairing the
@@ -76,6 +78,193 @@ impl Deserialize for ForkReport {
             relay: Deserialize::from_value(serde::map_get(m, "relay"))?,
         })
     }
+}
+
+/// One replicated proof-of-work run of a mining campaign: the harvest of
+/// replaying the warmed snapshot with run-derived RNG streams, mining for
+/// the cell's duration. Serializable because shards ship their run slices
+/// inside `CellShard::Mining`; the merge concatenates slices in run-index
+/// order and reassembles the exact batch [`ForkReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForkRun {
+    /// Which replicate this is; RNG streams derive from
+    /// `(campaign seed, run_index)` only.
+    pub run_index: usize,
+    /// Blocks mined during this run's window.
+    pub mined: usize,
+    /// Blocks that did not make the main chain.
+    pub stale: usize,
+    /// Fraction of online nodes on the global best tip at window end.
+    pub tip_agreement: f64,
+    /// Mean block propagation delay, ms — present exactly when the cell
+    /// ran with an installed relay strategy and at least one block
+    /// propagated (`None` otherwise, keeping the value serde-safe: the
+    /// JSON shim flattens non-finite floats to `null`).
+    pub block_delay_ms: Option<f64>,
+    /// Wire traffic of this run's mining window (the delta over the
+    /// shared warmup).
+    pub window_traffic: MessageStats,
+}
+
+/// Warms one mining cell: build the network, install the relay strategy
+/// if the config names one, and run the warmup. Returns the warmed
+/// snapshot and its traffic baseline — the state every replicated run
+/// clones, identical on every shard.
+pub(crate) fn mining_warm(
+    registry: &ProtocolRegistry,
+    cfg: &ExperimentConfig,
+) -> Result<(Network, MessageStats), String> {
+    let mut net = Network::build(cfg.net.clone(), registry.build(&cfg.protocol)?, cfg.seed)?;
+    if let Some(spec) = &cfg.relay {
+        net.install_relay(bcbpt_relay::registry().build(spec)?);
+    }
+    net.warmup_ms(cfg.warmup_ms);
+    let warmup_traffic = net.stats().clone();
+    Ok((net, warmup_traffic))
+}
+
+/// Replays one mining run off the warmed snapshot: clone, re-derive RNG
+/// streams from `(seed, run_index)`, mine for `duration_ms`, harvest.
+pub(crate) fn mine_one(
+    base: &Network,
+    warmup_traffic: &MessageStats,
+    seed: u64,
+    block_interval_ms: f64,
+    duration_ms: f64,
+    run_index: usize,
+    has_relay: bool,
+) -> ForkRun {
+    let mut net = base.clone();
+    net.reseed_streams(&RngHub::new(seed).subhub("run", run_index as u64));
+    net.enable_mining(block_interval_ms);
+    net.run_for_ms(duration_ms);
+    let ledger = net.ledger();
+    ForkRun {
+        run_index,
+        mined: ledger.mined_count(),
+        stale: ledger.stale_count(),
+        tip_agreement: net.tip_agreement(),
+        block_delay_ms: if has_relay {
+            Some(net.block_delay_mean_ms()).filter(|d| d.is_finite())
+        } else {
+            None
+        },
+        window_traffic: net.stats().since(warmup_traffic),
+    }
+}
+
+/// Executes a contiguous run range of a replicated mining cell off an
+/// already-warmed snapshot, in run-index order.
+pub(crate) fn mine_range(
+    base: &Network,
+    warmup_traffic: &MessageStats,
+    cfg: &ExperimentConfig,
+    block_interval_ms: f64,
+    duration_ms: f64,
+    range: Range<usize>,
+) -> Vec<ForkRun> {
+    range
+        .map(|run_index| {
+            mine_one(
+                base,
+                warmup_traffic,
+                cfg.seed,
+                block_interval_ms,
+                duration_ms,
+                run_index,
+                cfg.relay.is_some(),
+            )
+        })
+        .collect()
+}
+
+/// Assembles the cell-level [`ForkReport`] from replicated runs. Every
+/// field is a pure function of the run slice and the total traffic, so
+/// the batch path and a cross-shard merge that concatenated the same
+/// runs produce byte-identical reports.
+pub(crate) fn fork_report_from_runs(
+    protocol: String,
+    relay: Option<String>,
+    runs: &[ForkRun],
+    total_traffic: &MessageStats,
+) -> ForkReport {
+    let mined: usize = runs.iter().map(|r| r.mined).sum();
+    let stale: usize = runs.iter().map(|r| r.stale).sum();
+    let tip_sum: f64 = runs.iter().map(|r| r.tip_agreement).sum();
+    let delays: Vec<f64> = runs.iter().filter_map(|r| r.block_delay_ms).collect();
+    let relay = relay.map(|relay| RelayForkExt {
+        relay,
+        block_delay_ms: if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<f64>() / delays.len() as f64
+        },
+        bandwidth: total_traffic.bandwidth_report(),
+    });
+    ForkReport {
+        protocol,
+        mined,
+        stale,
+        stale_rate: if mined == 0 {
+            0.0
+        } else {
+            stale as f64 / mined as f64
+        },
+        tip_agreement: if runs.is_empty() {
+            0.0
+        } else {
+            tip_sum / runs.len() as f64
+        },
+        relay,
+    }
+}
+
+/// A replicated mining campaign: warm once, then `runs` independent
+/// proof-of-work replicates off the warmed snapshot, each reseeded from
+/// `(seed, run_index)` — the mining analogue of a measuring-run campaign,
+/// so mining cells shard by run range exactly like `TxFlood` cells. The
+/// report aggregates the replicates (summed mined/stale, mean
+/// tip-agreement and block delay, total traffic).
+///
+/// # Errors
+///
+/// Propagates protocol-resolution and network-construction errors.
+///
+/// # Panics
+///
+/// Panics when `block_interval_ms`, `duration_ms` or `runs` is not
+/// positive.
+pub fn mining_campaign_in(
+    registry: &ProtocolRegistry,
+    base: &ExperimentConfig,
+    block_interval_ms: f64,
+    duration_ms: f64,
+    runs: usize,
+) -> Result<ForkReport, String> {
+    assert!(block_interval_ms > 0.0, "block interval must be positive");
+    assert!(duration_ms > 0.0, "duration must be positive");
+    assert!(runs > 0, "a mining campaign needs at least one run");
+    let (net, warmup_traffic) = mining_warm(registry, base)?;
+    let fork_runs = mine_range(
+        &net,
+        &warmup_traffic,
+        base,
+        block_interval_ms,
+        duration_ms,
+        0..runs,
+    );
+    let mut total = warmup_traffic;
+    for run in &fork_runs {
+        total.merge(&run.window_traffic);
+    }
+    crate::obs::net_bytes_total().add(total.total_bytes());
+    crate::obs::net_redundant_bytes_total().add(total.total_redundant_bytes());
+    Ok(fork_report_from_runs(
+        base.protocol.to_string(),
+        base.relay.as_ref().map(|spec| spec.to_string()),
+        &fork_runs,
+        &total,
+    ))
 }
 
 /// Runs proof-of-work over one protocol's topology.

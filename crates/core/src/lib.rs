@@ -61,6 +61,7 @@
 
 mod adversary;
 mod attacks;
+pub mod coordinate;
 mod degree;
 mod experiment;
 mod figures;
@@ -88,6 +89,10 @@ pub use bcbpt_adversary::AdversaryStrategy;
 /// Re-exported so scenario authors can name relay strategies without a
 /// direct `bcbpt-net` dependency.
 pub use bcbpt_net::RelaySpec;
+pub use coordinate::{
+    CoordinatorConfig, LocalCoordinator, PrefixEnvelope, StopCoordinator, StopDecision,
+    COORD_FORMAT_VERSION,
+};
 pub use degree::{degree_variance, degree_variance_table, DegreeVariance};
 pub use experiment::{cluster_sizes, CampaignResult, ExperimentConfig, RunResult};
 pub use figures::{fig3, fig4, threshold_sweep, FigureBundle};
@@ -96,7 +101,8 @@ pub use overhead::{overhead_table, OverheadReport};
 #[cfg(feature = "fault-injection")]
 pub use resilience::fault;
 pub use resilience::{
-    CellProgress, Checkpoint, FaultPlan, QuarantinedPart, RepairPlan, RunFailure, SalvageReport,
+    CellProgress, Checkpoint, FaultPlan, PrefixTraffic, QuarantinedPart, RepairPlan, RunFailure,
+    SalvageReport,
 };
 pub use scenario::{
     CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Sweep, Workload,
@@ -104,8 +110,8 @@ pub use scenario::{
 pub use session::{ChannelObserver, Observer, RunEvent, RunStats, ScenarioSession, StopRule};
 pub use shard::{
     checkpoint_replay_events, merge_shards, run_shard, run_shard_in, run_shard_with, salvage_merge,
-    scenario_digest, CellShard, CheckpointSink, PartialCell, PartialOutcome, ShardObserver,
-    ShardPlan, ShardRunOptions, ShardSpec, WarmSnapshot, SHARD_FORMAT_VERSION,
+    scenario_digest, CampaignSlice, CellShard, CheckpointSink, PartialCell, PartialOutcome,
+    ShardObserver, ShardPlan, ShardRunOptions, ShardSpec, WarmSnapshot, SHARD_FORMAT_VERSION,
 };
 pub use validation::{
     reference_samples, validate_delays, ValidationReport, KS_ACCEPT, REFERENCE_SIGMA,

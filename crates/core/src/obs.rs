@@ -127,6 +127,42 @@ pub(crate) fn merge_verify_seconds() -> &'static Arc<WallHistogram> {
     })
 }
 
+/// Coordinator evaluation rounds: one per checkpoint a cell's stop rule
+/// actually consumed (full envelope coverage reached).
+pub(crate) fn coord_rounds_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().counter(
+            "bcbpt_coord_rounds_total",
+            "Coordinator checkpoint evaluations across all cells",
+        )
+    })
+}
+
+/// Runs the fleet skipped because a coordinator stop decision clamped or
+/// truncated shard ranges (per shard, not per cell).
+pub(crate) fn coord_runs_saved_total() -> &'static Arc<Counter> {
+    static H: OnceLock<Arc<Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().counter(
+            "bcbpt_coord_runs_saved_total",
+            "Runs shards skipped due to coordinator stop decisions",
+        )
+    })
+}
+
+/// Wall-clock time a shard spends blocked on the end-of-cell coordinator
+/// barrier (waiting for peers' envelopes and the decision).
+pub(crate) fn coord_wait_seconds() -> &'static Arc<WallHistogram> {
+    static H: OnceLock<Arc<WallHistogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        bcbpt_obs::global().histogram(
+            "bcbpt_coord_wait_seconds",
+            "Wall-clock time a shard waits on the coordinator's stop decision",
+        )
+    })
+}
+
 /// Touches every `bcbpt-core` (and transitively `bcbpt-sim`) metric so
 /// expositions and `--metrics-out` snapshots list them even before first
 /// use. The serve daemon calls this at startup; the scenario driver calls
@@ -143,4 +179,7 @@ pub fn register_metrics() {
     let _ = net_redundant_bytes_total();
     let _ = checkpoint_write_seconds();
     let _ = merge_verify_seconds();
+    let _ = coord_rounds_total();
+    let _ = coord_runs_saved_total();
+    let _ = coord_wait_seconds();
 }

@@ -233,6 +233,21 @@ pub mod fault {
     }
 }
 
+/// Measurement-window traffic of the folded prefix frozen at one
+/// coordinator checkpoint boundary. A coordinated shard records one of
+/// these per boundary it crosses so that a later stop decision (possibly
+/// delivered after a crash + resume) can truncate the window traffic to
+/// the exact prefix the decision covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixTraffic {
+    /// Exclusive run-index bound of the frozen prefix (a checkpoint
+    /// position clamped into this shard's range).
+    pub upto: usize,
+    /// Measurement-window traffic (total minus warmup) of runs
+    /// `run_start..upto`.
+    pub traffic: MessageStats,
+}
+
 /// Mid-cell progress of a checkpointed shard: the folded prefix of the
 /// current campaign cell, in the same accumulator shards a
 /// [`crate::CellShard::Campaign`] carries, plus the next run index to
@@ -258,6 +273,11 @@ pub struct CellProgress {
     pub run_means: StreamingSummary,
     /// `Δt(m,n)` samples in fold order over the folded prefix.
     pub ecdf: EcdfBuilder,
+    /// Window traffic frozen at each coordinator checkpoint boundary this
+    /// shard has crossed, ascending by `upto`. Empty for uncoordinated
+    /// runs.
+    #[serde(default)]
+    pub boundary_traffic: Vec<PrefixTraffic>,
     /// First run index the resumed shard must execute.
     pub next_run: usize,
 }

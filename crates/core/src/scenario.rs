@@ -21,7 +21,7 @@ use crate::attacks::{
     eclipse_exposure_in, partition_resilience_in, EclipseReport, PartitionReport,
 };
 use crate::experiment::{CampaignResult, ExperimentConfig};
-use crate::forks::{fork_experiment_in, ForkReport};
+use crate::forks::{fork_experiment_in, mining_campaign_in, ForkReport};
 use crate::overhead::{OverheadReport, OVERHEAD_COLUMNS};
 use crate::session::{ScenarioSession, StopRule};
 use bcbpt_adversary::AdversaryStrategy;
@@ -782,17 +782,26 @@ impl Scenario {
                     &cfg.run_in_with_threads(registry, campaign_threads)?,
                 ),
             },
+            // `runs: 0` keeps the legacy single-shot experiment (mine
+            // once over the warmup+window); `runs >= 1` replicates the
+            // mining window off one warmed snapshot, each run reseeded
+            // from `(seed, run_index)` — the shape that shards by run
+            // range.
             Workload::Mining {
                 block_interval_ms,
                 duration_ms,
             } => CellReport::Forks {
-                report: fork_experiment_in(
-                    registry,
-                    &cfg,
-                    cell.protocol.clone(),
-                    *block_interval_ms,
-                    *duration_ms,
-                )?,
+                report: if self.runs == 0 {
+                    fork_experiment_in(
+                        registry,
+                        &cfg,
+                        cell.protocol.clone(),
+                        *block_interval_ms,
+                        *duration_ms,
+                    )?
+                } else {
+                    mining_campaign_in(registry, &cfg, *block_interval_ms, *duration_ms, self.runs)?
+                },
             },
             Workload::Eclipse {
                 adversary_fraction,
@@ -1423,14 +1432,17 @@ impl Scenario {
                     min_runs: 8,
                 }),
             "forks" => {
-                let mut s = demo_environment(400, 0);
+                // Two replicated 150 s mining windows per cell (same
+                // total mining time as the old single 300 s shot, now a
+                // run-range-shardable campaign with per-run replicates).
+                let mut s = demo_environment(400, 2);
                 // Compact-block relay keeps block propagation latency-bound
                 // (see EXPERIMENTS.md): with full 200 KB blocks the
                 // protocols tie on serialization cost.
                 s.net.block_size_bytes = 20_000;
                 s.workload = Workload::Mining {
                     block_interval_ms: 1_000.0,
-                    duration_ms: 300_000.0,
+                    duration_ms: 150_000.0,
                 };
                 s.with_sweep(Sweep::over_protocols(paper_protocols()))
             }
@@ -1485,11 +1497,11 @@ impl Scenario {
                 // The delay-vs-waste grid: both clustering regimes under
                 // every relay family. Same mining environment as "forks"
                 // so the delay columns compare against a known baseline.
-                let mut s = demo_environment(400, 0);
+                let mut s = demo_environment(400, 2);
                 s.net.block_size_bytes = 20_000;
                 s.workload = Workload::Mining {
                     block_interval_ms: 1_000.0,
-                    duration_ms: 300_000.0,
+                    duration_ms: 150_000.0,
                 };
                 s.with_sweep(Sweep {
                     protocols: vec![
@@ -1523,7 +1535,9 @@ impl Scenario {
         s.warmup_ms = s.warmup_ms.min(2_000.0);
         s.window_ms = s.window_ms.min(15_000.0);
         if let Workload::Mining { duration_ms, .. } = &mut s.workload {
-            *duration_ms = duration_ms.min(60_000.0);
+            // Total quick mining time stays ~60 s of simulation per cell
+            // no matter how many replicated runs the scenario declares.
+            *duration_ms = duration_ms.min(60_000.0 / s.runs.max(1) as f64);
         }
         if let Workload::Adversarial { attackers, .. } = &mut s.workload {
             // Keep the attacker fraction meaningful at the shrunk scale.
@@ -1881,6 +1895,35 @@ mod tests {
         assert_eq!(report, &direct);
         assert!(outcome.figure().is_none(), "no delay samples to plot");
         assert!(outcome.render().contains("stale_rate"));
+    }
+
+    #[test]
+    fn replicated_mining_scenario_matches_direct_mining_campaign() {
+        // `runs >= 1` switches the Mining cell to the replicated
+        // campaign: reruns are byte-identical and match the direct call.
+        let mut scenario = tiny(Workload::Mining {
+            block_interval_ms: 800.0,
+            duration_ms: 10_000.0,
+        });
+        scenario.net.num_nodes = 80;
+        scenario.runs = 2;
+        let outcome = scenario.run().unwrap();
+        let CellReport::Forks { report } = &outcome.cells[0].report else {
+            panic!("mining produces fork reports");
+        };
+        assert!(report.mined > 0, "two replicates must mine blocks");
+        let cfg = scenario.cell_config(&scenario.cells()[0]);
+        let direct = crate::forks::mining_campaign_in(
+            &ProtocolRegistry::builtins(),
+            &cfg,
+            800.0,
+            10_000.0,
+            2,
+        )
+        .unwrap();
+        assert_eq!(report, &direct);
+        let again = scenario.run().unwrap();
+        assert_eq!(outcome, again, "replicated mining must be deterministic");
     }
 
     #[test]

@@ -78,6 +78,23 @@ pub enum StopRule {
         /// Wall-clock budget per cell, ms.
         budget_ms: f64,
     },
+    /// Stop once the *pooled* `Δt(m,n)` variance has stabilised: at the
+    /// first evaluation point (after at least `min_runs` successful
+    /// measuring runs) where the sample variance of the mergeable
+    /// ECDF's accumulator moved by at most `rel_tol` relative to its
+    /// value at the previous evaluation point. The rule is stateful —
+    /// it compares consecutive evaluation points, so the same rule
+    /// evaluated at a different cadence (e.g. by a shard coordinator at
+    /// run-index checkpoints instead of at every fold) may stop at a
+    /// different, but still deterministic, run index.
+    VarianceStable {
+        /// Maximum relative change between consecutive variance
+        /// evaluations, in `(0, 1)` — e.g. `0.05` = ±5 %.
+        rel_tol: f64,
+        /// Successful measuring runs required before the rule may fire
+        /// (≥ 2 — the variance needs at least two pooled samples).
+        min_runs: usize,
+    },
 }
 
 impl StopRule {
@@ -101,6 +118,9 @@ impl StopRule {
                 rel_width * 100.0
             ),
             StopRule::WallClockMs { budget_ms } => format!("wall-clock({budget_ms}ms)"),
+            StopRule::VarianceStable { rel_tol, min_runs } => {
+                format!("var-stable(±{:.0}%, min {min_runs})", rel_tol * 100.0)
+            }
         }
     }
 
@@ -138,28 +158,112 @@ impl StopRule {
                 }
                 Ok(())
             }
+            StopRule::VarianceStable { rel_tol, min_runs } => {
+                if !rel_tol.is_finite() || rel_tol <= 0.0 || rel_tol >= 1.0 {
+                    return Err(format!("stop rel_tol must be in (0, 1), got {rel_tol}"));
+                }
+                if min_runs < 2 {
+                    return Err(format!(
+                        "stop min_runs must be >= 2 (the variance needs samples), got {min_runs}"
+                    ));
+                }
+                Ok(())
+            }
         }
     }
 
-    /// Evaluates the rule at a fold checkpoint. `started` is when the
-    /// cell's campaign began (for the wall-clock budget).
-    fn should_stop(&self, checkpoint: &RunCheckpoint<'_>, started: Instant) -> bool {
-        match *self {
-            StopRule::FixedRuns => false,
+    /// `true` when the rule is a pure function of the folded data, so a
+    /// shard coordinator can evaluate it at deterministic run-index
+    /// checkpoints. [`StopRule::WallClockMs`] is excluded — it depends
+    /// on the host clock, which differs across shards.
+    pub fn is_data_driven(&self) -> bool {
+        matches!(
+            self,
+            StopRule::CiHalfWidth { .. } | StopRule::VarianceStable { .. }
+        )
+    }
+
+    /// A fresh stateful evaluator for this rule. One evaluator per cell:
+    /// [`StopRule::VarianceStable`] compares consecutive evaluations, so
+    /// the evaluator must see every checkpoint of one cell in order and
+    /// must not be reused across cells.
+    pub fn evaluator(&self) -> StopEval {
+        StopEval {
+            rule: *self,
+            prev_var: None,
+        }
+    }
+}
+
+/// Stateful evaluation of one [`StopRule`] over one cell's checkpoint
+/// stream, in run-index order. Both the in-process session and the
+/// cross-shard coordinator drive one of these, so a rule stops the same
+/// way wherever it runs (given the same evaluation cadence).
+#[derive(Debug, Clone)]
+pub struct StopEval {
+    rule: StopRule,
+    /// Pooled-delta variance at the previous evaluation point
+    /// ([`StopRule::VarianceStable`] only).
+    prev_var: Option<f64>,
+}
+
+impl StopEval {
+    /// Evaluates the data-driven part of the rule on folded prefix
+    /// accumulators: `deltas` pools every finite `Δt(m,n)` sample,
+    /// `run_means` holds one mean per successful measuring run, and
+    /// `measured_runs` counts those runs. [`StopRule::WallClockMs`]
+    /// never fires here (it is not data-driven).
+    pub fn observe_folded(
+        &mut self,
+        deltas: &StreamingSummary,
+        run_means: &StreamingSummary,
+        measured_runs: usize,
+    ) -> bool {
+        match self.rule {
+            StopRule::FixedRuns | StopRule::WallClockMs { .. } => false,
             StopRule::CiHalfWidth {
                 level,
                 rel_width,
                 min_runs,
             } => {
-                if checkpoint.measured_runs < min_runs || checkpoint.run_means.count() < 2 {
+                if measured_runs < min_runs || run_means.count() < 2 {
                     return false;
                 }
-                let half = checkpoint.run_means.mean_half_width(level);
-                half.is_finite() && half <= rel_width * checkpoint.run_means.mean().abs()
+                let half = run_means.mean_half_width(level);
+                half.is_finite() && half <= rel_width * run_means.mean().abs()
             }
+            StopRule::VarianceStable { rel_tol, min_runs } => {
+                if deltas.count() < 2 {
+                    return false;
+                }
+                let sd = deltas.std_dev();
+                let var = sd * sd;
+                if !var.is_finite() {
+                    return false;
+                }
+                let stable = match self.prev_var {
+                    Some(prev) if prev > 0.0 => (var - prev).abs() <= rel_tol * prev,
+                    Some(prev) => var == prev,
+                    None => false,
+                };
+                self.prev_var = Some(var);
+                stable && measured_runs >= min_runs
+            }
+        }
+    }
+
+    /// Evaluates the rule at an in-process fold checkpoint. `started` is
+    /// when the cell's campaign began (for the wall-clock budget).
+    fn observe(&mut self, checkpoint: &RunCheckpoint<'_>, started: Instant) -> bool {
+        match self.rule {
             StopRule::WallClockMs { budget_ms } => {
                 started.elapsed().as_secs_f64() * 1_000.0 >= budget_ms
             }
+            _ => self.observe_folded(
+                checkpoint.deltas,
+                checkpoint.run_means,
+                checkpoint.measured_runs,
+            ),
         }
     }
 }
@@ -385,7 +489,8 @@ impl<'a> ScenarioSession<'a> {
     /// Sets the worker-thread count (`0` is treated as 1). This is an
     /// execution detail: output is byte-identical for every value under
     /// the data-driven stop rules ([`StopRule::FixedRuns`],
-    /// [`StopRule::CiHalfWidth`]). [`StopRule::WallClockMs`] decides on
+    /// [`StopRule::CiHalfWidth`], [`StopRule::VarianceStable`]).
+    /// [`StopRule::WallClockMs`] decides on
     /// host time, so where it cuts a cell varies with the thread count
     /// (and machine) by design.
     #[must_use]
@@ -521,7 +626,7 @@ impl<'a> ScenarioSession<'a> {
                 let cfg = scenario.cell_config(cell);
                 let planned = cfg.runs;
                 let started = Instant::now();
-                let stop = self.stop;
+                let mut stop = self.stop.evaluator();
                 let observers = &mut self.observers;
                 let mut folded = StreamingSummary::new();
                 let mut runs_used = 0usize;
@@ -549,7 +654,7 @@ impl<'a> ScenarioSession<'a> {
                         },
                     };
                     emit(observers, &event);
-                    if stop.should_stop(checkpoint, started) {
+                    if stop.observe(checkpoint, started) {
                         stopped = checkpoint.run_index + 1 < planned;
                         return true;
                     }
@@ -638,6 +743,10 @@ mod tests {
                 min_runs: 3,
             },
             StopRule::WallClockMs { budget_ms: 500.0 },
+            StopRule::VarianceStable {
+                rel_tol: 0.05,
+                min_runs: 4,
+            },
         ]
     }
 
@@ -695,6 +804,20 @@ mod tests {
                     budget_ms: f64::INFINITY,
                 },
                 "budget_ms",
+            ),
+            (
+                StopRule::VarianceStable {
+                    rel_tol: 1.0,
+                    min_runs: 4,
+                },
+                "rel_tol",
+            ),
+            (
+                StopRule::VarianceStable {
+                    rel_tol: 0.05,
+                    min_runs: 1,
+                },
+                "min_runs",
             ),
         ] {
             let err = rule.validate().unwrap_err();
@@ -858,6 +981,47 @@ mod tests {
         let full_runs = &full.cells[0].campaign().unwrap().runs;
         assert_eq!(
             &full_runs[..used],
+            &reference.cells[0].campaign().unwrap().runs[..],
+            "stopping truncates, never changes, the run stream"
+        );
+    }
+
+    #[test]
+    fn variance_stable_stops_early_and_is_thread_count_invariant() {
+        // The pooled variance settles fast on a quiet TxFlood cell: a
+        // loose tolerance must fire before the budget, at the same run
+        // index for every thread count, and leave a strict prefix.
+        let scenario = tiny(30);
+        let rule = StopRule::VarianceStable {
+            rel_tol: 0.2,
+            min_runs: 3,
+        };
+        let reference = scenario
+            .session()
+            .with_stop_rule(rule)
+            .with_threads(1)
+            .block()
+            .unwrap();
+        let used = reference.cells[0].campaign().unwrap().runs.len();
+        assert!(
+            (1..30).contains(&used),
+            "rule must stop early, used {used} runs"
+        );
+        for threads in [3usize, 8] {
+            let pooled = scenario
+                .session()
+                .with_stop_rule(rule)
+                .with_threads(threads)
+                .block()
+                .unwrap();
+            assert_eq!(
+                pooled, reference,
+                "early stop diverged at {threads} threads"
+            );
+        }
+        let full = scenario.run_batch().unwrap();
+        assert_eq!(
+            &full.cells[0].campaign().unwrap().runs[..used],
             &reference.cells[0].campaign().unwrap().runs[..],
             "stopping truncates, never changes, the run stream"
         );

@@ -27,17 +27,35 @@
 //!    different scenario file, binary format or diverged warmup are
 //!    rejected instead of silently merged.
 //!
-//! Adaptive [`StopRule`](crate::StopRule)s are **rejected** for sharded
-//! execution: a stop
-//! decision depends on the folded prefix of *all* runs, which no shard
-//! can see. Sharded campaigns always consume the full `runs` budget —
-//! exactly the [`Scenario::run_batch`] semantics they must reproduce.
+//! **Every workload shards.** Format v3 drops the old shard-0-only
+//! "deferred" escape hatch; each workload family has a sharding mode:
 //!
-//! Workloads that are not streaming campaigns (mining, partition,
-//! eclipse, and the paired adversarial campaigns) are indivisible: shard
-//! 0 executes them whole and every other shard records a deferred
-//! placeholder, so sharding any checked-in scenario — adversarial ones
-//! included — still merges byte-identically.
+//! - *Streaming* campaigns (tx-flood, churn-burst, overhead-probe) split
+//!   by run range as above — one [`CampaignSlice`] per shard.
+//! - *Paired* adversarial campaigns split the same way, twice: every
+//!   shard runs its range of the clean (inert-force) campaign **and** of
+//!   the attacked campaign off the same warmed snapshots the batch path
+//!   uses, and the merge reassembles both [`CampaignSlice`] streams into
+//!   a byte-identical `AdversaryReport`.
+//! - *Mining* cells with `runs >= 1` replicate the mining window off one
+//!   warmed snapshot (each run reseeded from `(seed, run_index)`), so
+//!   their run range splits like any campaign's.
+//! - Single-shot cells (partition, eclipse, legacy `runs: 0` mining) are
+//!   *replicated*: every shard executes them whole — they are
+//!   deterministic, so all copies agree — and the merge verifies the
+//!   copies are byte-identical before keeping one.
+//!
+//! Adaptive [`StopRule`](crate::StopRule)s still cannot be evaluated by
+//! a lone shard — a stop decision depends on the folded prefix of *all*
+//! runs. Plain sharded execution therefore **rejects** them (consume the
+//! full budget, exactly the [`Scenario::run_batch`] semantics), but a
+//! fleet may attach a [`StopCoordinator`](crate::coordinate) via
+//! [`ShardRunOptions::coordinator`]: shards submit digest-sealed folded
+//! prefixes at deterministic run-index boundaries, the coordinator
+//! evaluates the rule at global checkpoints, and every shard truncates to
+//! the broadcast stop index — the merged campaign is then a strict,
+//! deterministic `FixedRuns` prefix of the budget (see
+//! [`crate::coordinate`] for the protocol and its determinism argument).
 //!
 //! # Examples
 //!
@@ -57,14 +75,20 @@
 //! # Ok::<(), String>(())
 //! ```
 
+use crate::adversary::{assemble_report, WarmInfiltration};
+use crate::coordinate::{
+    is_shard_boundary, PrefixEnvelope, StopCoordinator, StopDecision, COORD_FORMAT_VERSION,
+};
 use crate::experiment::{CampaignResult, ExperimentConfig, RunCheckpoint, RunResult};
+use crate::forks::{fork_report_from_runs, mine_range, mining_warm, ForkRun};
 use crate::overhead::OverheadReport;
 use crate::resilience::{
-    CellProgress, Checkpoint, QuarantinedPart, RepairPlan, RunFailure, SalvageReport,
+    CellProgress, Checkpoint, PrefixTraffic, QuarantinedPart, RepairPlan, RunFailure, SalvageReport,
 };
 use crate::scenario::{CellOutcome, CellReport, Scenario, ScenarioCell, ScenarioOutcome, Workload};
 use crate::session::{RunEvent, RunStats};
 use crate::warm::WarmCache;
+use bcbpt_adversary::AdversaryForce;
 use bcbpt_cluster::ProtocolRegistry;
 use bcbpt_net::{MessageStats, Network};
 use bcbpt_stats::{EcdfBuilder, StreamingSummary};
@@ -76,8 +100,11 @@ use std::sync::Mutex;
 /// and [`Checkpoint`] envelopes). Bumped whenever their serialized shape
 /// or the digest recipe changes; [`merge_shards`] refuses parts from any
 /// other version. Version 2 added per-part content digests and the
-/// `failures` stream (panic isolation).
-pub const SHARD_FORMAT_VERSION: u32 = 2;
+/// `failures` stream (panic isolation). Version 3 replaced the
+/// shard-0-only `Whole`/`Deferred` cells with sharded paired, mining and
+/// replicated variants, and added coordinated-stop truncation metadata
+/// (`stop_at`, per-boundary traffic snapshots in checkpoints).
+pub const SHARD_FORMAT_VERSION: u32 = 3;
 
 /// FNV-1a over `bytes` — the content-digest primitive of the shard
 /// protocol (stable, dependency-free, and plenty for integrity checks;
@@ -319,44 +346,87 @@ impl WarmSnapshot {
     }
 }
 
+/// One shard's slice of one measuring-run campaign: the runs of the
+/// shard's (possibly stop-truncated) range plus the folded accumulator
+/// shards. Streaming cells carry one; paired adversarial cells carry two
+/// (clean and attacked).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSlice {
+    /// Identity of the warmed-up snapshot the runs replayed.
+    pub snapshot: WarmSnapshot,
+    /// This shard's measuring runs, ascending by `run_index`.
+    pub runs: Vec<RunResult>,
+    /// Runs in this shard's range that panicked (caught per run),
+    /// ascending by `run_index`, disjoint from `runs`.
+    pub failures: Vec<RunFailure>,
+    /// Sum of the kept range's measurement-window traffic (total minus
+    /// warmup) — integer counters, so cross-shard merge is exact.
+    pub window_traffic: MessageStats,
+    /// Pooled `Δt(m,n)` accumulator folded over the kept range.
+    pub deltas: StreamingSummary,
+    /// Per-run mean `Δt(m,n)` accumulator folded over the kept range.
+    pub run_means: StreamingSummary,
+    /// `Δt(m,n)` samples in arrival (= run-index fold) order; merging
+    /// shard builders in shard order reproduces the batch sample
+    /// stream exactly.
+    pub ecdf: EcdfBuilder,
+    /// Run indices this shard kept: its full planned range, or the
+    /// coordinator-truncated prefix of it.
+    pub runs_used: usize,
+    /// The coordinator's global stop index, when a coordinated run
+    /// stopped early: runs `>= stop_at` were truncated away on every
+    /// shard. `None` for uncoordinated runs and full-budget decisions.
+    /// The merge requires all shards to agree.
+    pub stop_at: Option<usize>,
+}
+
 /// One cell's contribution to a [`PartialOutcome`].
+// One value per cell, built once and serialized immediately — the size
+// skew between `Paired` and the rest never multiplies across a hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CellShard {
-    /// A streaming campaign cell's slice: the runs of this shard's range
-    /// (in run-index order, skipped runs absent) plus the folded
-    /// accumulator shards.
+    /// A streaming campaign cell's run-range slice.
     Campaign {
+        /// The shard's slice.
+        slice: CampaignSlice,
+    },
+    /// A paired adversarial campaign cell's run-range slices: every shard
+    /// runs its range of *both* campaigns (clean baseline under an inert
+    /// force, attacked under the real one) off the same warmed snapshots
+    /// the batch path uses, plus the warm-time infiltration measurements
+    /// (identical on every shard — the merge checks).
+    Paired {
+        /// The clean (inert-force) campaign's slice.
+        clean: CampaignSlice,
+        /// The attacked campaign's slice.
+        attacked: CampaignSlice,
+        /// Warm-time infiltration of the attacked campaign.
+        infiltration: WarmInfiltration,
+        /// Warm-time infiltration of the clean baseline.
+        clean_infiltration: WarmInfiltration,
+    },
+    /// A replicated-mining cell's run-range slice: this shard's mining
+    /// runs off the shared warmed snapshot.
+    Mining {
         /// Identity of the warmed-up snapshot the runs replayed.
         snapshot: WarmSnapshot,
-        /// This shard's measuring runs, ascending by `run_index`.
-        runs: Vec<RunResult>,
-        /// Runs in this shard's range that panicked (caught per run),
-        /// ascending by `run_index`, disjoint from `runs`.
-        failures: Vec<RunFailure>,
-        /// Sum of the range's measurement-window traffic (total minus
-        /// warmup) — integer counters, so cross-shard merge is exact.
-        window_traffic: MessageStats,
-        /// Pooled `Δt(m,n)` accumulator folded over this range.
-        deltas: StreamingSummary,
-        /// Per-run mean `Δt(m,n)` accumulator folded over this range.
-        run_means: StreamingSummary,
-        /// `Δt(m,n)` samples in arrival (= run-index fold) order; merging
-        /// shard builders in shard order reproduces the batch sample
-        /// stream exactly.
-        ecdf: EcdfBuilder,
-        /// Run indices this shard consumed (its full planned range —
-        /// sharded campaigns never stop early).
+        /// The relay spec label, when the cell installs one (rides along
+        /// because the snapshot envelope does not carry it).
+        relay: Option<String>,
+        /// This shard's mining runs, ascending by `run_index`.
+        runs: Vec<ForkRun>,
+        /// Run indices this shard consumed (its full planned range).
         runs_used: usize,
     },
-    /// An indivisible cell (mining, partition, eclipse, adversarial)
-    /// executed whole — only shard 0 carries this.
-    Whole {
+    /// A single-shot cell (partition, eclipse, legacy `runs: 0` mining)
+    /// executed whole on *every* shard: the runs are deterministic, so
+    /// all copies agree, and the merge verifies byte-identity before
+    /// keeping shard 0's.
+    Replicated {
         /// The cell's complete report.
         report: CellReport,
     },
-    /// An indivisible cell owned by shard 0; this shard (index > 0)
-    /// contributes nothing to it.
-    Deferred,
     /// The cell failed at run time on this shard; the merge surfaces the
     /// error as a [`CellReport::Failed`], matching `run_batch`.
     Failed {
@@ -469,26 +539,64 @@ impl PartialOutcome {
         Ok(())
     }
 
-    /// Total measuring-run indices this shard consumed across its
-    /// campaign cells (metadata; indivisible cells contribute 0).
+    /// Total run indices this shard consumed across its range-sharded
+    /// cells (metadata; replicated cells contribute 0, paired cells count
+    /// both campaigns).
     pub fn runs_used(&self) -> usize {
         self.cells
             .iter()
             .map(|cell| match &cell.part {
-                CellShard::Campaign { runs_used, .. } => *runs_used,
-                _ => 0,
+                CellShard::Campaign { slice } => slice.runs_used,
+                CellShard::Paired {
+                    clean, attacked, ..
+                } => clean.runs_used + attacked.runs_used,
+                CellShard::Mining { runs_used, .. } => *runs_used,
+                CellShard::Replicated { .. } | CellShard::Failed { .. } => 0,
             })
             .sum()
     }
+
+    /// Per-cell coordinator stop indices, in sweep order: `Some(S)` for a
+    /// streaming cell truncated by a coordinated stop decision, `None`
+    /// otherwise. A service restoring a partially completed coordinated
+    /// job pre-seeds a fresh coordinator from a finished part's values so
+    /// resumed shards stay consistent with completed ones.
+    pub fn cell_stop_indices(&self) -> Vec<Option<usize>> {
+        self.cells
+            .iter()
+            .map(|cell| match &cell.part {
+                CellShard::Campaign { slice } => slice.stop_at,
+                _ => None,
+            })
+            .collect()
+    }
 }
 
-/// Workloads whose run range can be split across shards — the same set
-/// the streaming session folds run by run.
-fn is_shardable_campaign(workload: &Workload) -> bool {
-    matches!(
-        workload,
-        Workload::TxFlood | Workload::ChurnBurst { .. } | Workload::OverheadProbe
-    )
+/// How one workload family shards (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardMode {
+    /// Streaming measuring-run campaign: split by run range, one slice.
+    Streaming,
+    /// Paired adversarial campaign: split by run range, two slices.
+    Paired,
+    /// Replicated mining campaign: split by run range, fork runs.
+    MiningRange,
+    /// Deterministic single-shot cell: every shard executes it whole.
+    Replicated,
+}
+
+/// The sharding mode of a scenario's workload.
+fn shard_mode(scenario: &Scenario) -> ShardMode {
+    match &scenario.workload {
+        Workload::TxFlood | Workload::ChurnBurst { .. } | Workload::OverheadProbe => {
+            ShardMode::Streaming
+        }
+        Workload::Adversarial { .. } => ShardMode::Paired,
+        Workload::Mining { .. } if scenario.runs > 0 => ShardMode::MiningRange,
+        Workload::Mining { .. } | Workload::Partition | Workload::Eclipse { .. } => {
+            ShardMode::Replicated
+        }
+    }
 }
 
 /// Where a checkpointing shard run persists its [`Checkpoint`]s: called
@@ -534,6 +642,14 @@ pub struct ShardRunOptions<'a> {
     /// recipe — and repeated shard runs over one cache — build + warm the
     /// network once and clone thereafter, with byte-identical parts.
     pub warm_cache: Option<&'a WarmCache>,
+    /// Coordinates an adaptive stop rule across the fleet (see
+    /// [`crate::coordinate`]): the shard submits sealed folded-prefix
+    /// envelopes at its cadence boundaries, blocks on the per-cell stop
+    /// decision at each cell's end, and truncates its slice to the
+    /// broadcast stop index. Required to shard a scenario whose stop rule
+    /// is adaptive; must speak for the same scenario digest and shard
+    /// count this run was launched with.
+    pub coordinator: Option<&'a dyn StopCoordinator>,
 }
 
 impl Default for ShardRunOptions<'_> {
@@ -545,6 +661,7 @@ impl Default for ShardRunOptions<'_> {
             sink: None,
             observe: None,
             warm_cache: None,
+            coordinator: None,
         }
     }
 }
@@ -620,31 +737,72 @@ pub fn run_shard_with(
     options: ShardRunOptions<'_>,
 ) -> Result<PartialOutcome, String> {
     scenario.validate_in(registry)?;
+    let mode = shard_mode(scenario);
+    let digest = scenario_digest(scenario);
     if let Some(stop) = &scenario.stop {
-        if stop.is_adaptive() {
+        if stop.is_adaptive() && options.coordinator.is_none() {
             return Err(format!(
-                "scenario {:?} declares the adaptive stop rule {} — sharded execution cannot \
-                 stop adaptively, because a stop decision depends on the folded prefix of all \
-                 runs and a shard only ever sees its own range; remove the \"stop\" field (or \
-                 set it to \"FixedRuns\") to shard this campaign",
+                "scenario {:?} declares the adaptive stop rule {} — a lone shard cannot stop \
+                 adaptively, because a stop decision depends on the folded prefix of all runs \
+                 and a shard only ever sees its own range; run every shard with \
+                 --coordinate <addr> so a coordinator evaluates the rule across the fleet, or \
+                 remove the \"stop\" field (or set it to \"FixedRuns\") to consume the full \
+                 budget",
                 scenario.name,
                 stop.label()
             ));
         }
     }
+    let coordination = match options.coordinator {
+        None => None,
+        Some(coordinator) => {
+            let config = coordinator
+                .config()
+                .map_err(|e| format!("coordinator config: {e}"))?;
+            config.verify_seal()?;
+            if config.scenario_digest != digest {
+                return Err(format!(
+                    "coordinator speaks for scenario digest {:#018x}, this shard runs \
+                     {digest:#018x} — point every shard and the coordinator at the same \
+                     scenario file",
+                    config.scenario_digest
+                ));
+            }
+            if config.shard_count != spec.count {
+                return Err(format!(
+                    "coordinator expects a {}-shard fleet, this shard was launched as {spec}",
+                    config.shard_count
+                ));
+            }
+            match &scenario.stop {
+                Some(stop) if stop.is_data_driven() => {}
+                _ => {
+                    return Err(
+                        "coordinated sharding requires the scenario to declare a data-driven \
+                         adaptive stop rule (CiHalfWidth, VarianceStable)"
+                            .to_string(),
+                    )
+                }
+            }
+            if mode != ShardMode::Streaming {
+                return Err(
+                    "coordinated stopping requires a streaming campaign workload (tx-flood, \
+                     churn-burst, overhead-probe)"
+                        .to_string(),
+                );
+            }
+            Some((coordinator, config.cadence))
+        }
+    };
     let plan = ShardPlan::for_shard(scenario.runs, spec)?;
-    let shardable = is_shardable_campaign(&scenario.workload);
     let threads = options
         .threads
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let checkpoint_every = options.checkpoint_every.max(1);
-    let digest = scenario_digest(scenario);
     let all_cells = scenario.cells();
     let (mut cells, mut current) = match options.resume {
         None => (Vec::new(), None),
-        Some(checkpoint) => {
-            validate_resume(checkpoint, scenario, digest, plan, &all_cells, shardable)?
-        }
+        Some(checkpoint) => validate_resume(checkpoint, scenario, digest, plan, &all_cells, mode)?,
     };
     let restored = cells.len();
     let mut sink = options.sink;
@@ -663,12 +821,11 @@ pub fn run_shard_with(
         } else {
             None
         };
-        let deferred = !shardable && spec.index > 0;
         // A resumed cell's `CellStarted` (and run prefix) was already
         // emitted by the run that wrote the checkpoint — the caller
         // replays it via `checkpoint_replay_events`; this run streams the
-        // continuation only. Deferred cells are not run here at all.
-        if resume_cell.is_none() && !deferred {
+        // continuation only.
+        if resume_cell.is_none() {
             if let Some(observer) = observer.as_mut() {
                 observer(&RunEvent::CellStarted {
                     cell: cell_index,
@@ -678,9 +835,11 @@ pub fn run_shard_with(
             }
         }
         // Like `run_batch`, a cell that fails at run time does not abort
-        // the shard: the error rides along and the merge surfaces it.
-        let part = if shardable {
-            match run_cell_shard(
+        // the shard: the error rides along and the merge surfaces it. A
+        // coordinated shard additionally abandons the cell so peers
+        // blocked on its envelopes fail fast instead of hanging.
+        let ran = match mode {
+            ShardMode::Streaming => run_cell_shard(
                 scenario,
                 registry,
                 threads,
@@ -694,20 +853,33 @@ pub fn run_shard_with(
                 options.warm_cache,
                 digest,
                 &cells,
-            ) {
-                Ok(part) => part,
-                Err(CellError::Recorded(error)) => CellShard::Failed { error },
-                Err(CellError::Fatal(error)) => return Err(error),
+                coordination,
+            ),
+            ShardMode::Paired => run_paired_cell_shard(scenario, registry, threads, &cell, plan),
+            ShardMode::MiningRange => run_mining_cell_shard(scenario, registry, &cell, plan),
+            ShardMode::Replicated => {
+                match scenario.run_cell_batch(registry, &cell, Some(threads)) {
+                    Ok(report) => Ok(CellShard::Replicated { report }),
+                    Err(error) => Err(CellError::Recorded(error)),
+                }
             }
-        } else if spec.index == 0 {
-            // Indivisible workloads (single-shot experiments and the
-            // paired adversarial campaigns) run whole on shard 0.
-            match scenario.run_cell_batch(registry, &cell, Some(threads)) {
-                Ok(report) => CellShard::Whole { report },
-                Err(error) => CellShard::Failed { error },
+        };
+        let part = match ran {
+            Ok(part) => part,
+            Err(CellError::Recorded(error)) => {
+                if let Some((coordinator, _)) = coordination {
+                    // Best effort — the abandon itself failing must not
+                    // mask the cell's own error.
+                    let _ = coordinator.abandon(cell_index, &error);
+                }
+                CellShard::Failed { error }
             }
-        } else {
-            CellShard::Deferred
+            Err(CellError::Fatal(error)) => {
+                if let Some((coordinator, _)) = coordination {
+                    let _ = coordinator.abandon(cell_index, &error);
+                }
+                return Err(error);
+            }
         };
         if let Some(observer) = observer.as_mut() {
             match &part {
@@ -716,7 +888,6 @@ pub fn run_shard_with(
                     label: cell.label.clone(),
                     error: error.clone(),
                 }),
-                CellShard::Deferred => {}
                 // The completion event carries a full reconstruction of
                 // the cell outcome; only pay for it when someone listens.
                 _ => {
@@ -727,11 +898,15 @@ pub fn run_shard_with(
                         &scenario.workload,
                         &part,
                     ) {
+                        let stopped_early = matches!(
+                            &part,
+                            CellShard::Campaign { slice } if slice.stop_at.is_some()
+                        );
                         observer(&RunEvent::CellCompleted {
                             cell: cell_index,
                             report: Box::new(outcome),
                             runs_used: planned_runs,
-                            stopped_early: false,
+                            stopped_early,
                         });
                     }
                 }
@@ -799,24 +974,8 @@ fn shard_cell_outcome(
     part: &CellShard,
 ) -> Option<CellOutcome> {
     match part {
-        CellShard::Campaign {
-            snapshot,
-            runs,
-            failures,
-            window_traffic,
-            ..
-        } => {
-            let mut traffic = snapshot.warmup_traffic.clone();
-            traffic.merge(window_traffic);
-            let campaign = CampaignResult {
-                protocol: snapshot.protocol.clone(),
-                runs: runs.clone(),
-                traffic,
-                warmup_traffic: snapshot.warmup_traffic.clone(),
-                cluster_sizes: snapshot.cluster_sizes.clone(),
-                num_nodes: snapshot.num_nodes,
-                failures: failures.clone(),
-            };
+        CellShard::Campaign { slice } => {
+            let campaign = campaign_from_slice(slice);
             let report = match workload {
                 Workload::OverheadProbe => CellReport::Overhead {
                     report: OverheadReport::from_campaign(&campaign),
@@ -825,10 +984,74 @@ fn shard_cell_outcome(
             };
             Some(CellOutcome::new(label, protocol, num_nodes, report))
         }
-        CellShard::Whole { report } => {
+        CellShard::Paired {
+            clean,
+            attacked,
+            infiltration,
+            clean_infiltration,
+        } => {
+            let Workload::Adversarial {
+                strategy,
+                attackers,
+            } = workload
+            else {
+                return None;
+            };
+            let report = assemble_report(
+                attacked.snapshot.protocol.clone(),
+                strategy.label(),
+                *attackers,
+                *infiltration,
+                *clean_infiltration,
+                &campaign_from_slice(clean),
+                campaign_from_slice(attacked),
+            );
+            Some(CellOutcome::new(
+                label,
+                protocol,
+                num_nodes,
+                CellReport::Adversary { report },
+            ))
+        }
+        CellShard::Mining {
+            snapshot,
+            relay,
+            runs,
+            ..
+        } => {
+            let mut total = snapshot.warmup_traffic.clone();
+            for run in runs {
+                total.merge(&run.window_traffic);
+            }
+            let report =
+                fork_report_from_runs(snapshot.protocol.clone(), relay.clone(), runs, &total);
+            Some(CellOutcome::new(
+                label,
+                protocol,
+                num_nodes,
+                CellReport::Forks { report },
+            ))
+        }
+        CellShard::Replicated { report } => {
             Some(CellOutcome::new(label, protocol, num_nodes, report.clone()))
         }
-        CellShard::Deferred | CellShard::Failed { .. } => None,
+        CellShard::Failed { .. } => None,
+    }
+}
+
+/// Reconstructs the [`CampaignResult`] one slice implies: total traffic
+/// is warmup plus the kept window, environment comes from the snapshot.
+fn campaign_from_slice(slice: &CampaignSlice) -> CampaignResult {
+    let mut traffic = slice.snapshot.warmup_traffic.clone();
+    traffic.merge(&slice.window_traffic);
+    CampaignResult {
+        protocol: slice.snapshot.protocol.clone(),
+        runs: slice.runs.clone(),
+        traffic,
+        warmup_traffic: slice.snapshot.warmup_traffic.clone(),
+        cluster_sizes: slice.snapshot.cluster_sizes.clone(),
+        num_nodes: slice.snapshot.num_nodes,
+        failures: slice.failures.clone(),
     }
 }
 
@@ -852,15 +1075,9 @@ pub fn checkpoint_replay_events(
     let plan = checkpoint.plan;
     let digest = scenario_digest(scenario);
     let all_cells = scenario.cells();
-    let shardable = is_shardable_campaign(&scenario.workload);
-    let (cells_done, current) = validate_resume(
-        checkpoint.clone(),
-        scenario,
-        digest,
-        plan,
-        &all_cells,
-        shardable,
-    )?;
+    let mode = shard_mode(scenario);
+    let (cells_done, current) =
+        validate_resume(checkpoint.clone(), scenario, digest, plan, &all_cells, mode)?;
     let planned_runs = if scenario.workload.is_campaign() {
         scenario.runs
     } else {
@@ -868,17 +1085,25 @@ pub fn checkpoint_replay_events(
     };
     let mut events = Vec::new();
     for (cell_index, done) in cells_done.iter().enumerate() {
-        if matches!(done.part, CellShard::Deferred) {
-            continue;
-        }
         events.push(RunEvent::CellStarted {
             cell: cell_index,
             label: done.label.clone(),
             planned_runs,
         });
         match &done.part {
-            CellShard::Campaign { runs, failures, .. } => {
-                replay_run_events(&mut events, cell_index, plan.run_range(), runs, failures);
+            CellShard::Campaign { slice } => {
+                // A coordinated stop truncated the kept range; the replay
+                // covers only what the part kept.
+                let end = slice
+                    .stop_at
+                    .map_or(plan.run_end, |s| plan.run_end.min(s.max(plan.run_start)));
+                replay_run_events(
+                    &mut events,
+                    cell_index,
+                    plan.run_start..end,
+                    &slice.runs,
+                    &slice.failures,
+                );
             }
             CellShard::Failed { error } => {
                 events.push(RunEvent::CellFailed {
@@ -888,7 +1113,9 @@ pub fn checkpoint_replay_events(
                 });
                 continue;
             }
-            CellShard::Whole { .. } | CellShard::Deferred => {}
+            // Paired, mining and replicated cells stream no per-run
+            // events — like the session, they bracket with cell events.
+            CellShard::Paired { .. } | CellShard::Mining { .. } | CellShard::Replicated { .. } => {}
         }
         if let Some(outcome) = shard_cell_outcome(
             done.label.clone(),
@@ -981,7 +1208,7 @@ fn validate_resume(
     digest: u64,
     plan: ShardPlan,
     cells: &[ScenarioCell],
-    shardable: bool,
+    mode: ShardMode,
 ) -> Result<(Vec<PartialCell>, Option<CellProgress>), String> {
     checkpoint.verify()?;
     if checkpoint.scenario != scenario.name || checkpoint.scenario_digest != digest {
@@ -1031,10 +1258,10 @@ fn validate_resume(
         }
     }
     if let Some(progress) = &checkpoint.current {
-        if !shardable {
+        if mode != ShardMode::Streaming {
             return Err(
-                "checkpoint carries mid-cell progress for an indivisible workload — the \
-                 file is corrupt"
+                "checkpoint carries mid-cell progress for a workload that only \
+                 checkpoints at cell boundaries — the file is corrupt"
                     .to_string(),
             );
         }
@@ -1086,6 +1313,24 @@ fn validate_resume(
                 prev = Some(index);
             }
         }
+        let mut prev_boundary: Option<usize> = None;
+        for boundary in &progress.boundary_traffic {
+            if boundary.upto <= plan.run_start || boundary.upto > progress.next_run {
+                return Err(format!(
+                    "checkpoint freezes window traffic at boundary {}, outside the folded \
+                     prefix {}..{} — the file is corrupt",
+                    boundary.upto, plan.run_start, progress.next_run
+                ));
+            }
+            if prev_boundary.is_some_and(|p| boundary.upto <= p) {
+                return Err(
+                    "checkpoint boundary-traffic entries are not in ascending order — the \
+                     file is corrupt"
+                        .to_string(),
+                );
+            }
+            prev_boundary = Some(boundary.upto);
+        }
     }
     Ok((checkpoint.cells_done, checkpoint.current))
 }
@@ -1116,6 +1361,14 @@ fn fold_accumulators(runs: &[RunResult]) -> (StreamingSummary, StreamingSummary,
 /// [`Checkpoint`] through `sink` every `checkpoint_every` folds. An
 /// empty range still warms the cell — the snapshot digest is this
 /// shard's proof that it agrees on the warmed state.
+///
+/// With `coordination`, the shard additionally submits a sealed
+/// folded-prefix envelope at every cadence boundary it crosses, freezes
+/// the window traffic at that boundary (so a later stop decision can
+/// truncate exactly there), halts as soon as a broadcast stop index is
+/// behind it, and blocks on the per-cell decision before finalizing —
+/// the returned slice is then the strict prefix `run_start..stop_at` of
+/// what an uncoordinated shard would have produced.
 #[allow(clippy::too_many_arguments)]
 fn run_cell_shard(
     scenario: &Scenario,
@@ -1131,13 +1384,22 @@ fn run_cell_shard(
     warm: Option<&WarmCache>,
     scenario_digest: u64,
     cells_done: &[PartialCell],
+    coordination: Option<(&dyn StopCoordinator, usize)>,
 ) -> Result<CellShard, CellError> {
     let cfg = scenario.cell_config(cell);
-    let (prefix_runs, prefix_failures, prefix_window, resumed_snapshot, start_run) = match resume {
+    let (
+        prefix_runs,
+        prefix_failures,
+        prefix_window,
+        prefix_boundaries,
+        resumed_snapshot,
+        start_run,
+    ) = match resume {
         Some(progress) => (
             progress.runs,
             progress.failures,
             progress.window_traffic,
+            progress.boundary_traffic,
             Some(progress.snapshot),
             progress.next_run,
         ),
@@ -1145,9 +1407,74 @@ fn run_cell_shard(
             Vec::new(),
             Vec::new(),
             MessageStats::new(),
+            Vec::new(),
             None,
             plan.run_start,
         ),
+    };
+    // Coordinated stopping: the decision may already exist (a restarted
+    // coordinator presets restored decisions; a resumed shard rejoins
+    // late), and a resumed shard must resubmit the envelopes it already
+    // crossed — refolded from its persisted prefix, bit-identical to the
+    // originals, so resubmission is idempotent.
+    let mut known_decision: Option<StopDecision> = None;
+    let mut boundary_traffic: Vec<PrefixTraffic> = prefix_boundaries;
+    if let Some((coordinator, cadence)) = coordination {
+        known_decision = coordinator
+            .decision(cell_index)
+            .map_err(|e| CellError::Recorded(format!("coordinator: {e}")))?;
+        for upto in (plan.run_start + 1)..=start_run {
+            if !is_shard_boundary(plan.run_start, plan.run_end, cadence, upto) {
+                continue;
+            }
+            if !boundary_traffic.iter().any(|b| b.upto == upto) {
+                return Err(CellError::Fatal(format!(
+                    "cell {:?}: the resume checkpoint carries no frozen window traffic for \
+                     coordinator boundary {upto} — it was written without --coordinate (or \
+                     at a different cadence); delete it and re-run the shard without --resume",
+                    cell.label
+                )));
+            }
+            let mut deltas = StreamingSummary::new();
+            let mut run_means = StreamingSummary::new();
+            let mut measured = 0usize;
+            for run in prefix_runs.iter().filter(|r| r.run_index < upto) {
+                deltas.extend(run.deltas_ms.iter().copied());
+                if let Some(mean) = crate::experiment::run_mean_delta(run) {
+                    run_means.record(mean);
+                }
+                measured += 1;
+            }
+            let mut envelope = PrefixEnvelope {
+                version: COORD_FORMAT_VERSION,
+                scenario_digest,
+                cell_index,
+                shard_index: plan.shard_index,
+                shard_count: plan.shard_count,
+                upto,
+                deltas,
+                run_means,
+                measured_runs: measured,
+                digest: 0,
+            };
+            envelope.seal();
+            match coordinator.submit(envelope) {
+                Ok(Some(decision)) => known_decision = Some(decision),
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(CellError::Recorded(format!("coordinator: {e}")));
+                }
+            }
+        }
+    }
+    // A decision known before any new run clamps the planned range — runs
+    // past the stop index would be executed only to be truncated.
+    let planned_end = match &known_decision {
+        Some(decision) => match decision.stop_at {
+            Some(s) => plan.run_end.min(s.max(plan.run_start)),
+            None => plan.run_end,
+        },
+        None => plan.run_end,
     };
     // The warm inspection (main thread, before runs fan out) fills this
     // slot; the control hook (under the fold lock, possibly on a worker)
@@ -1169,9 +1496,27 @@ fn run_cell_shard(
             obs_measured += 1;
         }
     }
+    // The coordinator's folded-prefix accumulators: seeded by refolding
+    // the resumed prefix, then extended run by run in fold order —
+    // bit-identical to the fold a peer (or an uninterrupted run) would
+    // compute over the same prefix, which is what makes resubmission
+    // idempotent and the stop decision arrival-order-invariant.
+    let mut coord_deltas = StreamingSummary::new();
+    let mut coord_run_means = StreamingSummary::new();
+    let mut coord_measured = 0usize;
+    if coordination.is_some() {
+        for run in &prefix_runs {
+            coord_deltas.extend(run.deltas_ms.iter().copied());
+            if let Some(mean) = crate::experiment::run_mean_delta(run) {
+                coord_run_means.record(mean);
+            }
+            coord_measured += 1;
+        }
+    }
     let mut seen_runs: Vec<RunResult> = Vec::new();
     let mut seen_failures: Vec<RunFailure> = Vec::new();
     let mut sink_error: Option<String> = None;
+    let mut coord_error: Option<String> = None;
     let mut control = |checkpoint: &RunCheckpoint<'_>| {
         let mut stop = false;
         if let Some(observer) = observer.as_mut() {
@@ -1194,6 +1539,60 @@ fn run_cell_shard(
                 }
             };
             observer(&event);
+        }
+        if let Some((coordinator, cadence)) = coordination {
+            if let Some(result) = checkpoint.result {
+                coord_deltas.extend(result.deltas_ms.iter().copied());
+                if let Some(mean) = crate::experiment::run_mean_delta(result) {
+                    coord_run_means.record(mean);
+                }
+                coord_measured += 1;
+            }
+            let upto = checkpoint.run_index + 1;
+            if is_shard_boundary(plan.run_start, plan.run_end, cadence, upto) {
+                // Freeze the window traffic at this boundary *before* any
+                // durable checkpoint of this fold, so a resumed shard can
+                // still truncate to a decision that lands exactly here.
+                let snapshot_guard = snapshot_slot.lock().expect("snapshot slot");
+                let snapshot = snapshot_guard
+                    .as_ref()
+                    .expect("warm inspection runs before folds");
+                let mut window = prefix_window.clone();
+                window.merge(&checkpoint.traffic.since(&snapshot.warmup_traffic));
+                drop(snapshot_guard);
+                boundary_traffic.push(PrefixTraffic {
+                    upto,
+                    traffic: window,
+                });
+                if known_decision.is_none() {
+                    let mut envelope = PrefixEnvelope {
+                        version: COORD_FORMAT_VERSION,
+                        scenario_digest,
+                        cell_index,
+                        shard_index: plan.shard_index,
+                        shard_count: plan.shard_count,
+                        upto,
+                        deltas: coord_deltas,
+                        run_means: coord_run_means,
+                        measured_runs: coord_measured,
+                        digest: 0,
+                    };
+                    envelope.seal();
+                    match coordinator.submit(envelope) {
+                        Ok(Some(decision)) => known_decision = Some(decision),
+                        Ok(None) => {}
+                        Err(e) => {
+                            coord_error = Some(e);
+                            stop = true;
+                        }
+                    }
+                }
+                if let Some(decision) = &known_decision {
+                    if decision.stop_at.is_some_and(|s| upto >= s) {
+                        stop = true;
+                    }
+                }
+            }
         }
         if sink.is_some() {
             if let Some(result) = checkpoint.result {
@@ -1224,6 +1623,7 @@ fn run_cell_shard(
                     deltas,
                     run_means,
                     ecdf,
+                    boundary_traffic: boundary_traffic.clone(),
                     next_run: checkpoint.run_index + 1,
                 };
                 let mut envelope = Checkpoint {
@@ -1262,13 +1662,16 @@ fn run_cell_shard(
             warm,
             Some(&mut inspect),
             Some(&mut control),
-            start_run..plan.run_end,
+            start_run..planned_end.max(start_run),
         )
         .map_err(CellError::Recorded)?;
     if let Some(error) = sink_error {
         return Err(CellError::Fatal(format!(
             "checkpoint write failed: {error}"
         )));
+    }
+    if let Some(error) = coord_error {
+        return Err(CellError::Recorded(format!("coordinator: {error}")));
     }
     let snapshot = snapshot_slot
         .into_inner()
@@ -1289,17 +1692,180 @@ fn run_cell_shard(
     runs.extend(campaign.runs);
     let mut failures = prefix_failures;
     failures.extend(campaign.failures);
-    let (deltas, run_means, ecdf) = fold_accumulators(&runs);
     let mut window_traffic = prefix_window;
     window_traffic.merge(&campaign.traffic.since(&campaign.warmup_traffic));
+    let mut runs_used = plan.len();
+    let mut stop_at = None;
+    if let Some((coordinator, _)) = coordination {
+        // The end-of-cell barrier: no shard finalizes a slice until the
+        // cell's stop decision exists, so every part in the fleet agrees
+        // on the exact prefix the merge reassembles.
+        let decision = match known_decision {
+            Some(decision) => decision,
+            None => {
+                let _timer = crate::obs::coord_wait_seconds().start_timer();
+                coordinator
+                    .wait(cell_index)
+                    .map_err(|e| CellError::Recorded(format!("coordinator: {e}")))?
+            }
+        };
+        stop_at = decision.stop_at;
+        if let Some(s) = decision.stop_at {
+            let effective_end = plan.run_end.min(s.max(plan.run_start));
+            if effective_end < plan.run_end {
+                crate::obs::coord_runs_saved_total().add((plan.run_end - effective_end) as u64);
+            }
+            runs.retain(|r| r.run_index < effective_end);
+            failures.retain(|f| f.run_index < effective_end);
+            if effective_end <= plan.run_start {
+                window_traffic = MessageStats::new();
+            } else if effective_end < plan.run_end {
+                // `s` is a cadence boundary inside this shard's range, so
+                // the window traffic was frozen when the fold crossed it
+                // (live above, or in the checkpoint a resume restored).
+                window_traffic = boundary_traffic
+                    .iter()
+                    .find(|b| b.upto == effective_end)
+                    .map(|b| b.traffic.clone())
+                    .ok_or_else(|| {
+                        CellError::Fatal(format!(
+                            "cell {:?}: no frozen window traffic for stop index \
+                             {effective_end} — coordinator cadence disagrees with the \
+                             boundaries this shard crossed",
+                            cell.label
+                        ))
+                    })?;
+            }
+            runs_used = effective_end - plan.run_start;
+        }
+    }
+    let (deltas, run_means, ecdf) = fold_accumulators(&runs);
     Ok(CellShard::Campaign {
+        slice: CampaignSlice {
+            snapshot,
+            runs,
+            failures,
+            window_traffic,
+            deltas,
+            run_means,
+            ecdf,
+            runs_used,
+            stop_at,
+        },
+    })
+}
+
+/// Runs one paired adversarial cell's shard range: warm the cell twice
+/// from the same recipe — once clean (an inert adversary force, so node
+/// count and RNG consumption match the attacked side exactly), once with
+/// the live attacker — execute only `plan.run_range()` on each side, and
+/// fold each side's accumulators in run-index order. The clean side runs
+/// first, matching `adversarial_campaign_in_with_threads` batch order.
+fn run_paired_cell_shard(
+    scenario: &Scenario,
+    registry: &ProtocolRegistry,
+    threads: usize,
+    cell: &ScenarioCell,
+    plan: ShardPlan,
+) -> Result<CellShard, CellError> {
+    let Workload::Adversarial {
+        strategy,
+        attackers,
+    } = &scenario.workload
+    else {
+        return Err(CellError::Fatal(
+            "paired shard dispatch on a non-adversarial workload".to_string(),
+        ));
+    };
+    let cfg = scenario.cell_config(cell);
+    let side = |force: AdversaryForce| -> Result<(CampaignSlice, WarmInfiltration), CellError> {
+        let slot: Mutex<Option<(WarmSnapshot, WarmInfiltration)>> = Mutex::new(None);
+        let mut inspect = |net: &Network| {
+            *slot.lock().expect("snapshot slot") = Some((
+                WarmSnapshot::capture(&cfg, net),
+                WarmInfiltration::measure(net),
+            ));
+        };
+        let campaign = cfg
+            .run_campaign_range(
+                registry,
+                threads,
+                Some(Box::new(force)),
+                None,
+                Some(&mut inspect),
+                None,
+                plan.run_range(),
+            )
+            .map_err(CellError::Recorded)?;
+        let (snapshot, infiltration) = slot
+            .into_inner()
+            .expect("snapshot slot")
+            .expect("warm inspection runs before measuring");
+        let (deltas, run_means, ecdf) = fold_accumulators(&campaign.runs);
+        let window_traffic = campaign.traffic.since(&campaign.warmup_traffic);
+        Ok((
+            CampaignSlice {
+                snapshot,
+                runs: campaign.runs,
+                failures: campaign.failures,
+                window_traffic,
+                deltas,
+                run_means,
+                ecdf,
+                runs_used: plan.len(),
+                stop_at: None,
+            },
+            infiltration,
+        ))
+    };
+    let inert =
+        AdversaryForce::inert(cfg.net.num_nodes, *attackers).map_err(CellError::Recorded)?;
+    let force = AdversaryForce::new(*strategy, cfg.net.num_nodes, *attackers)
+        .map_err(CellError::Recorded)?;
+    let (clean, clean_infiltration) = side(inert)?;
+    let (attacked, infiltration) = side(force)?;
+    Ok(CellShard::Paired {
+        clean,
+        attacked,
+        infiltration,
+        clean_infiltration,
+    })
+}
+
+/// Runs one mining cell's shard range: warm the cell, capture the
+/// snapshot, and mine only `plan.run_range()` — each mining run reseeds
+/// from `(seed, run_index)` against a clone of the warmed base, so a
+/// range is exactly the corresponding slice of the whole campaign.
+fn run_mining_cell_shard(
+    scenario: &Scenario,
+    registry: &ProtocolRegistry,
+    cell: &ScenarioCell,
+    plan: ShardPlan,
+) -> Result<CellShard, CellError> {
+    let Workload::Mining {
+        block_interval_ms,
+        duration_ms,
+    } = &scenario.workload
+    else {
+        return Err(CellError::Fatal(
+            "mining shard dispatch on a non-mining workload".to_string(),
+        ));
+    };
+    let cfg = scenario.cell_config(cell);
+    let (net, warmup_traffic) = mining_warm(registry, &cfg).map_err(CellError::Recorded)?;
+    let snapshot = WarmSnapshot::capture(&cfg, &net);
+    let runs = mine_range(
+        &net,
+        &warmup_traffic,
+        &cfg,
+        *block_interval_ms,
+        *duration_ms,
+        plan.run_range(),
+    );
+    Ok(CellShard::Mining {
         snapshot,
+        relay: cfg.relay.as_ref().map(|r| r.to_string()),
         runs,
-        failures,
-        window_traffic,
-        deltas,
-        run_means,
-        ecdf,
         runs_used: plan.len(),
     })
 }
@@ -1438,58 +2004,53 @@ fn merge_cell(
             CellReport::Failed { error },
         ));
     }
-    match &parts[0].cells[cell_index].part {
-        CellShard::Whole { .. } => {
-            for (position, part) in parts.iter().enumerate().skip(1) {
-                if !matches!(part.cells[cell_index].part, CellShard::Deferred) {
-                    return Err(format!(
-                        "cell {label:?} is indivisible (owned by shard 0) but shard {position} \
-                         carries data for it"
-                    ));
-                }
-            }
-            // The cell is visited exactly once; take the report instead of
-            // cloning it (adversarial reports carry a whole campaign).
-            let taken =
-                std::mem::replace(&mut parts[0].cells[cell_index].part, CellShard::Deferred);
-            let CellShard::Whole { report } = taken else {
-                unreachable!("variant checked above");
-            };
-            Ok(CellOutcome::new(label, protocol, num_nodes, report))
-        }
-        CellShard::Deferred => Err(format!(
-            "cell {label:?}: shard 0 deferred an indivisible cell — only shards > 0 may defer"
-        )),
+    // Take ownership of every shard's contribution (run vectors are
+    // moved, not cloned — each cell is visited exactly once).
+    let shards: Vec<(ShardPlan, CellShard)> = parts
+        .iter_mut()
+        .map(|part| {
+            (
+                part.plan,
+                std::mem::replace(
+                    &mut part.cells[cell_index].part,
+                    CellShard::Failed {
+                        error: "merged".to_string(),
+                    },
+                ),
+            )
+        })
+        .collect();
+    match shards[0].1 {
         CellShard::Campaign { .. } => {
-            merge_campaign_cell(parts, cell_index, workload, label, protocol, num_nodes)
+            merge_campaign_cell(shards, workload, label, protocol, num_nodes)
         }
+        CellShard::Paired { .. } => merge_paired_cell(shards, workload, label, protocol, num_nodes),
+        CellShard::Mining { .. } => merge_mining_cell(shards, label, protocol, num_nodes),
+        CellShard::Replicated { .. } => merge_replicated_cell(shards, label, protocol, num_nodes),
         CellShard::Failed { .. } => unreachable!("failed cells are handled above"),
     }
 }
 
-/// Folds the campaign shards of one cell, shard by shard in shard order —
+/// Folds the campaign slices of one cell, shard by shard in shard order —
 /// the cross-process continuation of the in-process `CampaignFold`: run
 /// vectors concatenate (moved, not cloned) in run-index order, integer
 /// traffic counters add, and the accumulator shards merge in the same
-/// order they folded.
-fn merge_campaign_cell(
-    parts: &mut [PartialOutcome],
-    cell_index: usize,
-    workload: &Workload,
-    label: String,
-    protocol: String,
-    num_nodes: usize,
-) -> Result<CellOutcome, String> {
+/// order they folded. Returns the reassembled campaign plus the stop
+/// index every slice agreed on (`None` when uncoordinated).
+fn merge_slices(
+    shards: Vec<(ShardPlan, CampaignSlice)>,
+    label: &str,
+) -> Result<(CampaignResult, Option<usize>), String> {
     let mut snapshot: Option<WarmSnapshot> = None;
+    let mut stop_at: Option<Option<usize>> = None;
     let mut runs: Vec<RunResult> = Vec::new();
     let mut failures: Vec<RunFailure> = Vec::new();
     let mut window_sum = MessageStats::new();
     let mut merged_deltas = StreamingSummary::new();
     let mut merged_run_means = StreamingSummary::new();
     let mut merged_ecdf = EcdfBuilder::new();
-    for part in parts.iter_mut() {
-        let plan = part.plan;
-        let CellShard::Campaign {
+    for (plan, slice) in shards {
+        let CampaignSlice {
             snapshot: shard_snapshot,
             runs: shard_runs,
             failures: shard_failures,
@@ -1497,21 +2058,16 @@ fn merge_campaign_cell(
             deltas,
             run_means,
             ecdf,
-            runs_used: _,
-        } = &mut part.cells[cell_index].part
-        else {
-            return Err(format!(
-                "cell {label:?}: shard {} carries a non-campaign part for a campaign cell",
-                plan.shard_index
-            ));
-        };
+            runs_used,
+            stop_at: shard_stop,
+        } = slice;
         shard_snapshot
             .verify()
             .map_err(|e| format!("cell {label:?}, shard {}: {e}", plan.shard_index))?;
         match &snapshot {
-            None => snapshot = Some(shard_snapshot.clone()),
+            None => snapshot = Some(shard_snapshot),
             Some(reference) => {
-                if reference != shard_snapshot {
+                if *reference != shard_snapshot {
                     return Err(format!(
                         "cell {label:?}: shard {} warmed to a different snapshot (digest \
                          {:#018x} vs {:#018x}) — were the parts produced by different \
@@ -1521,13 +2077,50 @@ fn merge_campaign_cell(
                 }
             }
         }
+        // A coordinated stop is one decision for the whole cell: every
+        // slice must carry the same index, and no slice may keep a run
+        // at or past it — otherwise the merge would not be the strict
+        // prefix the decision promised.
+        match &stop_at {
+            None => stop_at = Some(shard_stop),
+            Some(reference) => {
+                if *reference != shard_stop {
+                    return Err(format!(
+                        "cell {label:?}: shards disagree on the coordinated stop index \
+                         ({reference:?} vs {shard_stop:?} on shard {}) — the parts were \
+                         produced under different stop decisions",
+                        plan.shard_index
+                    ));
+                }
+            }
+        }
         let range = plan.run_range();
+        let effective_end = match shard_stop {
+            Some(s) => plan.run_end.min(s.max(plan.run_start)),
+            None => plan.run_end,
+        };
+        if runs_used != effective_end - plan.run_start {
+            return Err(format!(
+                "cell {label:?}: shard {} claims {runs_used} run(s) used but its effective \
+                 range {}..{effective_end} holds {} — the part file is inconsistent",
+                plan.shard_index,
+                plan.run_start,
+                effective_end - plan.run_start
+            ));
+        }
         let mut prev: Option<usize> = None;
         for run in shard_runs.iter() {
             if !range.contains(&run.run_index) {
                 return Err(format!(
                     "cell {label:?}: shard {} reports run {} outside its range {}..{}",
                     plan.shard_index, run.run_index, range.start, range.end
+                ));
+            }
+            if run.run_index >= effective_end {
+                return Err(format!(
+                    "cell {label:?}: shard {} reports run {} at or past the coordinated \
+                     stop index {effective_end}",
+                    plan.shard_index, run.run_index
                 ));
             }
             if prev.is_some_and(|p| run.run_index <= p) {
@@ -1540,11 +2133,14 @@ fn merge_campaign_cell(
         }
         let mut prev_failure: Option<usize> = None;
         for failure in shard_failures.iter() {
-            if !range.contains(&failure.run_index) {
+            if !range.contains(&failure.run_index) || failure.run_index >= effective_end {
                 return Err(format!(
                     "cell {label:?}: shard {} reports a failure at run {} outside its \
                      range {}..{}",
-                    plan.shard_index, failure.run_index, range.start, range.end
+                    plan.shard_index,
+                    failure.run_index,
+                    range.start,
+                    range.end.min(effective_end)
                 ));
             }
             if prev_failure.is_some_and(|p| failure.run_index <= p) {
@@ -1555,14 +2151,15 @@ fn merge_campaign_cell(
             }
             prev_failure = Some(failure.run_index);
         }
-        runs.append(shard_runs);
-        failures.append(shard_failures);
-        window_sum.merge(window_traffic);
-        merged_deltas.merge(deltas);
-        merged_run_means.merge(run_means);
-        merged_ecdf.merge(ecdf);
+        runs.extend(shard_runs);
+        failures.extend(shard_failures);
+        window_sum.merge(&window_traffic);
+        merged_deltas.merge(&deltas);
+        merged_run_means.merge(&run_means);
+        merged_ecdf.merge(&ecdf);
     }
     let snapshot = snapshot.expect("at least one part exists");
+    let stop_at = stop_at.expect("at least one part exists");
     // Accumulator shards must agree with the run stream they rode along
     // with: the pooled counts are exactly the finite Δt samples of the
     // concatenated runs, and the per-run-mean accumulator holds one
@@ -1602,12 +2199,239 @@ fn merge_campaign_cell(
         num_nodes: snapshot.num_nodes,
         failures,
     };
+    Ok((campaign, stop_at))
+}
+
+/// Merges one streaming campaign cell: unwrap each shard's slice, fold
+/// via [`merge_slices`], and shape the report after the workload.
+fn merge_campaign_cell(
+    shards: Vec<(ShardPlan, CellShard)>,
+    workload: &Workload,
+    label: String,
+    protocol: String,
+    num_nodes: usize,
+) -> Result<CellOutcome, String> {
+    let slices = shards
+        .into_iter()
+        .map(|(plan, part)| match part {
+            CellShard::Campaign { slice } => Ok((plan, slice)),
+            _ => Err(format!(
+                "cell {label:?}: shard {} carries a non-campaign part for a campaign cell",
+                plan.shard_index
+            )),
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let (campaign, _stop_at) = merge_slices(slices, &label)?;
     let report = match workload {
         Workload::OverheadProbe => CellReport::Overhead {
             report: OverheadReport::from_campaign(&campaign),
         },
         _ => CellReport::Campaign { campaign },
     };
+    Ok(CellOutcome::new(label, protocol, num_nodes, report))
+}
+
+/// Merges one paired adversarial cell: fold the clean and attacked sides
+/// independently via [`merge_slices`], cross-check the warm-time
+/// infiltration measurements (pure warm-state functions — every shard
+/// must have measured the same), then assemble the report through the
+/// same arithmetic the batch path uses.
+fn merge_paired_cell(
+    shards: Vec<(ShardPlan, CellShard)>,
+    workload: &Workload,
+    label: String,
+    protocol: String,
+    num_nodes: usize,
+) -> Result<CellOutcome, String> {
+    let Workload::Adversarial {
+        strategy,
+        attackers,
+    } = workload
+    else {
+        return Err(format!(
+            "cell {label:?}: paired shard parts under a non-adversarial workload"
+        ));
+    };
+    let mut cleans = Vec::with_capacity(shards.len());
+    let mut attackeds = Vec::with_capacity(shards.len());
+    let mut reference: Option<(WarmInfiltration, WarmInfiltration)> = None;
+    for (plan, part) in shards {
+        let CellShard::Paired {
+            clean,
+            attacked,
+            infiltration,
+            clean_infiltration,
+        } = part
+        else {
+            return Err(format!(
+                "cell {label:?}: shard {} carries a non-paired part for an adversarial cell",
+                plan.shard_index
+            ));
+        };
+        match &reference {
+            None => reference = Some((infiltration, clean_infiltration)),
+            Some((i, c)) => {
+                if *i != infiltration || *c != clean_infiltration {
+                    return Err(format!(
+                        "cell {label:?}: shard {} measured a different warm-time \
+                         infiltration — were the parts produced by different scenario \
+                         files, seeds or binaries?",
+                        plan.shard_index
+                    ));
+                }
+            }
+        }
+        cleans.push((plan, clean));
+        attackeds.push((plan, attacked));
+    }
+    let (infiltration, clean_infiltration) = reference.expect("at least one part exists");
+    let (clean, _) = merge_slices(cleans, &label)?;
+    let (attacked, _) = merge_slices(attackeds, &label)?;
+    let report = assemble_report(
+        attacked.protocol.clone(),
+        strategy.label(),
+        *attackers,
+        infiltration,
+        clean_infiltration,
+        &clean,
+        attacked,
+    );
+    Ok(CellOutcome::new(
+        label,
+        protocol,
+        num_nodes,
+        CellReport::Adversary { report },
+    ))
+}
+
+/// Merges one range-sharded mining cell: verify every shard mined off the
+/// same snapshot with the same relay, concatenate the fork runs (each
+/// range covers its plan exactly — mining runs cannot fail), and total
+/// the traffic as warmup plus every run's window, exactly like the batch
+/// path.
+fn merge_mining_cell(
+    shards: Vec<(ShardPlan, CellShard)>,
+    label: String,
+    protocol: String,
+    num_nodes: usize,
+) -> Result<CellOutcome, String> {
+    let mut snapshot: Option<WarmSnapshot> = None;
+    let mut relay: Option<Option<String>> = None;
+    let mut all_runs: Vec<ForkRun> = Vec::new();
+    for (plan, part) in shards {
+        let CellShard::Mining {
+            snapshot: shard_snapshot,
+            relay: shard_relay,
+            runs,
+            runs_used,
+        } = part
+        else {
+            return Err(format!(
+                "cell {label:?}: shard {} carries a non-mining part for a mining cell",
+                plan.shard_index
+            ));
+        };
+        shard_snapshot
+            .verify()
+            .map_err(|e| format!("cell {label:?}, shard {}: {e}", plan.shard_index))?;
+        match &snapshot {
+            None => snapshot = Some(shard_snapshot),
+            Some(reference) => {
+                if *reference != shard_snapshot {
+                    return Err(format!(
+                        "cell {label:?}: shard {} warmed to a different snapshot (digest \
+                         {:#018x} vs {:#018x}) — were the parts produced by different \
+                         scenario files, seeds or binaries?",
+                        plan.shard_index, shard_snapshot.digest, reference.digest
+                    ));
+                }
+            }
+        }
+        match &relay {
+            None => relay = Some(shard_relay),
+            Some(reference) => {
+                if *reference != shard_relay {
+                    return Err(format!(
+                        "cell {label:?}: shards disagree on the relay strategy \
+                         ({reference:?} vs {shard_relay:?} on shard {})",
+                        plan.shard_index
+                    ));
+                }
+            }
+        }
+        // Mining runs cannot fail, so a slice must cover its range
+        // exactly: one run per planned index, in order.
+        if runs_used != plan.len() || runs.len() != plan.len() {
+            return Err(format!(
+                "cell {label:?}: shard {} carries {} mining run(s) for a range of {} — \
+                 the part file is inconsistent",
+                plan.shard_index,
+                runs.len(),
+                plan.len()
+            ));
+        }
+        for (offset, run) in runs.iter().enumerate() {
+            if run.run_index != plan.run_start + offset {
+                return Err(format!(
+                    "cell {label:?}: shard {} mining run at position {offset} carries \
+                     run index {} (expected {})",
+                    plan.shard_index,
+                    run.run_index,
+                    plan.run_start + offset
+                ));
+            }
+        }
+        all_runs.extend(runs);
+    }
+    let snapshot = snapshot.expect("at least one part exists");
+    let relay = relay.expect("at least one part exists");
+    let mut total = snapshot.warmup_traffic.clone();
+    for run in &all_runs {
+        total.merge(&run.window_traffic);
+    }
+    let report = fork_report_from_runs(snapshot.protocol.clone(), relay, &all_runs, &total);
+    Ok(CellOutcome::new(
+        label,
+        protocol,
+        num_nodes,
+        CellReport::Forks { report },
+    ))
+}
+
+/// Merges one replicated cell: every shard executed the deterministic
+/// cell whole, so all reports must be byte-identical (compared on their
+/// canonical serialization — NaN-safe) and shard 0's is kept.
+fn merge_replicated_cell(
+    shards: Vec<(ShardPlan, CellShard)>,
+    label: String,
+    protocol: String,
+    num_nodes: usize,
+) -> Result<CellOutcome, String> {
+    let mut kept: Option<(CellReport, String)> = None;
+    for (plan, part) in shards {
+        let CellShard::Replicated { report } = part else {
+            return Err(format!(
+                "cell {label:?}: shard {} carries a non-replicated part for a \
+                 single-shot cell",
+                plan.shard_index
+            ));
+        };
+        let json = serde_json::to_string(&report).expect("cell report serializes");
+        match &kept {
+            None => kept = Some((report, json)),
+            Some((_, reference)) => {
+                if *reference != json {
+                    return Err(format!(
+                        "cell {label:?}: shard {} replicated a different result than \
+                         shard 0 — the cell is not deterministic across the parts \
+                         (different scenario files, seeds or binaries?)",
+                        plan.shard_index
+                    ));
+                }
+            }
+        }
+    }
+    let (report, _) = kept.expect("at least one part exists");
     Ok(CellOutcome::new(label, protocol, num_nodes, report))
 }
 
@@ -1776,8 +2600,10 @@ pub fn salvage_merge(
     let cell_count = survivors.first().map_or(0, |(_, p)| p.cells.len());
     for cell_index in 0..cell_count {
         let digest_of = |part: &PartialOutcome| match &part.cells[cell_index].part {
-            CellShard::Campaign { snapshot, .. } => Some(snapshot.digest),
-            _ => None,
+            CellShard::Campaign { slice } => Some(slice.snapshot.digest),
+            CellShard::Paired { attacked, .. } => Some(attacked.snapshot.digest),
+            CellShard::Mining { snapshot, .. } => Some(snapshot.digest),
+            CellShard::Replicated { .. } | CellShard::Failed { .. } => None,
         };
         let mut tally: Vec<(u64, usize, usize)> = Vec::new();
         for (position, (_, part)) in survivors.iter().enumerate() {
@@ -1952,11 +2778,11 @@ mod tests {
         let scenario = tiny(3);
         let parts = shard_all(&scenario, 5);
         assert!(parts[3].plan.is_empty() && parts[4].plan.is_empty());
-        let CellShard::Campaign { runs, ecdf, .. } = &parts[4].cells[0].part else {
+        let CellShard::Campaign { slice } = &parts[4].cells[0].part else {
             panic!("empty shard still carries a campaign part");
         };
-        assert!(runs.is_empty());
-        assert!(ecdf.is_empty());
+        assert!(slice.runs.is_empty());
+        assert!(slice.ecdf.is_empty());
         let merged = merge_shards(parts).unwrap();
         assert_eq!(merged, scenario.run_batch().unwrap());
     }
@@ -2002,8 +2828,8 @@ mod tests {
         let scenario = tiny(4);
         // Any edit that is not re-sealed trips the whole-part seal first.
         let mut parts = shard_all(&scenario, 2);
-        if let CellShard::Campaign { snapshot, .. } = &mut parts[1].cells[0].part {
-            snapshot.online += 1;
+        if let CellShard::Campaign { slice } = &mut parts[1].cells[0].part {
+            slice.snapshot.online += 1;
         }
         let err = merge_shards(parts).unwrap_err();
         assert!(err.contains("part digest"), "{err}");
@@ -2011,8 +2837,8 @@ mod tests {
         // Re-sealing the edited part gets past the outer seal; the warm
         // snapshot's own digest still catches the tamper.
         let mut parts = shard_all(&scenario, 2);
-        if let CellShard::Campaign { snapshot, .. } = &mut parts[1].cells[0].part {
-            snapshot.online += 1;
+        if let CellShard::Campaign { slice } = &mut parts[1].cells[0].part {
+            slice.snapshot.online += 1;
         }
         parts[1].seal();
         let err = merge_shards(parts).unwrap_err();
@@ -2054,17 +2880,17 @@ mod tests {
         // guard is the count cross-check against the concatenated runs.
         let scenario = tiny(4);
         let mut parts = shard_all(&scenario, 2);
-        if let CellShard::Campaign { deltas, ecdf, .. } = &mut parts[1].cells[0].part {
-            deltas.record(1.0);
-            ecdf.push(1.0);
+        if let CellShard::Campaign { slice } = &mut parts[1].cells[0].part {
+            slice.deltas.record(1.0);
+            slice.ecdf.push(1.0);
         }
         parts[1].seal();
         let err = merge_shards(parts).unwrap_err();
         assert!(err.contains("disagree with the run stream"), "{err}");
 
         let mut parts = shard_all(&scenario, 2);
-        if let CellShard::Campaign { run_means, .. } = &mut parts[0].cells[0].part {
-            run_means.record(1.0);
+        if let CellShard::Campaign { slice } = &mut parts[0].cells[0].part {
+            slice.run_means.record(1.0);
         }
         parts[0].seal();
         let err = merge_shards(parts).unwrap_err();

@@ -32,6 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod coord;
 pub mod events;
 pub mod http;
 pub mod obs;
@@ -39,5 +40,6 @@ pub mod server;
 pub mod signals;
 pub mod spool;
 
+pub use coord::{CoordClient, CoordServer};
 pub use server::{ServeConfig, Server};
 pub use spool::{digest_hex, Spool};

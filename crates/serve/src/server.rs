@@ -54,8 +54,9 @@ use crate::signals;
 use crate::spool::{digest_hex, Spool, SpooledJob};
 use bcbpt_cluster::ProtocolRegistry;
 use bcbpt_core::{
-    checkpoint_replay_events, merge_shards, run_shard_with, Checkpoint, PartialOutcome, RunEvent,
-    Scenario, ScenarioOutcome, ShardObserver, ShardPlan, ShardRunOptions, ShardSpec, WarmCache,
+    checkpoint_replay_events, merge_shards, run_shard_with, Checkpoint, LocalCoordinator,
+    PartialOutcome, RunEvent, Scenario, ScenarioOutcome, ShardObserver, ShardPlan, ShardRunOptions,
+    ShardSpec, StopCoordinator, WarmCache,
 };
 use bcbpt_obs::{Counter, Gauge, Registry, WallHistogram};
 use serde::Value;
@@ -137,6 +138,11 @@ struct Job {
     scenario: Scenario,
     shards: usize,
     adaptive: bool,
+    /// In-process stop coordinator for adaptive multi-shard jobs: every
+    /// shard task of the job submits folded-prefix envelopes to it and
+    /// blocks on its per-cell stop decisions (see [`LocalCoordinator`]).
+    /// `None` for single-shard and fixed-budget jobs.
+    coordinator: Option<Arc<LocalCoordinator>>,
     /// Served from the outcome store without executing anything.
     cached: bool,
     phase: Mutex<Phase>,
@@ -460,6 +466,29 @@ fn restore_spooled_jobs(state: &Arc<ServerState>) {
                     .and_then(|t| PartialOutcome::from_json(t).ok())
             })
             .collect();
+        // A coordinated job restored mid-flight needs a fresh coordinator;
+        // decisions recorded in already-completed parts are re-imposed so
+        // resumed shards truncate to the same prefix the finished ones did.
+        let coordinator = if adaptive && shards > 1 {
+            match LocalCoordinator::new(&scenario, shards, state.config.checkpoint_every.max(1)) {
+                Ok(coordinator) => {
+                    if let Some(part) = parsed.iter().flatten().next() {
+                        for (cell, stop_at) in part.cell_stop_indices().into_iter().enumerate() {
+                            if let Err(e) = coordinator.preset(cell, stop_at) {
+                                bcbpt_obs::warn!("spool: job {id}: preset cell {cell}: {e}");
+                            }
+                        }
+                    }
+                    Some(Arc::new(coordinator))
+                }
+                Err(e) => {
+                    bcbpt_obs::warn!("spool: job {id}: coordinator: {e} — job will fail");
+                    None
+                }
+            }
+        } else {
+            None
+        };
         let job = Arc::new(Job {
             id: id.clone(),
             digest: scenario.digest(),
@@ -467,6 +496,7 @@ fn restore_spooled_jobs(state: &Arc<ServerState>) {
             scenario,
             shards,
             adaptive,
+            coordinator,
             cached: false,
             phase: Mutex::new(Phase::Queued),
             events: EventLog::new(),
@@ -524,7 +554,7 @@ fn worker_loop(state: &Arc<ServerState>) {
         };
         state.metrics.queue_wait.observe(task.enqueued.elapsed());
         state.metrics.workers_busy.add(1);
-        if task.job.adaptive {
+        if task.job.adaptive && task.job.shards == 1 {
             run_session_task(state, &task.job);
         } else {
             run_shard_task(state, &task.job, task.shard);
@@ -568,14 +598,17 @@ fn run_shard_task(state: &Arc<ServerState>, job: &Arc<Job>, shard: usize) {
     }
     let sink_state = Arc::clone(state);
     let sink_job = Arc::clone(job);
+    let coordinated = job.coordinator.is_some();
     let mut sink_fn = move |checkpoint: &Checkpoint| -> Result<(), String> {
         let json = format!("{}\n", checkpoint.to_json());
         sink_state
             .spool
             .write_checkpoint(&sink_job.id, shard, &json)?;
-        if sink_state.drain.load(Ordering::SeqCst) {
+        if sink_state.drain.load(Ordering::SeqCst) && !coordinated {
             // The checkpoint is durable; refusing here parks the shard
-            // with zero lost work (the drain contract).
+            // with zero lost work (the drain contract). Coordinated shards
+            // run to completion instead: parking one shard would leave its
+            // peers blocked on the cell's stop decision forever.
             return Err("service draining — parked at a durable checkpoint".to_string());
         }
         Ok(())
@@ -609,6 +642,10 @@ fn run_shard_task(state: &Arc<ServerState>, job: &Arc<Job>, shard: usize) {
             sink: Some(&mut sink_fn),
             observe,
             warm_cache: Some(&state.warm),
+            coordinator: job
+                .coordinator
+                .as_deref()
+                .map(|c| c as &dyn StopCoordinator),
         },
     );
     match result {
@@ -968,14 +1005,30 @@ fn submit(
         },
     };
     let adaptive = scenario.stop.is_some_and(|s| s.is_adaptive());
-    if adaptive && shards > 1 {
-        return http::respond_error(
-            stream,
-            400,
-            "adaptive-stop scenarios cannot shard (the stop decision needs the whole \
-             folded prefix); submit with shards=1",
-        );
-    }
+    // Adaptive multi-shard jobs run under an in-process stop coordinator.
+    // Every shard of the cell must execute concurrently (each blocks on
+    // the cell's stop decision, which needs envelopes from all of them),
+    // so the fleet must fit the worker pool.
+    let coordinator = if adaptive && shards > 1 {
+        if shards > state.config.workers.max(1) {
+            return http::respond_error(
+                stream,
+                400,
+                &format!(
+                    "adaptive-stop jobs need all shards running concurrently (each blocks \
+                     on the coordinated stop decision), but shards={shards} exceeds the \
+                     {} worker(s); submit with fewer shards",
+                    state.config.workers.max(1)
+                ),
+            );
+        }
+        match LocalCoordinator::new(&scenario, shards, state.config.checkpoint_every.max(1)) {
+            Ok(coordinator) => Some(Arc::new(coordinator)),
+            Err(e) => return http::respond_error(stream, 400, &e),
+        }
+    } else {
+        None
+    };
     if shards > 1 {
         if let Err(e) = ShardPlan::plan(scenario.runs, shards) {
             return http::respond_error(stream, 400, &e);
@@ -1003,6 +1056,7 @@ fn submit(
             scenario,
             shards,
             adaptive,
+            coordinator: None,
             cached: true,
             phase: Mutex::new(Phase::Done),
             events: EventLog::completed(lines),
@@ -1043,6 +1097,7 @@ fn submit(
         scenario,
         shards,
         adaptive,
+        coordinator,
         cached: false,
         phase: Mutex::new(Phase::Queued),
         events: EventLog::new(),
@@ -1059,7 +1114,7 @@ fn submit(
         .insert(job.id.clone(), Arc::clone(&job));
     {
         let mut queue = state.queue.lock().expect("queue lock");
-        if job.adaptive {
+        if job.adaptive && job.shards == 1 {
             queue.push_back(Task {
                 job: Arc::clone(&job),
                 shard: 0,

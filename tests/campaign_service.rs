@@ -246,6 +246,72 @@ fn multi_shard_jobs_merge_to_the_same_bytes() {
 }
 
 #[test]
+fn adaptive_multi_shard_jobs_coordinate_the_stop_and_match_the_direct_run() {
+    // A loose ±90% CI rule fires inside the budget; the in-process
+    // coordinator folds the shards' prefix envelopes at every checkpoint
+    // with the same `StopEval` an unsharded adaptive session uses, so the
+    // merged truncated parts must reproduce the direct adaptive run
+    // byte-for-byte — while executing strictly fewer fleet runs than the
+    // fixed budget.
+    let mut scenario = fig3_quick();
+    scenario.name = "adaptive-fleet".to_string();
+    scenario.runs = 6;
+    scenario.stop = Some(bcbpt_core::StopRule::CiHalfWidth {
+        level: 0.95,
+        rel_width: 0.9,
+        min_runs: 2,
+    });
+    let direct = direct_outcome_bytes(&scenario);
+    let budget: u64 = (scenario.runs * scenario.cells().len()) as u64;
+
+    let spool = temp_spool("adaptive");
+    let (server, addr) = start_server(&spool, 2);
+    let (job, cached) = submit(&addr, &scenario, "?shards=2");
+    assert!(!cached);
+    client::wait_job(&addr, &job, Duration::from_secs(300)).expect("job settles");
+    let outcome = client::get(&addr, &format!("/jobs/{job}/outcome")).expect("outcome");
+    assert_eq!(outcome.status, 200);
+    assert_eq!(
+        outcome.text(),
+        direct,
+        "coordinated adaptive fleet must equal the direct adaptive run"
+    );
+    let executed = u64_field(&stats(&addr), "runs_executed");
+    assert!(
+        executed < budget,
+        "the coordinated stop must save runs: executed {executed} of {budget}"
+    );
+    server.request_drain();
+    server.wait().expect("drain");
+}
+
+#[test]
+fn adaptive_jobs_wider_than_the_worker_pool_are_refused() {
+    // Every shard of an adaptive job blocks on the cell's stop decision,
+    // which needs envelopes from the whole fleet — a fleet wider than the
+    // worker pool would deadlock, so submission refuses it up front.
+    let mut scenario = fig3_quick();
+    scenario.name = "adaptive-too-wide".to_string();
+    scenario.runs = 6;
+    scenario.stop = Some(bcbpt_core::StopRule::CiHalfWidth {
+        level: 0.95,
+        rel_width: 0.9,
+        min_runs: 2,
+    });
+    let spool = temp_spool("adaptive-wide");
+    let (server, addr) = start_server(&spool, 2);
+    let response = client::post(&addr, "/scenarios?shards=3", &scenario.to_json()).expect("submit");
+    assert_eq!(response.status, 400, "{}", response.text());
+    assert!(
+        response.text().contains("worker"),
+        "refusal explains the worker-pool bound: {}",
+        response.text()
+    );
+    server.request_drain();
+    server.wait().expect("drain");
+}
+
+#[test]
 fn drain_parks_at_a_checkpoint_and_a_restart_resumes_byte_identically() {
     let scenario = drainable();
     let expected_lines = session_lines(&scenario);

@@ -6,10 +6,14 @@
 //! of the on-disk formats to prove corruption is never silently merged.
 
 use bcbpt::experiments::{
-    fault, merge_shards, run_shard_in, run_shard_with, salvage_merge, Checkpoint, FaultPlan,
-    PartialOutcome, ShardRunOptions, ShardSpec,
+    fault, merge_shards, run_shard_in, run_shard_with, salvage_merge, scenario_digest, Checkpoint,
+    FaultPlan, PartialOutcome, PrefixEnvelope, ShardRunOptions, ShardSpec, StopDecision,
+    COORD_FORMAT_VERSION,
 };
-use bcbpt::{ExperimentConfig, Protocol, ProtocolRegistry, Scenario, ScenarioOutcome, Workload};
+use bcbpt::{
+    ExperimentConfig, Protocol, ProtocolRegistry, Scenario, ScenarioOutcome, StreamingSummary,
+    Workload,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
@@ -429,5 +433,210 @@ proptest! {
             "truncation at byte {} parsed",
             len
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the paired-slice and coordinator wire formats under the same
+// byte-flip / truncation regime
+// ---------------------------------------------------------------------------
+
+/// Loads `scenarios/pingspoof.json` shrunk to integration-test scale: a
+/// paired adversarial campaign whose parts carry clean *and* attacked
+/// campaign slices.
+fn tiny_paired_scenario() -> Scenario {
+    let path = scenarios_dir().join("pingspoof.json");
+    let text = std::fs::read_to_string(&path).expect("pingspoof.json");
+    let mut scenario = Scenario::from_json(&text)
+        .expect("pingspoof parses")
+        .quick_scaled();
+    scenario.net.num_nodes = 40;
+    scenario.runs = 3;
+    scenario.warmup_ms = 800.0;
+    scenario.window_ms = 8_000.0;
+    if let Workload::Adversarial { attackers, .. } = &mut scenario.workload {
+        *attackers = (*attackers).clamp(1, 3);
+    }
+    assert!(matches!(scenario.workload, Workload::Adversarial { .. }));
+    scenario
+}
+
+struct PairedFixture {
+    part0_json: String,
+    part1_json: String,
+    reference: ScenarioOutcome,
+}
+
+/// Two paired-slice parts and their clean merge — built once, behind the
+/// fault lock of the calling test.
+fn paired_fixture() -> &'static PairedFixture {
+    static FIXTURE: OnceLock<PairedFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scenario = tiny_paired_scenario();
+        let parts = shard_all(&scenario, 2);
+        let reference = merge_shards(parts.clone()).expect("clean paired merge");
+        PairedFixture {
+            part0_json: parts[0].to_json(),
+            part1_json: parts[1].to_json(),
+            reference,
+        }
+    })
+}
+
+struct CoordFixture {
+    envelope: PrefixEnvelope,
+    envelope_json: String,
+    decision: StopDecision,
+    decision_json: String,
+}
+
+/// A sealed prefix envelope and stop decision for the tiny scenario, the
+/// exact payloads `POST /coord/submit` and the decision routes exchange.
+fn coord_fixture() -> &'static CoordFixture {
+    static FIXTURE: OnceLock<CoordFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let digest = scenario_digest(&tiny_scenario());
+        let mut deltas = StreamingSummary::new();
+        for i in 0..40 {
+            deltas.record(10.0 + f64::from(i) * 0.25);
+        }
+        let mut run_means = StreamingSummary::new();
+        for mean in [10.1, 10.4, 9.9] {
+            run_means.record(mean);
+        }
+        let mut envelope = PrefixEnvelope {
+            version: COORD_FORMAT_VERSION,
+            scenario_digest: digest,
+            cell_index: 0,
+            shard_index: 0,
+            shard_count: 2,
+            upto: 3,
+            deltas,
+            run_means,
+            measured_runs: 3,
+            digest: 0,
+        };
+        envelope.seal();
+        let mut decision = StopDecision {
+            version: COORD_FORMAT_VERSION,
+            scenario_digest: digest,
+            cell_index: 0,
+            stop_at: Some(2),
+            rule: "ci(95%, ±5%, min 2)".to_string(),
+            digest: 0,
+        };
+        decision.seal();
+        let envelope_json = envelope.to_json();
+        let decision_json = decision.to_json();
+        CoordFixture {
+            envelope,
+            envelope_json,
+            decision,
+            decision_json,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flipping any single bit of a paired-slice part either fails the
+    /// parse, fails the merge, or merges to exactly the clean paired
+    /// outcome — a corrupt clean/attacked slice is never silently folded
+    /// into an `AdversaryReport`.
+    #[test]
+    fn a_flipped_paired_part_byte_never_silently_merges(
+        offset in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let _lock = lock();
+        let fx = paired_fixture();
+        let mut bytes = fx.part0_json.clone().into_bytes();
+        let at = offset % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let Ok(text) = String::from_utf8(bytes) else { return; };
+        let Ok(part) = PartialOutcome::from_json(&text) else { return; };
+        let other = PartialOutcome::from_json(&fx.part1_json).expect("clean part");
+        match merge_shards(vec![part, other]) {
+            Err(_) => {}
+            Ok(merged) => prop_assert_eq!(
+                merged.to_json(),
+                fx.reference.to_json(),
+                "a merge that accepts the mutated paired part must equal the clean merge"
+            ),
+        }
+    }
+
+    /// Any proper prefix of a paired-slice part fails to parse.
+    #[test]
+    fn a_truncated_paired_part_never_parses(cut in 0usize..1_000_000) {
+        let _lock = lock();
+        let fx = paired_fixture();
+        let len = cut % fx.part0_json.len();
+        prop_assert!(
+            PartialOutcome::from_json(&fx.part0_json[..len]).is_err(),
+            "truncation at byte {} parsed",
+            len
+        );
+    }
+
+    /// Flipping any single bit of a prefix envelope either fails the
+    /// parse, fails `verify_seal()`, or is the bit-identical envelope — a
+    /// coordinator never folds accumulator state that differs from what
+    /// the shard sealed.
+    #[test]
+    fn a_flipped_prefix_envelope_byte_never_verifies_divergent(
+        offset in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let fx = coord_fixture();
+        let mut bytes = fx.envelope_json.clone().into_bytes();
+        let at = offset % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let Ok(text) = String::from_utf8(bytes) else { return; };
+        let Ok(envelope) = PrefixEnvelope::from_json(&text) else { return; };
+        if envelope.verify_seal().is_ok() {
+            prop_assert_eq!(
+                &envelope,
+                &fx.envelope,
+                "a verifying mutation must be the identical envelope"
+            );
+        }
+    }
+
+    /// Any proper prefix of a prefix envelope fails to parse — a torn
+    /// submit body is rejected before it reaches the fold.
+    #[test]
+    fn a_truncated_prefix_envelope_never_parses(cut in 0usize..1_000_000) {
+        let fx = coord_fixture();
+        let len = cut % fx.envelope_json.len();
+        prop_assert!(
+            PrefixEnvelope::from_json(&fx.envelope_json[..len]).is_err(),
+            "truncation at byte {} parsed",
+            len
+        );
+    }
+
+    /// Flipping any single bit of a stop decision either fails the parse,
+    /// fails `verify_seal()`, or is the bit-identical decision — a shard
+    /// never truncates its run range on a corrupted broadcast.
+    #[test]
+    fn a_flipped_stop_decision_byte_never_verifies_divergent(
+        offset in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let fx = coord_fixture();
+        let mut bytes = fx.decision_json.clone().into_bytes();
+        let at = offset % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let Ok(text) = String::from_utf8(bytes) else { return; };
+        let Ok(decision) = StopDecision::from_json(&text) else { return; };
+        if decision.verify_seal().is_ok() {
+            prop_assert_eq!(
+                &decision,
+                &fx.decision,
+                "a verifying mutation must be the identical decision"
+            );
+        }
     }
 }

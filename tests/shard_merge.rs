@@ -2,7 +2,9 @@
 //! checked-in scenario, executing the run range as 1, 2 or 5 independent
 //! shards and merging the serialized parts reproduces the unsharded batch
 //! outcome byte-for-byte — and scenarios that declare an adaptive stop
-//! rule are rejected with a clear error instead of silently diverging.
+//! rule are rejected with a clear error unless the shard is pointed at a
+//! coordinator, instead of silently diverging (the coordinated path is
+//! pinned by `tests/shard_everything.rs`).
 
 use bcbpt::experiments::{merge_shards, run_shard, PartialOutcome, ShardSpec};
 use bcbpt::{Scenario, StopRule, Workload};
@@ -125,18 +127,21 @@ fn adaptive_stop_scenarios_are_rejected_with_a_clear_error() {
 }
 
 #[test]
-fn adversarial_scenarios_shard_through_the_deferred_path() {
-    // Paired adversarial campaigns are indivisible: shard 0 owns them
-    // whole, later shards defer — and the merge still reproduces the
+fn adversarial_scenarios_range_shard_instead_of_deferring() {
+    // Paired adversarial campaigns used to be indivisible (shard 0 ran
+    // them whole, later shards deferred). They now range-shard like every
+    // other family: each shard runs its slice of the clean and attacked
+    // campaigns, reports real work, and the merge still reproduces the
     // batch outcome exactly.
     let scenario = checked_in("pingspoof");
     let batch = scenario.run_batch().unwrap();
     let parts = shard_all(&scenario, 2);
-    assert_eq!(
-        parts[0].runs_used(),
-        0,
-        "indivisible cells report no range runs"
-    );
+    for (i, part) in parts.iter().enumerate() {
+        assert!(
+            part.runs_used() > 0,
+            "shard {i} deferred instead of running its paired slice"
+        );
+    }
     let merged = merge_shards(parts).unwrap();
     assert_eq!(merged, batch);
 }
